@@ -1,0 +1,80 @@
+//! The join-point model: where aspects can attach.
+//!
+//! navsep's join points are *element occurrences during page rendering*: for
+//! every page the weaver visits every element of the page DOM in document
+//! order, offering each as a [`JoinPoint`]. This is the document-level
+//! analogue of AspectJ's "points where the code that implements the basic
+//! functionality can be augmented" (paper §3).
+
+use navsep_xml::{Document, NodeId};
+
+/// One join point: an element of a page being rendered.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinPoint<'d> {
+    /// Site path of the page, e.g. `painting-guitar.html`.
+    pub page: &'d str,
+    /// The page document.
+    pub doc: &'d Document,
+    /// The element the weaver is visiting.
+    pub element: NodeId,
+}
+
+impl<'d> JoinPoint<'d> {
+    /// The element's local name, empty for non-elements (never happens for
+    /// join points produced by the weaver).
+    pub fn element_name(&self) -> &str {
+        self.doc
+            .name(self.element)
+            .map(|q| q.local())
+            .unwrap_or("")
+    }
+
+    /// A `/`-separated path of element names from the root to this element,
+    /// e.g. `html/body/ul`; useful in weave reports.
+    pub fn element_path(&self) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(self.element);
+        while let Some(n) = cur {
+            if let Some(q) = self.doc.name(n) {
+                names.push(q.local().to_string());
+            }
+            cur = self.doc.parent(n);
+        }
+        names.reverse();
+        names.join("/")
+    }
+}
+
+/// Enumerates the join points of a page: every element, document order.
+pub fn join_points<'d>(page: &'d str, doc: &'d Document) -> Vec<JoinPoint<'d>> {
+    doc.descendants(doc.document_node())
+        .filter(|&n| doc.is_element(n))
+        .map(|element| JoinPoint { page, doc, element })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_elements_in_document_order() {
+        let doc = Document::parse("<html><head/><body><p/></body></html>").unwrap();
+        let jps = join_points("x.html", &doc);
+        let names: Vec<&str> = jps.iter().map(JoinPoint::element_name).collect();
+        assert_eq!(names, ["html", "head", "body", "p"]);
+    }
+
+    #[test]
+    fn element_path() {
+        let doc = Document::parse("<html><body><ul><li/></ul></body></html>").unwrap();
+        let jps = join_points("x.html", &doc);
+        assert_eq!(jps.last().unwrap().element_path(), "html/body/ul/li");
+    }
+
+    #[test]
+    fn text_nodes_are_not_join_points() {
+        let doc = Document::parse("<a>text<b/>more</a>").unwrap();
+        assert_eq!(join_points("x", &doc).len(), 2);
+    }
+}

@@ -1,0 +1,525 @@
+//! The weaver: composes aspects with pages.
+//!
+//! This is the composition mechanism the paper's §5 calls for ("we should
+//! implement a composition mechanism to make functionality and navigation
+//! become one program"). Weaving is **deterministic**:
+//!
+//! 1. join points are enumerated on the *pristine* input page, so aspects
+//!    never advise each other's insertions;
+//! 2. aspects apply in (precedence, registration order); within one aspect,
+//!    rules apply in declaration order;
+//! 3. insertions at the same anchor preserve that order.
+
+use crate::advice::{AdvicePosition, Realized};
+use crate::aspect::Aspect;
+use crate::error::WeaveError;
+use crate::joinpoint::{join_points, JoinPoint};
+use navsep_xml::{Document, NodeId};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A record of one advice application, for reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeaveEvent {
+    /// Aspect name.
+    pub aspect: String,
+    /// Index of the rule inside the aspect.
+    pub rule_index: usize,
+    /// Where the content landed.
+    pub position: AdvicePosition,
+    /// Element path of the join point, e.g. `html/body`.
+    pub element_path: String,
+}
+
+/// What happened while weaving one page.
+#[derive(Debug, Clone, Default)]
+pub struct WeaveReport {
+    /// The page path.
+    pub page: String,
+    /// How many join points the page offered.
+    pub join_points: usize,
+    /// Every advice application, in application order.
+    pub events: Vec<WeaveEvent>,
+}
+
+impl WeaveReport {
+    /// Number of advice applications.
+    pub fn applications(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Applications by a given aspect.
+    pub fn applications_of(&self, aspect: &str) -> usize {
+        self.events.iter().filter(|e| e.aspect == aspect).count()
+    }
+}
+
+impl fmt::Display for WeaveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wove {}: {} join points, {} applications",
+            self.page,
+            self.join_points,
+            self.events.len()
+        )?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "  [{}#{}] {} at {}",
+                e.aspect, e.rule_index, e.position, e.element_path
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The weaver: an ordered collection of aspects.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_aspect::{Aspect, AdvicePosition, Pointcut, Weaver};
+/// use navsep_xml::{Document, ElementBuilder};
+///
+/// let nav = Aspect::new("navigation").rule(
+///     Pointcut::parse(r#"element("body")"#)?,
+///     AdvicePosition::Append,
+///     vec![ElementBuilder::new("a").attr("href", "next.html").text("Next")],
+/// );
+/// let weaver = Weaver::new().aspect(nav);
+/// let page = Document::parse("<html><body><h1>Guitar</h1></body></html>")?;
+/// let (woven, report) = weaver.weave_page("guitar.html", &page)?;
+/// assert!(woven.to_xml_string().contains("href=\"next.html\""));
+/// assert_eq!(report.applications(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Weaver {
+    aspects: Vec<Aspect>,
+}
+
+impl Weaver {
+    /// An empty weaver (weaving is then the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an aspect (builder style).
+    pub fn aspect(mut self, aspect: Aspect) -> Self {
+        self.aspects.push(aspect);
+        self
+    }
+
+    /// Registers an aspect (mutating style).
+    pub fn add_aspect(&mut self, aspect: Aspect) {
+        self.aspects.push(aspect);
+    }
+
+    /// The registered aspects, in registration order.
+    pub fn aspects(&self) -> &[Aspect] {
+        &self.aspects
+    }
+
+    /// Weaves all registered aspects into one page.
+    ///
+    /// # Errors
+    ///
+    /// * [`WeaveError::EmptyPage`] when the page has no root element;
+    /// * [`WeaveError::ReplaceConflict`] when two *different* aspects with
+    ///   equal precedence both replace the same element's content.
+    pub fn weave_page(
+        &self,
+        page: &str,
+        doc: &Document,
+    ) -> Result<(Document, WeaveReport), WeaveError> {
+        if doc.root_element().is_none() {
+            return Err(WeaveError::EmptyPage(page.to_string()));
+        }
+        // The clone shares NodeIds with the input: matching happens on the
+        // input, mutation on the clone — aspects never see each other.
+        let mut out = doc.clone();
+        let mut report = WeaveReport {
+            page: page.to_string(),
+            ..WeaveReport::default()
+        };
+        let jps = join_points(page, doc);
+        report.join_points = jps.len();
+
+        // Stable order: precedence, then registration order.
+        let mut order: Vec<usize> = (0..self.aspects.len()).collect();
+        order.sort_by_key(|&i| (self.aspects[i].precedence(), i));
+
+        // Insertion bookkeeping so same-anchor insertions keep their order.
+        let mut after_counts: HashMap<NodeId, usize> = HashMap::new();
+        let mut prepend_counts: HashMap<NodeId, usize> = HashMap::new();
+        // Who replaced which element: element -> (precedence, aspect index).
+        let mut replaced_by: HashMap<NodeId, (i32, usize)> = HashMap::new();
+
+        for &ai in &order {
+            let aspect = &self.aspects[ai];
+            for (ri, rule) in aspect.rules().iter().enumerate() {
+                for jp in &jps {
+                    if !rule.pointcut.matches(jp) {
+                        continue;
+                    }
+                    let realized = rule.advice.content.realize(jp);
+                    self.apply(
+                        &mut out,
+                        jp,
+                        rule.advice.position,
+                        realized,
+                        ai,
+                        &mut after_counts,
+                        &mut prepend_counts,
+                        &mut replaced_by,
+                        page,
+                    )?;
+                    report.events.push(WeaveEvent {
+                        aspect: aspect.name().to_string(),
+                        rule_index: ri,
+                        position: rule.advice.position,
+                        element_path: jp.element_path(),
+                    });
+                }
+            }
+        }
+        Ok((out, report))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply(
+        &self,
+        out: &mut Document,
+        jp: &JoinPoint<'_>,
+        position: AdvicePosition,
+        realized: Realized,
+        aspect_index: usize,
+        after_counts: &mut HashMap<NodeId, usize>,
+        prepend_counts: &mut HashMap<NodeId, usize>,
+        replaced_by: &mut HashMap<NodeId, (i32, usize)>,
+        page: &str,
+    ) -> Result<(), WeaveError> {
+        let element = jp.element;
+        let new_nodes: Vec<NodeId> = match realized {
+            Realized::Elements(builders) => builders
+                .iter()
+                .map(|b| b.build_detached(out))
+                .collect(),
+            Realized::Text(t) => vec![out.create_detached_text(t)],
+        };
+        match position {
+            AdvicePosition::Append => {
+                for n in new_nodes {
+                    out.append_child(element, n);
+                }
+            }
+            AdvicePosition::Prepend => {
+                let base = prepend_counts.entry(element).or_insert(0);
+                for n in new_nodes {
+                    out.insert_child_at(element, *base, n);
+                    *base += 1;
+                }
+            }
+            AdvicePosition::Before => {
+                let parent = out
+                    .parent(element)
+                    .expect("join-point elements always have a parent");
+                for n in new_nodes {
+                    let idx = out
+                        .children(parent)
+                        .iter()
+                        .position(|&c| c == element)
+                        .expect("element is a child of its parent");
+                    out.insert_child_at(parent, idx, n);
+                }
+            }
+            AdvicePosition::After => {
+                let parent = out
+                    .parent(element)
+                    .expect("join-point elements always have a parent");
+                let offset = after_counts.entry(element).or_insert(0);
+                for n in new_nodes {
+                    let idx = out
+                        .children(parent)
+                        .iter()
+                        .position(|&c| c == element)
+                        .expect("element is a child of its parent");
+                    out.insert_child_at(parent, idx + 1 + *offset, n);
+                    *offset += 1;
+                }
+            }
+            AdvicePosition::ReplaceContent => {
+                let precedence = self.aspects[aspect_index].precedence();
+                if let Some(&(prev_prec, prev_idx)) = replaced_by.get(&element) {
+                    if prev_prec == precedence && prev_idx != aspect_index {
+                        return Err(WeaveError::ReplaceConflict {
+                            page: page.to_string(),
+                            aspects: (
+                                self.aspects[prev_idx].name().to_string(),
+                                self.aspects[aspect_index].name().to_string(),
+                            ),
+                        });
+                    }
+                }
+                replaced_by.insert(element, (precedence, aspect_index));
+                for c in out.children(element).to_vec() {
+                    out.detach(c);
+                }
+                // Content replacement resets sibling bookkeeping.
+                prepend_counts.remove(&element);
+                for n in new_nodes {
+                    out.append_child(element, n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Weaves every page of a site map, returning the woven site and the
+    /// per-page reports.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first page that fails to weave.
+    pub fn weave_site(
+        &self,
+        pages: &BTreeMap<String, Document>,
+    ) -> Result<(BTreeMap<String, Document>, Vec<WeaveReport>), WeaveError> {
+        let mut out = BTreeMap::new();
+        let mut reports = Vec::new();
+        for (path, doc) in pages {
+            let (woven, report) = self.weave_page(path, doc)?;
+            out.insert(path.clone(), woven);
+            reports.push(report);
+        }
+        Ok((out, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointcut::Pointcut;
+    use navsep_xml::ElementBuilder;
+
+    fn page() -> Document {
+        Document::parse("<html><body><h1>Guitar</h1><p>oil on canvas</p></body></html>").unwrap()
+    }
+
+    fn compact(doc: &Document) -> String {
+        doc.to_xml(&navsep_xml::WriteOptions::default().declaration(false))
+    }
+
+    #[test]
+    fn append_and_prepend() {
+        let w = Weaver::new().aspect(
+            Aspect::new("nav")
+                .rule(
+                    Pointcut::parse(r#"element("body")"#).unwrap(),
+                    AdvicePosition::Append,
+                    vec![ElementBuilder::new("footer").text("f")],
+                )
+                .rule(
+                    Pointcut::parse(r#"element("body")"#).unwrap(),
+                    AdvicePosition::Prepend,
+                    vec![ElementBuilder::new("header").text("h")],
+                ),
+        );
+        let (woven, report) = w.weave_page("p.html", &page()).unwrap();
+        assert_eq!(
+            compact(&woven),
+            "<html><body><header>h</header><h1>Guitar</h1><p>oil on canvas</p><footer>f</footer></body></html>"
+        );
+        assert_eq!(report.applications(), 2);
+    }
+
+    #[test]
+    fn before_and_after_preserve_declaration_order() {
+        let w = Weaver::new().aspect(
+            Aspect::new("a")
+                .rule(
+                    Pointcut::parse(r#"element("h1")"#).unwrap(),
+                    AdvicePosition::After,
+                    vec![ElementBuilder::new("x1")],
+                )
+                .rule(
+                    Pointcut::parse(r#"element("h1")"#).unwrap(),
+                    AdvicePosition::After,
+                    vec![ElementBuilder::new("x2")],
+                )
+                .rule(
+                    Pointcut::parse(r#"element("h1")"#).unwrap(),
+                    AdvicePosition::Before,
+                    vec![ElementBuilder::new("b1")],
+                )
+                .rule(
+                    Pointcut::parse(r#"element("h1")"#).unwrap(),
+                    AdvicePosition::Before,
+                    vec![ElementBuilder::new("b2")],
+                ),
+        );
+        let (woven, _) = w.weave_page("p.html", &page()).unwrap();
+        assert_eq!(
+            compact(&woven),
+            "<html><body><b1/><b2/><h1>Guitar</h1><x1/><x2/><p>oil on canvas</p></body></html>"
+        );
+    }
+
+    #[test]
+    fn precedence_orders_aspects() {
+        let late = Aspect::new("late").with_precedence(10).rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            vec![ElementBuilder::new("late")],
+        );
+        let early = Aspect::new("early").with_precedence(1).rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            vec![ElementBuilder::new("early")],
+        );
+        // Registration order is late-first, but precedence wins.
+        let w = Weaver::new().aspect(late).aspect(early);
+        let (woven, _) = w.weave_page("p.html", &page()).unwrap();
+        let xml = compact(&woven);
+        let early_pos = xml.find("<early/>").unwrap();
+        let late_pos = xml.find("<late/>").unwrap();
+        assert!(early_pos < late_pos, "{xml}");
+    }
+
+    #[test]
+    fn aspects_do_not_advise_each_other() {
+        // Aspect A inserts a <nav>; aspect B matches element("nav") — it must
+        // NOT fire, because join points come from the pristine page.
+        let a = Aspect::new("a").rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            vec![ElementBuilder::new("nav")],
+        );
+        let b = Aspect::new("b").with_precedence(5).text_rule(
+            Pointcut::parse(r#"element("nav")"#).unwrap(),
+            AdvicePosition::Append,
+            "should not appear",
+        );
+        let w = Weaver::new().aspect(a).aspect(b);
+        let (woven, report) = w.weave_page("p.html", &page()).unwrap();
+        assert!(!compact(&woven).contains("should not appear"));
+        assert_eq!(report.applications_of("b"), 0);
+    }
+
+    #[test]
+    fn replace_content() {
+        let w = Weaver::new().aspect(Aspect::new("r").rule(
+            Pointcut::parse(r#"element("p")"#).unwrap(),
+            AdvicePosition::ReplaceContent,
+            vec![ElementBuilder::new("em").text("replaced")],
+        ));
+        let (woven, _) = w.weave_page("p.html", &page()).unwrap();
+        assert!(compact(&woven).contains("<p><em>replaced</em></p>"));
+        assert!(!compact(&woven).contains("oil on canvas"));
+    }
+
+    #[test]
+    fn equal_precedence_replace_conflict_detected() {
+        let a = Aspect::new("a").rule(
+            Pointcut::parse(r#"element("p")"#).unwrap(),
+            AdvicePosition::ReplaceContent,
+            vec![],
+        );
+        let b = Aspect::new("b").rule(
+            Pointcut::parse(r#"element("p")"#).unwrap(),
+            AdvicePosition::ReplaceContent,
+            vec![],
+        );
+        let w = Weaver::new().aspect(a).aspect(b);
+        assert!(matches!(
+            w.weave_page("p.html", &page()),
+            Err(WeaveError::ReplaceConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn different_precedence_replace_resolves() {
+        let a = Aspect::new("a").with_precedence(1).rule(
+            Pointcut::parse(r#"element("p")"#).unwrap(),
+            AdvicePosition::ReplaceContent,
+            vec![ElementBuilder::new("low")],
+        );
+        let b = Aspect::new("b").with_precedence(2).rule(
+            Pointcut::parse(r#"element("p")"#).unwrap(),
+            AdvicePosition::ReplaceContent,
+            vec![ElementBuilder::new("high")],
+        );
+        let w = Weaver::new().aspect(a).aspect(b);
+        let (woven, _) = w.weave_page("p.html", &page()).unwrap();
+        let xml = compact(&woven);
+        assert!(xml.contains("<p><high/></p>"), "{xml}");
+        assert!(!xml.contains("low"));
+    }
+
+    #[test]
+    fn generated_content_varies_by_page() {
+        let nav = Aspect::new("nav").generated_rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            |jp| vec![ElementBuilder::new("span").text(format!("page={}", jp.page))],
+        );
+        let w = Weaver::new().aspect(nav);
+        let (one, _) = w.weave_page("one.html", &page()).unwrap();
+        let (two, _) = w.weave_page("two.html", &page()).unwrap();
+        assert!(compact(&one).contains("page=one.html"));
+        assert!(compact(&two).contains("page=two.html"));
+    }
+
+    #[test]
+    fn empty_weaver_is_identity() {
+        let w = Weaver::new();
+        let p = page();
+        let (woven, report) = w.weave_page("p.html", &p).unwrap();
+        assert_eq!(compact(&woven), compact(&p));
+        assert_eq!(report.applications(), 0);
+        assert_eq!(report.join_points, 4);
+    }
+
+    #[test]
+    fn empty_page_rejected() {
+        let w = Weaver::new();
+        let doc = Document::new();
+        assert!(matches!(
+            w.weave_page("e.html", &doc),
+            Err(WeaveError::EmptyPage(_))
+        ));
+    }
+
+    #[test]
+    fn weave_site_processes_all_pages() {
+        let mut site = BTreeMap::new();
+        site.insert("a.html".to_string(), page());
+        site.insert("b.html".to_string(), page());
+        let w = Weaver::new().aspect(Aspect::new("n").text_rule(
+            Pointcut::parse(r#"element("h1")"#).unwrap(),
+            AdvicePosition::Append,
+            "!",
+        ));
+        let (woven, reports) = w.weave_site(&site).unwrap();
+        assert_eq!(woven.len(), 2);
+        assert_eq!(reports.len(), 2);
+        for doc in woven.values() {
+            assert!(compact(doc).contains("<h1>Guitar!</h1>"));
+        }
+    }
+
+    #[test]
+    fn report_display() {
+        let w = Weaver::new().aspect(Aspect::new("nav").text_rule(
+            Pointcut::parse(r#"element("h1")"#).unwrap(),
+            AdvicePosition::Append,
+            "!",
+        ));
+        let (_, report) = w.weave_page("p.html", &page()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("wove p.html"));
+        assert!(text.contains("[nav#0] append at html/body/h1"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Aspects written as XML documents — the paper's §7 future work.
+//!
+//! The paper closes asking *"how aspect-oriented languages can be embedded
+//! in web pages and web applications"*. navsep's answer: the aspect language
+//! itself is an XML vocabulary, so a site can carry its cross-cutting
+//! concerns as just another separated document (`aspects.xml`):
+//!
+//! ```xml
+//! <aspects>
+//!   <aspect name="banner" precedence="5">
+//!     <rule pointcut='element("body")' position="prepend">
+//!       <div class="banner">Museum of navsep</div>
+//!     </rule>
+//!   </aspect>
+//! </aspects>
+//! ```
+//!
+//! Rule content is literal XML, grafted at the advice position; a `text`
+//! attribute may be used instead for plain-text advice.
+
+use crate::advice::AdvicePosition;
+use crate::aspect::Aspect;
+use crate::error::ParsePointcutError;
+use crate::pointcut::Pointcut;
+use navsep_xml::{Document, ElementBuilder, NodeId, NodeKind};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Failure to load an aspects document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AspectSpecError {
+    /// The document is not an `<aspects>` of `<aspect>` of `<rule>`.
+    InvalidStructure(String),
+    /// A `pointcut` attribute failed to parse.
+    Pointcut(ParsePointcutError),
+    /// A `position` attribute had an unknown value.
+    InvalidPosition(String),
+    /// A `precedence` attribute was not an integer.
+    InvalidPrecedence(String),
+}
+
+impl fmt::Display for AspectSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspectSpecError::InvalidStructure(m) => write!(f, "invalid aspects document: {m}"),
+            AspectSpecError::Pointcut(e) => write!(f, "{e}"),
+            AspectSpecError::InvalidPosition(p) => write!(f, "invalid advice position {p:?}"),
+            AspectSpecError::InvalidPrecedence(p) => write!(f, "invalid precedence {p:?}"),
+        }
+    }
+}
+
+impl StdError for AspectSpecError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AspectSpecError::Pointcut(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParsePointcutError> for AspectSpecError {
+    fn from(e: ParsePointcutError) -> Self {
+        AspectSpecError::Pointcut(e)
+    }
+}
+
+fn parse_position(text: &str) -> Result<AdvicePosition, AspectSpecError> {
+    match text {
+        "before" => Ok(AdvicePosition::Before),
+        "after" => Ok(AdvicePosition::After),
+        "prepend" => Ok(AdvicePosition::Prepend),
+        "append" => Ok(AdvicePosition::Append),
+        "replace-content" => Ok(AdvicePosition::ReplaceContent),
+        other => Err(AspectSpecError::InvalidPosition(other.to_string())),
+    }
+}
+
+/// Converts a DOM subtree back into an [`ElementBuilder`] fragment.
+fn element_to_builder(doc: &Document, el: NodeId) -> ElementBuilder {
+    let name = doc.name(el).expect("caller passes elements").clone();
+    let mut b = ElementBuilder::new(name);
+    for d in doc.namespace_decls(el) {
+        b = b.namespace(d.prefix.clone(), d.uri.clone());
+    }
+    for a in doc.attributes(el) {
+        b = b.attr(a.name().clone(), a.value().to_string());
+    }
+    for &c in doc.children(el) {
+        match doc.kind(c) {
+            NodeKind::Element { .. } => b = b.child(element_to_builder(doc, c)),
+            NodeKind::Text(t) => b = b.text(t.clone()),
+            NodeKind::Comment(t) => b = b.comment(t.clone()),
+            _ => {}
+        }
+    }
+    b
+}
+
+/// Parses an `<aspects>` document into weaver-ready [`Aspect`]s.
+///
+/// # Errors
+///
+/// Returns [`AspectSpecError`] for structural problems, bad pointcuts,
+/// positions, or precedences.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_aspect::xmlspec::parse_aspects;
+/// use navsep_xml::Document;
+///
+/// let doc = Document::parse(r#"<aspects>
+///   <aspect name="banner" precedence="5">
+///     <rule pointcut='element("body")' position="prepend">
+///       <div class="banner">hello</div>
+///     </rule>
+///   </aspect>
+/// </aspects>"#)?;
+/// let aspects = parse_aspects(&doc)?;
+/// assert_eq!(aspects.len(), 1);
+/// assert_eq!(aspects[0].name(), "banner");
+/// assert_eq!(aspects[0].precedence(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_aspects(doc: &Document) -> Result<Vec<Aspect>, AspectSpecError> {
+    let root = doc.root_element().ok_or_else(|| {
+        AspectSpecError::InvalidStructure("no root element".to_string())
+    })?;
+    if doc.name(root).map(|q| q.local()) != Some("aspects") {
+        return Err(AspectSpecError::InvalidStructure(
+            "root element must be <aspects>".to_string(),
+        ));
+    }
+    let mut out = Vec::new();
+    for aspect_el in doc.child_elements(root) {
+        if doc.name(aspect_el).map(|q| q.local()) != Some("aspect") {
+            return Err(AspectSpecError::InvalidStructure(format!(
+                "unexpected <{}> under <aspects>",
+                doc.name(aspect_el).map(|q| q.local().to_string()).unwrap_or_default()
+            )));
+        }
+        let name = doc.attribute(aspect_el, "name").ok_or_else(|| {
+            AspectSpecError::InvalidStructure("<aspect> requires a name attribute".to_string())
+        })?;
+        let mut aspect = Aspect::new(name);
+        if let Some(prec) = doc.attribute(aspect_el, "precedence") {
+            let p: i32 = prec
+                .parse()
+                .map_err(|_| AspectSpecError::InvalidPrecedence(prec.to_string()))?;
+            aspect = aspect.with_precedence(p);
+        }
+        for rule_el in doc.child_elements(aspect_el) {
+            if doc.name(rule_el).map(|q| q.local()) != Some("rule") {
+                return Err(AspectSpecError::InvalidStructure(
+                    "only <rule> elements are allowed inside <aspect>".to_string(),
+                ));
+            }
+            let pointcut_text = doc.attribute(rule_el, "pointcut").ok_or_else(|| {
+                AspectSpecError::InvalidStructure("<rule> requires a pointcut".to_string())
+            })?;
+            let pointcut = Pointcut::parse(pointcut_text)?;
+            let position = parse_position(doc.attribute(rule_el, "position").unwrap_or("append"))?;
+            if let Some(text) = doc.attribute(rule_el, "text") {
+                aspect = aspect.text_rule(pointcut, position, text.to_string());
+            } else {
+                let fragment: Vec<ElementBuilder> = doc
+                    .child_elements(rule_el)
+                    .map(|c| element_to_builder(doc, c))
+                    .collect();
+                aspect = aspect.rule(pointcut, position, fragment);
+            }
+        }
+        out.push(aspect);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weaver::Weaver;
+
+    fn weave_with(doc_text: &str, page_text: &str) -> String {
+        let aspects = parse_aspects(&Document::parse(doc_text).unwrap()).unwrap();
+        let mut weaver = Weaver::new();
+        for a in aspects {
+            weaver.add_aspect(a);
+        }
+        let page = Document::parse(page_text).unwrap();
+        let (woven, _) = weaver.weave_page("p.html", &page).unwrap();
+        woven.to_xml(&navsep_xml::WriteOptions::default().declaration(false))
+    }
+
+    #[test]
+    fn parses_and_weaves_element_content() {
+        let out = weave_with(
+            r#"<aspects>
+  <aspect name="nav">
+    <rule pointcut='element("body")' position="append">
+      <div class="navigation"><a href="next.html">Next</a></div>
+    </rule>
+  </aspect>
+</aspects>"#,
+            "<html><body><h1>x</h1></body></html>",
+        );
+        assert!(out.contains("<div class=\"navigation\"><a href=\"next.html\">Next</a></div>"));
+    }
+
+    #[test]
+    fn text_attribute_advice() {
+        let out = weave_with(
+            r#"<aspects>
+  <aspect name="note">
+    <rule pointcut='element("h1")' position="after" text=" (woven)"/>
+  </aspect>
+</aspects>"#,
+            "<html><body><h1>x</h1></body></html>",
+        );
+        assert!(out.contains("<h1>x</h1> (woven)"), "{out}");
+    }
+
+    #[test]
+    fn precedence_and_multiple_aspects() {
+        let doc = Document::parse(
+            r#"<aspects>
+  <aspect name="a" precedence="2"><rule pointcut="true" position="append" text="A"/></aspect>
+  <aspect name="b" precedence="-1"><rule pointcut="true" position="append" text="B"/></aspect>
+</aspects>"#,
+        )
+        .unwrap();
+        let aspects = parse_aspects(&doc).unwrap();
+        assert_eq!(aspects.len(), 2);
+        assert_eq!(aspects[0].precedence(), 2);
+        assert_eq!(aspects[1].precedence(), -1);
+    }
+
+    #[test]
+    fn structural_errors() {
+        let bad = |s: &str| parse_aspects(&Document::parse(s).unwrap());
+        assert!(matches!(
+            bad("<notaspects/>"),
+            Err(AspectSpecError::InvalidStructure(_))
+        ));
+        assert!(matches!(
+            bad("<aspects><aspect/></aspects>"),
+            Err(AspectSpecError::InvalidStructure(_))
+        ));
+        assert!(matches!(
+            bad(r#"<aspects><aspect name="a"><rule position="append"/></aspect></aspects>"#),
+            Err(AspectSpecError::InvalidStructure(_))
+        ));
+        assert!(matches!(
+            bad(r#"<aspects><aspect name="a"><rule pointcut="element(" position="append"/></aspect></aspects>"#),
+            Err(AspectSpecError::Pointcut(_))
+        ));
+        assert!(matches!(
+            bad(r#"<aspects><aspect name="a"><rule pointcut="true" position="sideways"/></aspect></aspects>"#),
+            Err(AspectSpecError::InvalidPosition(_))
+        ));
+        assert!(matches!(
+            bad(r#"<aspects><aspect name="a" precedence="high"/></aspects>"#),
+            Err(AspectSpecError::InvalidPrecedence(_))
+        ));
+    }
+
+    #[test]
+    fn nested_fragment_content_preserved() {
+        let doc = Document::parse(
+            r#"<aspects><aspect name="n"><rule pointcut='root()' position="append">
+                 <outer a="1"><inner b="2">text</inner><!-- c --></outer>
+               </rule></aspect></aspects>"#,
+        )
+        .unwrap();
+        let aspects = parse_aspects(&doc).unwrap();
+        let mut weaver = Weaver::new();
+        for a in aspects {
+            weaver.add_aspect(a);
+        }
+        let page = Document::parse("<page/>").unwrap();
+        let (woven, _) = weaver.weave_page("p", &page).unwrap();
+        let xml = woven.to_xml(&navsep_xml::WriteOptions::default().declaration(false));
+        assert!(xml.contains("<outer a=\"1\"><inner b=\"2\">text</inner><!-- c --></outer>"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation bench: what the aspect machinery itself costs.
+//!
+//! DESIGN.md calls out three design choices worth costing:
+//! 1. number of registered aspects (weaving is a pass per aspect rule);
+//! 2. pointcut complexity (simple element test vs boolean expression);
+//! 3. static fragments vs per-join-point generated advice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navsep_aspect::{AdvicePosition, Aspect, Pointcut, Weaver};
+use navsep_xml::{Document, ElementBuilder};
+
+fn sample_page() -> Document {
+    let mut body = ElementBuilder::new("body");
+    for i in 0..50 {
+        body = body.child(
+            ElementBuilder::new("div")
+                .attr("class", if i % 2 == 0 { "even card" } else { "odd card" })
+                .attr("id", format!("d{i}"))
+                .child(ElementBuilder::new("p").text(format!("paragraph {i}"))),
+        );
+    }
+    ElementBuilder::new("html").child(body).build_document()
+}
+
+fn simple_aspect(n: usize) -> Aspect {
+    Aspect::new(format!("a{n}")).rule(
+        Pointcut::parse(r#"element("body")"#).unwrap(),
+        AdvicePosition::Append,
+        vec![ElementBuilder::new("footer").text(format!("aspect {n}"))],
+    )
+}
+
+fn bench_aspect_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weave_by_aspect_count");
+    let page = sample_page();
+    for n in [1usize, 4, 16] {
+        let mut weaver = Weaver::new();
+        for i in 0..n {
+            weaver.add_aspect(simple_aspect(i));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &weaver, |b, weaver| {
+            b.iter(|| weaver.weave_page("p.html", &page).unwrap().1.applications())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pointcut_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weave_by_pointcut_complexity");
+    let page = sample_page();
+    let cases = [
+        ("element", r#"element("p")"#),
+        ("class", r#"class("card")"#),
+        (
+            "boolean",
+            r#"element("div") && class("even") && !attr("data-skip") && (id("d0") || class("card"))"#,
+        ),
+        ("page_glob", r#"element("div") && page("p*.html")"#),
+    ];
+    for (name, expr) in cases {
+        let weaver = Weaver::new().aspect(Aspect::new("x").text_rule(
+            Pointcut::parse(expr).unwrap(),
+            AdvicePosition::Append,
+            "!",
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &weaver, |b, weaver| {
+            b.iter(|| weaver.weave_page("p.html", &page).unwrap().1.applications())
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_generated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weave_static_vs_generated");
+    let page = sample_page();
+    let static_weaver = Weaver::new().aspect(Aspect::new("s").rule(
+        Pointcut::parse(r#"element("div")"#).unwrap(),
+        AdvicePosition::Append,
+        vec![ElementBuilder::new("span").text("static")],
+    ));
+    group.bench_function("static_fragment", |b| {
+        b.iter(|| static_weaver.weave_page("p.html", &page).unwrap().1.applications())
+    });
+    let generated_weaver = Weaver::new().aspect(Aspect::new("g").generated_rule(
+        Pointcut::parse(r#"element("div")"#).unwrap(),
+        AdvicePosition::Append,
+        |jp| vec![ElementBuilder::new("span").text(jp.element_path())],
+    ));
+    group.bench_function("generated_per_joinpoint", |b| {
+        b.iter(|| {
+            generated_weaver
+                .weave_page("p.html", &page)
+                .unwrap()
+                .1
+                .applications()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aspect_count,
+    bench_pointcut_complexity,
+    bench_static_vs_generated
+);
+criterion_main!(benches);

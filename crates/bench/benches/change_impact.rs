@@ -1,0 +1,76 @@
+//! T1 (bench form): computing the change-impact of the access-structure
+//! switch, and the underlying Myers diff, as the context grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navsep_bench::Setup;
+use navsep_core::{diff_lines, ImpactReport};
+use navsep_hypermodel::AccessStructureKind;
+use std::collections::BTreeMap;
+
+fn file_maps(n: usize) -> (BTreeMap<String, String>, BTreeMap<String, String>) {
+    let before = Setup::scaled(n, AccessStructureKind::Index).tangled();
+    let after = Setup::scaled(n, AccessStructureKind::IndexedGuidedTour).tangled();
+    (before.to_file_map(), after.to_file_map())
+}
+
+fn bench_impact_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("change_impact_tangled");
+    for n in [10usize, 100] {
+        let (before, after) = file_maps(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&before, &after),
+            |b, (before, after)| {
+                b.iter(|| ImpactReport::between(before, after).files_touched)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_impact_separated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("change_impact_separated");
+    for n in [10usize, 100] {
+        let before = Setup::scaled(n, AccessStructureKind::Index).separated().to_file_map();
+        let after = Setup::scaled(n, AccessStructureKind::IndexedGuidedTour)
+            .separated()
+            .to_file_map();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&before, &after),
+            |b, (before, after)| {
+                b.iter(|| ImpactReport::between(before, after).files_touched)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_myers_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("myers_diff_lines");
+    for n in [100usize, 1000] {
+        // Texts with a sprinkling of differences, like re-woven pages.
+        let a: String = (0..n).map(|i| format!("line {i}\n")).collect();
+        let b: String = (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    format!("changed {i}\n")
+                } else {
+                    format!("line {i}\n")
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| diff_lines(a, b).total())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_impact_report,
+    bench_impact_separated,
+    bench_myers_diff
+);
+criterion_main!(benches);

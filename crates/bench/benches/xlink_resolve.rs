@@ -1,0 +1,68 @@
+//! T4 substrate bench: linkbase loading, arc expansion, and cross-document
+//! resolution (`navsep-xlink`) as the context grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navsep_bench::Setup;
+use navsep_hypermodel::AccessStructureKind;
+use navsep_web::Site;
+use navsep_xlink::{Linkbase, Resolver};
+
+fn sources(n: usize) -> Site {
+    Setup::scaled(n, AccessStructureKind::IndexedGuidedTour).separated()
+}
+
+fn bench_linkbase_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xlink_linkbase_load");
+    for n in [10usize, 100, 300] {
+        let site = sources(n);
+        let doc = site.get("links.xml").unwrap().document().unwrap().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {
+            b.iter(|| {
+                Linkbase::from_document(doc, "links.xml")
+                    .expect("generated linkbase is valid")
+                    .extended_links()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arc_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xlink_arc_expansion");
+    for n in [10usize, 100, 300] {
+        let site = sources(n);
+        let doc = site.get("links.xml").unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, "links.xml").expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lb, |b, lb| {
+            b.iter(|| lb.traversals().expect("arcs expand").len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xlink_resolve_endpoints");
+    for n in [10usize, 100] {
+        let site = sources(n);
+        let doc = site.get("links.xml").unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, "links.xml").expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&site, &lb), |b, (site, lb)| {
+            b.iter(|| {
+                Resolver::new(*site, "links.xml")
+                    .resolve(lb)
+                    .expect("all endpoints resolve")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linkbase_load,
+    bench_arc_expansion,
+    bench_full_resolution
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! T4 substrate bench: XML parse and serialize throughput
+//! (`navsep-xml`), over documents shaped like navsep's data files and pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use navsep_bench::Setup;
+use navsep_hypermodel::AccessStructureKind;
+use navsep_xml::Document;
+
+fn corpus(n: usize) -> Vec<String> {
+    let site = Setup::scaled(n, AccessStructureKind::IndexedGuidedTour).tangled();
+    site.iter()
+        .filter_map(|(_, r)| r.document().map(|d| d.to_xml_string()))
+        .collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    for n in [10usize, 100] {
+        let texts = corpus(n);
+        let bytes: usize = texts.iter().map(String::len).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::new("pages", n), &texts, |b, texts| {
+            b.iter(|| {
+                let mut nodes = 0usize;
+                for t in texts {
+                    let doc = Document::parse(t).expect("corpus is well-formed");
+                    nodes += doc.len();
+                }
+                nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_serialize");
+    for n in [10usize, 100] {
+        let docs: Vec<Document> = corpus(n)
+            .iter()
+            .map(|t| Document::parse(t).expect("well-formed"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pages", n), &docs, |b, docs| {
+            b.iter(|| {
+                docs.iter()
+                    .map(|d| d.to_xml_string().len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_serialize);
+criterion_main!(benches);

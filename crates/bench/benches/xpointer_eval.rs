@@ -1,0 +1,60 @@
+//! T4 substrate bench: XPointer evaluation cost for the three pointer forms
+//! the linkbases use (shorthand ID, `element()`, `xpointer()` paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navsep_xml::{Document, ElementBuilder};
+use navsep_xpointer::{evaluate, parse};
+
+/// A painter document with `n` paintings.
+fn painter_doc(n: usize) -> Document {
+    let mut painter = ElementBuilder::new("painter").attr("id", "p0");
+    for i in 0..n {
+        painter = painter.child(
+            ElementBuilder::new("painting")
+                .attr("id", format!("painting-{i}"))
+                .attr("title", format!("Painting {i}"))
+                .attr("year", format!("{}", 1880 + i % 60)),
+        );
+    }
+    painter.build_document()
+}
+
+fn bench_pointers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xpointer_eval");
+    for n in [10usize, 100, 1000] {
+        let doc = painter_doc(n);
+        let mid = n / 2;
+        let pointers = [
+            ("shorthand", format!("painting-{mid}")),
+            ("element_scheme", format!("element(/1/{})", mid + 1)),
+            (
+                "xpointer_attr",
+                format!("xpointer(//painting[@id='painting-{mid}'])"),
+            ),
+            ("xpointer_pos", format!("xpointer(/painter/painting[{}])", mid + 1)),
+        ];
+        for (name, text) in &pointers {
+            let parsed = parse(text).expect("pointer parses");
+            group.bench_with_input(
+                BenchmarkId::new(*name, n),
+                &(&doc, &parsed),
+                |b, (doc, ptr)| {
+                    b.iter(|| evaluate(doc, ptr).expect("pointer resolves").len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parse_only(c: &mut Criterion) {
+    c.bench_function("xpointer_parse", |b| {
+        b.iter(|| {
+            parse("xpointer(/museum/painter[2]/painting[@id='guitar']/@title)")
+                .expect("parses")
+        })
+    });
+}
+
+criterion_group!(benches, bench_pointers, bench_parse_only);
+criterion_main!(benches);

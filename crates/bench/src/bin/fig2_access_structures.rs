@@ -1,0 +1,51 @@
+//! Figure 2 regenerator: the Index (2a) and Indexed Guided Tour (2b) access
+//! structures for the paper's Picasso context, printed as link tables.
+
+use navsep_bench::{banner, print_table};
+use navsep_hypermodel::{AccessGraph, AccessStructureKind, Member};
+
+fn graph_rows(graph: &AccessGraph) -> Vec<Vec<String>> {
+    graph
+        .links()
+        .iter()
+        .map(|l| {
+            vec![
+                l.kind.to_string(),
+                l.from.to_string(),
+                l.to.to_string(),
+                l.label.clone(),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let members = [
+        Member::new("guitar", "Guitar"),
+        Member::new("guernica", "Guernica"),
+        Member::new("avignon", "Les Demoiselles d'Avignon"),
+    ];
+
+    banner("Figure 2(a) — Index access structure (paper requirement v1)");
+    let index = AccessGraph::build(AccessStructureKind::Index, &members);
+    print_table(&["kind", "from", "to", "label"], &graph_rows(&index));
+    println!("\n{} links total", index.len());
+
+    banner("Figure 2(b) — Indexed Guided Tour (after the customer's change)");
+    let igt = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &members);
+    print_table(&["kind", "from", "to", "label"], &graph_rows(&igt));
+    println!("\n{} links total", igt.len());
+
+    banner("Delta 2(a) → 2(b)");
+    let added: Vec<Vec<String>> = igt
+        .links()
+        .iter()
+        .filter(|l| !index.links().contains(l))
+        .map(|l| vec![l.kind.to_string(), l.from.to_string(), l.to.to_string()])
+        .collect();
+    print_table(&["added kind", "from", "to"], &added);
+    println!(
+        "\nThe change adds {} links: the next/previous chain plus the tour entry.",
+        added.len()
+    );
+}

@@ -1,0 +1,53 @@
+//! Figures 3 and 4 regenerator: the *Guitar* node page under the Index
+//! access structure (Fig. 3) and under the Indexed Guided Tour (Fig. 4),
+//! with the added lines marked — plus the paper's observation that every
+//! node page of the context changes.
+
+use navsep_bench::{banner, print_table, Setup};
+use navsep_core::diff_lines;
+use navsep_core::museum::PICASSO_CONTEXT;
+use navsep_hypermodel::AccessStructureKind;
+
+fn page_text(site: &navsep_web::Site, path: &str) -> String {
+    site.get(path)
+        .and_then(|r| r.document().map(|d| d.to_pretty_xml()))
+        .unwrap_or_default()
+}
+
+fn main() {
+    let index_site = Setup::paper(AccessStructureKind::Index).tangled();
+    let igt_site = Setup::paper(AccessStructureKind::IndexedGuidedTour).tangled();
+
+    banner("Figure 3 — guitar.html implemented with the Index access structure");
+    let fig3 = page_text(&index_site, "guitar.html");
+    println!("{fig3}");
+
+    banner("Figure 4 — the same node with the Indexed Guided Tour");
+    let fig4 = page_text(&igt_site, "guitar.html");
+    // Mark the added lines the way the paper bolds them.
+    let fig3_lines: Vec<&str> = fig3.lines().collect();
+    for line in fig4.lines() {
+        if fig3_lines.contains(&line) {
+            println!("  {line}");
+        } else {
+            println!("+ {line}");
+        }
+    }
+
+    banner("The paper's point: every node of the context changes");
+    let mut rows = Vec::new();
+    for slug in PICASSO_CONTEXT {
+        let path = format!("{slug}.html");
+        let stats = diff_lines(&page_text(&index_site, &path), &page_text(&igt_site, &path));
+        rows.push(vec![
+            path,
+            format!("+{}", stats.added),
+            format!("-{}", stats.removed),
+        ]);
+    }
+    print_table(&["page", "lines added", "lines removed"], &rows);
+    println!(
+        "\n\"Although they seem only two lines of HTML code … this isn't the only\n\
+         page we have to modify. We have to change all the nodes of the context.\""
+    );
+}

@@ -1,0 +1,141 @@
+//! # navsep-bench — the experiment harness
+//!
+//! Regenerates **every figure of the paper** and the quantitative tables
+//! navsep defines to substantiate its qualitative claims (see `DESIGN.md`
+//! §4 and `EXPERIMENTS.md` at the workspace root).
+//!
+//! Figure regenerators are binaries (`cargo run -p navsep-bench --bin …`):
+//!
+//! | bin | paper artifact |
+//! |-----|----------------|
+//! | `fig1_weaver_pipeline` | Fig. 1 — AOP mechanisms |
+//! | `fig2_access_structures` | Fig. 2 — Index / Indexed Guided Tour |
+//! | `fig3_fig4_tangled_pages` | Figs. 3–4 — the Guitar node, tangled |
+//! | `fig5_class_model` | Fig. 5 — implementation classes |
+//! | `fig6_weave_equivalence` | Fig. 6 — separation + weaving |
+//! | `fig7_9_separated_files` | Figs. 7–9 — `picasso.xml`, `avignon.xml`, `links.xml` |
+//! | `t1_change_impact` | Table T1 — cost of the access-structure switch |
+//! | `t3_context_navigation` | Table T3 — context-dependent "Next" |
+//!
+//! Criterion benches (`cargo bench -p navsep-bench`) cover T2 (weaving
+//! throughput) and T4 (substrate costs).
+
+use navsep_core::museum::{generated_museum, museum_navigation, paper_museum};
+use navsep_core::spec::paper_spec;
+use navsep_core::{separated_sources, tangled_site, SiteSpec};
+use navsep_hypermodel::{AccessStructureKind, InstanceStore, NavigationalSchema};
+use navsep_web::Site;
+
+/// A ready-made experimental setup: a museum plus its spec.
+#[derive(Debug)]
+pub struct Setup {
+    /// The instance store.
+    pub store: InstanceStore,
+    /// The navigational schema.
+    pub nav: NavigationalSchema,
+    /// The site spec.
+    pub spec: SiteSpec,
+}
+
+impl Setup {
+    /// The paper's exact corpus under the given access structure.
+    pub fn paper(access: AccessStructureKind) -> Self {
+        Setup {
+            store: paper_museum(),
+            nav: museum_navigation(),
+            spec: paper_spec(access),
+        }
+    }
+
+    /// A scaled corpus: one painter with `n` paintings (one context of size
+    /// `n`, matching the paper's single-context scenario).
+    pub fn scaled(n: usize, access: AccessStructureKind) -> Self {
+        Setup {
+            store: generated_museum(1, n, 2, 0xC0FFEE),
+            nav: museum_navigation(),
+            spec: paper_spec(access),
+        }
+    }
+
+    /// A wide corpus: `painters` contexts of `per` members each.
+    pub fn wide(painters: usize, per: usize, access: AccessStructureKind) -> Self {
+        Setup {
+            store: generated_museum(painters, per, 3, 0xC0FFEE),
+            nav: museum_navigation(),
+            spec: paper_spec(access),
+        }
+    }
+
+    /// The tangled site for this setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on derivation failure (setups are schema-valid by
+    /// construction).
+    pub fn tangled(&self) -> Site {
+        tangled_site(&self.store, &self.nav, &self.spec).expect("setup is schema-valid")
+    }
+
+    /// The separated authoring for this setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on derivation failure.
+    pub fn separated(&self) -> Site {
+        separated_sources(&self.store, &self.nav, &self.spec).expect("setup is schema-valid")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_build() {
+        let p = Setup::paper(AccessStructureKind::Index);
+        assert_eq!(p.tangled().len(), 7);
+        let s = Setup::scaled(5, AccessStructureKind::IndexedGuidedTour);
+        // 5 paintings + 1 painter + css.
+        assert_eq!(s.tangled().len(), 7);
+        assert!(s.separated().len() >= 8); // data + links + transform + css
+    }
+
+    #[test]
+    fn wide_setup_scales_pages() {
+        let s = Setup::wide(3, 4, AccessStructureKind::Index);
+        // 12 paintings + 3 painters + css.
+        assert_eq!(s.tangled().len(), 16);
+    }
+}

@@ -1,0 +1,388 @@
+//! Site auditing: the health checks a woven (or tangled) site should pass.
+//!
+//! The separated discipline makes whole-site properties checkable *before*
+//! deployment: every navigation anchor must resolve, every page should be
+//! reachable from an entry point, and every referenced asset must exist.
+//! This module is what a downstream adopter runs in CI after re-weaving.
+
+use navsep_web::{Resource, Site};
+use navsep_xlink::Href;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// One problem found by the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AuditFinding {
+    /// An anchor points at a path the site does not serve.
+    BrokenLink {
+        /// Page carrying the anchor.
+        page: String,
+        /// The href as written.
+        href: String,
+        /// The resolved target that is missing.
+        target: String,
+    },
+    /// A page no entry point can reach by following links.
+    OrphanPage {
+        /// The unreachable page.
+        page: String,
+    },
+    /// A `<link rel="stylesheet">` whose target is missing.
+    MissingAsset {
+        /// Page referencing the asset.
+        page: String,
+        /// The missing asset path.
+        asset: String,
+    },
+    /// An anchor carries a `data-context` but no other page ever links into
+    /// that context (suggesting a stale linkbase).
+    UnenterableContext {
+        /// The context name.
+        context: String,
+    },
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditFinding::BrokenLink { page, href, target } => {
+                write!(f, "{page}: broken link {href:?} (resolved to {target:?})")
+            }
+            AuditFinding::OrphanPage { page } => write!(f, "{page}: unreachable from any root"),
+            AuditFinding::MissingAsset { page, asset } => {
+                write!(f, "{page}: missing asset {asset:?}")
+            }
+            AuditFinding::UnenterableContext { context } => {
+                write!(f, "context {context:?} is never entered from outside")
+            }
+        }
+    }
+}
+
+/// The audit result.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// All findings, grouped by kind then page.
+    pub findings: Vec<AuditFinding>,
+    /// Pages examined.
+    pub pages_checked: usize,
+    /// Anchors examined.
+    pub links_checked: usize,
+}
+
+impl AuditReport {
+    /// `true` when the site passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one kind.
+    pub fn broken_links(&self) -> impl Iterator<Item = &AuditFinding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f, AuditFinding::BrokenLink { .. }))
+    }
+
+    /// Orphan findings.
+    pub fn orphans(&self) -> impl Iterator<Item = &AuditFinding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f, AuditFinding::OrphanPage { .. }))
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audited {} pages, {} links: {}",
+            self.pages_checked,
+            self.links_checked,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", self.findings.len())
+            }
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+fn is_external(href: &str) -> bool {
+    href.starts_with("http://") || href.starts_with("https://") || href.starts_with("mailto:")
+}
+
+fn resolve(href: &str, page: &str) -> Option<String> {
+    if is_external(href) {
+        return None;
+    }
+    match href.parse::<Href>() {
+        Ok(h) => {
+            let resolved = h.resolve_against(page);
+            if resolved.is_same_document() {
+                None // fragment-only: always fine
+            } else {
+                Some(resolved.document().trim_start_matches('/').to_string())
+            }
+        }
+        Err(_) => Some(href.to_string()),
+    }
+}
+
+/// Audits `site`, treating `roots` as the entry points for reachability.
+///
+/// Checks performed:
+/// 1. every `<a href>` resolves to a served resource;
+/// 2. every `<link href>` asset exists;
+/// 3. every page is reachable from some root by following anchors;
+/// 4. every `data-context` named on an anchor is entered from at least one
+///    *other* page (index pages feed contexts; a context no index feeds is
+///    stale).
+pub fn audit_site(site: &Site, roots: &[&str]) -> AuditReport {
+    let mut report = AuditReport::default();
+    // page -> outgoing (href, resolved target, context) triples.
+    type OutgoingLink = (String, Option<String>, Option<String>);
+    let mut outgoing: BTreeMap<String, Vec<OutgoingLink>> = BTreeMap::new();
+
+    for (path, res) in site.iter() {
+        let Resource::Document { doc, .. } = res else {
+            continue;
+        };
+        report.pages_checked += 1;
+        let mut links = Vec::new();
+        for node in doc.descendants(doc.document_node()) {
+            let Some(name) = doc.name(node) else { continue };
+            match name.local() {
+                "a" => {
+                    if let Some(href) = doc.attribute(node, "href") {
+                        report.links_checked += 1;
+                        let target = resolve(href, path);
+                        let context = doc.attribute(node, "data-context").map(str::to_string);
+                        if let Some(t) = &target {
+                            if site.get(t).is_none() {
+                                report.findings.push(AuditFinding::BrokenLink {
+                                    page: path.to_string(),
+                                    href: href.to_string(),
+                                    target: t.clone(),
+                                });
+                            }
+                        }
+                        links.push((href.to_string(), target, context));
+                    }
+                }
+                "link" => {
+                    if let Some(href) = doc.attribute(node, "href") {
+                        if let Some(t) = resolve(href, path) {
+                            if site.get(&t).is_none() {
+                                report.findings.push(AuditFinding::MissingAsset {
+                                    page: path.to_string(),
+                                    asset: t,
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        outgoing.insert(path.to_string(), links);
+    }
+
+    // Reachability from the roots over resolved anchor targets.
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<String> = roots
+        .iter()
+        .map(|r| r.trim_start_matches('/').to_string())
+        .collect();
+    while let Some(page) = queue.pop_front() {
+        if !reachable.insert(page.clone()) {
+            continue;
+        }
+        if let Some(links) = outgoing.get(&page) {
+            for (_, target, _) in links {
+                if let Some(t) = target {
+                    if site.get(t).is_some() && !reachable.contains(t) {
+                        queue.push_back(t.clone());
+                    }
+                }
+            }
+        }
+    }
+    for page in outgoing.keys() {
+        if !reachable.contains(page) {
+            report.findings.push(AuditFinding::OrphanPage {
+                page: page.clone(),
+            });
+        }
+    }
+
+    // Context enterability: a context is "entered" when a page outside it
+    // (an index page or another context) links into it with data-context.
+    let mut context_pages: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut entered: BTreeSet<String> = BTreeSet::new();
+    for (page, links) in &outgoing {
+        for (_, target, context) in links {
+            if let (Some(ctx), Some(_t)) = (context, target) {
+                context_pages
+                    .entry(ctx.clone())
+                    .or_default()
+                    .insert(page.clone());
+            }
+        }
+    }
+    for (page, links) in &outgoing {
+        for (_, _, context) in links {
+            if let Some(ctx) = context {
+                // Entered when the linking page itself carries no anchors of
+                // this context pointing *at* it — approximated: the page that
+                // lists the context's members (the index) links in.
+                let members = context_pages.get(ctx);
+                if members.map(|m| m.len() > 1).unwrap_or(false)
+                    || members.map(|m| !m.contains(page)).unwrap_or(false)
+                {
+                    entered.insert(ctx.clone());
+                }
+            }
+        }
+    }
+    for ctx in context_pages.keys() {
+        if !entered.contains(ctx) {
+            report.findings.push(AuditFinding::UnenterableContext {
+                context: ctx.clone(),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::pipeline::weave_separated;
+    use crate::separated::separated_sources;
+    use crate::spec::{contextual_spec, paper_spec};
+    use crate::tangled::tangled_site;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_xml::Document;
+
+    #[test]
+    fn woven_museum_is_clean() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        for spec in [
+            paper_spec(AccessStructureKind::Index),
+            paper_spec(AccessStructureKind::IndexedGuidedTour),
+            contextual_spec(AccessStructureKind::IndexedGuidedTour),
+        ] {
+            let woven = weave_separated(&separated_sources(&store, &nav, &spec).unwrap()).unwrap();
+            // Roots: every group (index) page.
+            let roots: Vec<String> = store
+                .objects()
+                .iter()
+                .filter(|o| o.class() != "Painting")
+                .map(|o| format!("{}.html", o.id()))
+                .filter(|p| woven.site.get(p).is_some())
+                .collect();
+            let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+            let report = audit_site(&woven.site, &root_refs);
+            assert!(report.is_clean(), "{spec:?}:\n{report}");
+            assert!(report.links_checked > 0);
+        }
+    }
+
+    #[test]
+    fn tangled_museum_is_clean_too() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let site =
+            tangled_site(&store, &nav, &paper_spec(AccessStructureKind::IndexedGuidedTour))
+                .unwrap();
+        let report = audit_site(&site, &["picasso.html", "braque.html"]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn broken_link_detected() {
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body><a href="ghost.html">go</a></body></html>"#).unwrap(),
+        );
+        let report = audit_site(&site, &["a.html"]);
+        assert_eq!(report.broken_links().count(), 1);
+        assert!(report.to_string().contains("ghost.html"));
+    }
+
+    #[test]
+    fn orphan_detected() {
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse("<html><body>no links</body></html>").unwrap(),
+        );
+        site.put_page(
+            "island.html",
+            Document::parse("<html><body>isolated</body></html>").unwrap(),
+        );
+        let report = audit_site(&site, &["a.html"]);
+        assert_eq!(report.orphans().count(), 1);
+        assert!(matches!(
+            report.orphans().next().unwrap(),
+            AuditFinding::OrphanPage { page } if page == "island.html"
+        ));
+    }
+
+    #[test]
+    fn missing_stylesheet_detected() {
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(
+                r#"<html><head><link rel="stylesheet" href="missing.css"/></head><body/></html>"#,
+            )
+            .unwrap(),
+        );
+        let report = audit_site(&site, &["a.html"]);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::MissingAsset { asset, .. } if asset == "missing.css")));
+    }
+
+    #[test]
+    fn external_and_fragment_links_ignored() {
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(
+                r##"<html><body>
+  <a href="https://example.org/x">ext</a>
+  <a href="#section">frag</a>
+</body></html>"##,
+            )
+            .unwrap(),
+        );
+        let report = audit_site(&site, &["a.html"]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn deliberately_corrupted_woven_site_fails_audit() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let woven = weave_separated(
+            &separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap(),
+        )
+        .unwrap();
+        let mut site = woven.site;
+        site.remove("guernica.html"); // break the index entry + chain
+        let report = audit_site(&site, &["picasso.html", "braque.html"]);
+        assert!(!report.is_clean());
+        assert!(report.broken_links().count() >= 1);
+    }
+}

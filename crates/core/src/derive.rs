@@ -1,0 +1,203 @@
+//! Shared derivation: from (instance store, navigational schema, site spec)
+//! to the contexts, nodes, and page inventory both pipelines render.
+
+use crate::error::CoreError;
+use crate::spec::{FamilySpec, SiteSpec};
+use navsep_hypermodel::{ContextFamily, InstanceStore, NavNode, NavigationalSchema};
+use std::collections::BTreeMap;
+
+/// A page-producing node plus the rendering metadata both pipelines need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedNode {
+    /// The underlying navigation node (slug, title, attributes).
+    pub node: NavNode,
+    /// Which attribute supplied the title (excluded from the facts list).
+    pub title_attribute: String,
+    /// The `<body class>` of the page (`painting` for members, `index` for
+    /// group pages).
+    pub body_class: String,
+    /// Lowercased conceptual class name — the data document's element name.
+    pub element_name: String,
+}
+
+impl DerivedNode {
+    /// The facts shown on the page: `(Label, value)` pairs for every shown
+    /// attribute except the title attribute, in declaration order.
+    pub fn facts(&self) -> Vec<(String, String)> {
+        self.node
+            .attributes
+            .iter()
+            .filter(|(name, _)| *name != self.title_attribute)
+            .map(|(name, value)| (capitalize(name), value.clone()))
+            .collect()
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Everything derived from the model for one site: families with their
+/// contexts, plus the page inventory.
+#[derive(Debug, Clone)]
+pub struct DerivedSite {
+    /// `(spec, derived contexts)` per family, in spec order.
+    pub families: Vec<(FamilySpec, ContextFamily)>,
+    /// Group pages (painters, movements), keyed by slug.
+    pub group_nodes: BTreeMap<String, DerivedNode>,
+    /// Member pages (paintings), keyed by slug.
+    pub member_nodes: BTreeMap<String, DerivedNode>,
+}
+
+impl DerivedSite {
+    /// The group slug a context belongs to (`by-painter:picasso → picasso`).
+    pub fn group_slug_of_context(context_name: &str) -> &str {
+        context_name
+            .split_once(':')
+            .map(|(_, g)| g)
+            .unwrap_or(context_name)
+    }
+
+    /// Total page count (groups + members).
+    pub fn page_count(&self) -> usize {
+        self.group_nodes.len() + self.member_nodes.len()
+    }
+}
+
+/// Runs the derivation.
+///
+/// # Errors
+///
+/// Propagates schema violations ([`CoreError::Model`]) and rejects node
+/// classes missing from the navigational schema.
+pub fn derive_site(
+    store: &InstanceStore,
+    nav: &NavigationalSchema,
+    spec: &SiteSpec,
+) -> Result<DerivedSite, CoreError> {
+    let mut families = Vec::new();
+    let mut group_nodes = BTreeMap::new();
+    let mut member_nodes = BTreeMap::new();
+
+    for fspec in &spec.families {
+        let family = ContextFamily::group_by(
+            &fspec.name,
+            store,
+            nav,
+            &fspec.group_class,
+            &fspec.group_title_attribute,
+            &fspec.relationship,
+            &fspec.member_node_class,
+            fspec.access,
+        )?;
+        // Group pages.
+        let group_nc = nav.node_class_named(&fspec.group_node_class).ok_or_else(|| {
+            CoreError::Pipeline(format!(
+                "group node class {:?} is not in the navigational schema",
+                fspec.group_node_class
+            ))
+        })?;
+        for node in nav.derive_nodes(&fspec.group_node_class, store)? {
+            group_nodes.entry(node.slug.clone()).or_insert(DerivedNode {
+                title_attribute: group_nc.title_attribute.clone(),
+                body_class: "index".to_string(),
+                element_name: group_nc.from_class.to_lowercase(),
+                node,
+            });
+        }
+        // Member pages.
+        let member_nc = nav.node_class_named(&fspec.member_node_class).ok_or_else(|| {
+            CoreError::Pipeline(format!(
+                "member node class {:?} is not in the navigational schema",
+                fspec.member_node_class
+            ))
+        })?;
+        for node in nav.derive_nodes(&fspec.member_node_class, store)? {
+            member_nodes.entry(node.slug.clone()).or_insert(DerivedNode {
+                title_attribute: member_nc.title_attribute.clone(),
+                body_class: member_nc.from_class.to_lowercase(),
+                element_name: member_nc.from_class.to_lowercase(),
+                node,
+            });
+        }
+        families.push((fspec.clone(), family));
+    }
+    Ok(DerivedSite {
+        families,
+        group_nodes,
+        member_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::spec::{contextual_spec, paper_spec};
+    use navsep_hypermodel::AccessStructureKind;
+
+    #[test]
+    fn paper_derivation_inventory() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let d = derive_site(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+        assert_eq!(d.group_nodes.len(), 2); // picasso, braque
+        assert_eq!(d.member_nodes.len(), 4); // all paintings
+        assert_eq!(d.page_count(), 6);
+        assert_eq!(d.families.len(), 1);
+    }
+
+    #[test]
+    fn contextual_derivation_adds_movement_groups() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let d = derive_site(&store, &nav, &contextual_spec(AccessStructureKind::Index)).unwrap();
+        assert_eq!(d.group_nodes.len(), 4); // 2 painters + 2 movements
+        assert!(d.group_nodes.contains_key("cubism"));
+    }
+
+    #[test]
+    fn facts_exclude_title_and_capitalize() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let d = derive_site(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+        let guitar = &d.member_nodes["guitar"];
+        assert_eq!(
+            guitar.facts(),
+            vec![
+                ("Year".to_string(), "1913".to_string()),
+                ("Technique".to_string(), "papier colle".to_string()),
+            ]
+        );
+        assert_eq!(guitar.body_class, "painting");
+        assert_eq!(guitar.element_name, "painting");
+        let picasso = &d.group_nodes["picasso"];
+        assert_eq!(picasso.body_class, "index");
+        assert_eq!(picasso.facts(), vec![("Born".to_string(), "1881".to_string())]);
+    }
+
+    #[test]
+    fn group_slug_parsing() {
+        assert_eq!(
+            DerivedSite::group_slug_of_context("by-painter:picasso"),
+            "picasso"
+        );
+        assert_eq!(DerivedSite::group_slug_of_context("plain"), "plain");
+    }
+
+    #[test]
+    fn unknown_group_node_class_rejected() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let mut spec = paper_spec(AccessStructureKind::Index);
+        spec.families[0].group_node_class = "GhostNode".into();
+        assert!(matches!(
+            derive_site(&store, &nav, &spec),
+            Err(CoreError::Pipeline(_))
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! DOM equivalence: proving the woven site equals the tangled site.
+//!
+//! Experiment F6's check. Two documents are *equivalent* when their
+//! normalized trees agree: element names and attributes (order-insensitive),
+//! and text content with whitespace collapsed; comments and processing
+//! instructions are presentation-irrelevant and ignored.
+
+use navsep_web::{Resource, Site};
+use navsep_xml::{Document, NodeId, NodeKind};
+
+/// A normalized tree node used for comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Norm {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Norm>,
+    },
+    Text(String),
+}
+
+fn normalize(doc: &Document, id: NodeId) -> Option<Norm> {
+    match doc.kind(id) {
+        NodeKind::Element { name, attributes, .. } => {
+            let mut attrs: Vec<(String, String)> = attributes
+                .iter()
+                .map(|a| (a.name().as_markup(), a.value().to_string()))
+                .collect();
+            attrs.sort();
+            let mut children = Vec::new();
+            let mut text_run = String::new();
+            for &c in doc.children(id) {
+                match doc.kind(c) {
+                    NodeKind::Text(t) => {
+                        text_run.push_str(t);
+                    }
+                    _ => {
+                        flush_text(&mut text_run, &mut children);
+                        if let Some(n) = normalize(doc, c) {
+                            children.push(n);
+                        }
+                    }
+                }
+            }
+            flush_text(&mut text_run, &mut children);
+            Some(Norm::Element {
+                name: name.as_markup(),
+                attrs,
+                children,
+            })
+        }
+        NodeKind::Text(t) => {
+            let collapsed = collapse(t);
+            if collapsed.is_empty() {
+                None
+            } else {
+                Some(Norm::Text(collapsed))
+            }
+        }
+        _ => None,
+    }
+}
+
+fn flush_text(run: &mut String, children: &mut Vec<Norm>) {
+    let collapsed = collapse(run);
+    if !collapsed.is_empty() {
+        children.push(Norm::Text(collapsed));
+    }
+    run.clear();
+}
+
+fn collapse(t: &str) -> String {
+    t.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Whether two documents are DOM-equivalent under navsep's normalization.
+pub fn dom_equivalent(a: &Document, b: &Document) -> bool {
+    explain_difference(a, b).is_none()
+}
+
+/// Returns a description of the first difference, or `None` when equivalent.
+pub fn explain_difference(a: &Document, b: &Document) -> Option<String> {
+    let na = a.root_element().and_then(|r| normalize(a, r));
+    let nb = b.root_element().and_then(|r| normalize(b, r));
+    match (na, nb) {
+        (None, None) => None,
+        (Some(_), None) => Some("second document has no root element".to_string()),
+        (None, Some(_)) => Some("first document has no root element".to_string()),
+        (Some(na), Some(nb)) => diff_norm(&na, &nb, "root"),
+    }
+}
+
+fn diff_norm(a: &Norm, b: &Norm, path: &str) -> Option<String> {
+    match (a, b) {
+        (Norm::Text(ta), Norm::Text(tb)) => {
+            if ta != tb {
+                Some(format!("text differs at {path}: {ta:?} vs {tb:?}"))
+            } else {
+                None
+            }
+        }
+        (
+            Norm::Element {
+                name: an,
+                attrs: aa,
+                children: ac,
+            },
+            Norm::Element {
+                name: bn,
+                attrs: ba,
+                children: bc,
+            },
+        ) => {
+            if an != bn {
+                return Some(format!("element name differs at {path}: {an} vs {bn}"));
+            }
+            if aa != ba {
+                return Some(format!("attributes differ at {path}/{an}: {aa:?} vs {ba:?}"));
+            }
+            if ac.len() != bc.len() {
+                return Some(format!(
+                    "child count differs at {path}/{an}: {} vs {}",
+                    ac.len(),
+                    bc.len()
+                ));
+            }
+            for (i, (ca, cb)) in ac.iter().zip(bc).enumerate() {
+                if let Some(d) = diff_norm(ca, cb, &format!("{path}/{an}[{i}]")) {
+                    return Some(d);
+                }
+            }
+            None
+        }
+        _ => Some(format!("node kind differs at {path}")),
+    }
+}
+
+/// Compares two sites: the same paths must exist, documents must be
+/// DOM-equivalent, and raw resources byte-identical.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first mismatch.
+pub fn assert_site_equivalent(a: &Site, b: &Site) -> Result<(), String> {
+    let a_paths: Vec<&str> = a.paths().collect();
+    let b_paths: Vec<&str> = b.paths().collect();
+    if a_paths != b_paths {
+        return Err(format!(
+            "path sets differ: {a_paths:?} vs {b_paths:?}"
+        ));
+    }
+    for (path, res_a) in a.iter() {
+        let res_b = b.get(path).expect("paths already compared");
+        match (res_a, res_b) {
+            (Resource::Document { doc: da, .. }, Resource::Document { doc: db, .. }) => {
+                if let Some(diff) = explain_difference(da, db) {
+                    return Err(format!("{path}: {diff}"));
+                }
+            }
+            (Resource::Raw { .. }, Resource::Raw { .. }) => {
+                if res_a.to_bytes() != res_b.to_bytes() {
+                    return Err(format!("{path}: raw bytes differ"));
+                }
+            }
+            _ => return Err(format!("{path}: resource kinds differ")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Document {
+        Document::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_are_equivalent() {
+        let a = d("<a k=\"1\"><b>t</b></a>");
+        assert!(dom_equivalent(&a, &a.clone()));
+    }
+
+    #[test]
+    fn attribute_order_is_irrelevant() {
+        let a = d("<a x=\"1\" y=\"2\"/>");
+        let b = d("<a y=\"2\" x=\"1\"/>");
+        assert!(dom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn whitespace_is_collapsed() {
+        let a = d("<a>\n  <b>hello   world</b>\n</a>");
+        let b = d("<a><b>hello world</b></a>");
+        assert!(dom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn adjacent_text_runs_merge() {
+        // A transform may emit "Guitar" as two text nodes.
+        let mut a = Document::new();
+        let root = a.create_element(a.document_node(), "t");
+        a.create_text(root, "Gui");
+        a.create_text(root, "tar");
+        let b = d("<t>Guitar</t>");
+        assert!(dom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let a = d("<a><!-- hi --><b/></a>");
+        let b = d("<a><b/></a>");
+        assert!(dom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn real_differences_detected() {
+        assert!(explain_difference(&d("<a/>"), &d("<b/>"))
+            .unwrap()
+            .contains("element name"));
+        assert!(explain_difference(&d("<a k=\"1\"/>"), &d("<a k=\"2\"/>"))
+            .unwrap()
+            .contains("attributes"));
+        assert!(explain_difference(&d("<a><b/></a>"), &d("<a><b/><c/></a>"))
+            .unwrap()
+            .contains("child count"));
+        assert!(explain_difference(&d("<a>x</a>"), &d("<a>y</a>"))
+            .unwrap()
+            .contains("text"));
+    }
+
+    #[test]
+    fn site_equivalence() {
+        let mut a = Site::new();
+        a.put_page("p.html", d("<html><body>hi</body></html>"));
+        a.put_css("s.css", "a{}");
+        let mut b = Site::new();
+        b.put_page("p.html", d("<html><body>\n  hi\n</body></html>"));
+        b.put_css("s.css", "a{}");
+        assert!(assert_site_equivalent(&a, &b).is_ok());
+        // Different CSS bytes break it.
+        b.put_css("s.css", "b{}");
+        assert!(assert_site_equivalent(&a, &b).is_err());
+        // Missing page breaks it.
+        b.put_css("s.css", "a{}");
+        b.put_page("extra.html", d("<html/>"));
+        assert!(assert_site_equivalent(&a, &b)
+            .unwrap_err()
+            .contains("path sets"));
+    }
+}

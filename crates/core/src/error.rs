@@ -1,0 +1,99 @@
+//! The unified error type of the navsep pipelines.
+
+use navsep_aspect::WeaveError;
+use navsep_hypermodel::ModelError;
+use navsep_style::TemplateError;
+use navsep_xlink::XLinkError;
+use navsep_xml::ParseXmlError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Anything that can go wrong while generating, separating, or weaving a
+/// site.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Conceptual/navigational schema violation.
+    Model(ModelError),
+    /// Malformed XML artifact.
+    Xml(ParseXmlError),
+    /// Malformed or unresolvable XLink markup.
+    XLink(XLinkError),
+    /// Presentation transform failure.
+    Template(TemplateError),
+    /// Aspect weaving failure.
+    Weave(WeaveError),
+    /// A structural expectation of the pipeline was violated.
+    Pipeline(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Xml(e) => write!(f, "xml error: {e}"),
+            CoreError::XLink(e) => write!(f, "xlink error: {e}"),
+            CoreError::Template(e) => write!(f, "template error: {e}"),
+            CoreError::Weave(e) => write!(f, "weave error: {e}"),
+            CoreError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Xml(e) => Some(e),
+            CoreError::XLink(e) => Some(e),
+            CoreError::Template(e) => Some(e),
+            CoreError::Weave(e) => Some(e),
+            CoreError::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<ParseXmlError> for CoreError {
+    fn from(e: ParseXmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<XLinkError> for CoreError {
+    fn from(e: XLinkError) -> Self {
+        CoreError::XLink(e)
+    }
+}
+
+impl From<TemplateError> for CoreError {
+    fn from(e: TemplateError) -> Self {
+        CoreError::Template(e)
+    }
+}
+
+impl From<WeaveError> for CoreError {
+    fn from(e: WeaveError) -> Self {
+        CoreError::Weave(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = ModelError::UnknownClass("X".into()).into();
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e = CoreError::Pipeline("bad".into());
+        assert!(e.source().is_none());
+        assert_eq!(e.to_string(), "pipeline error: bad");
+    }
+}

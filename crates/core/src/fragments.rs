@@ -1,0 +1,185 @@
+//! Canonical page fragments: the one way navsep renders facts, index lists,
+//! and navigation blocks.
+//!
+//! Tangled and woven pages must be byte-comparable (experiment F6), so the
+//! *rendering* of a navigation link is fixed here. What differs between the
+//! two pipelines — the point of the paper — is **where the decision to emit
+//! the link lives**: inline in every page (tangled) versus in `links.xml`
+//! plus one aspect (separated).
+
+use crate::layout::page_path;
+use navsep_hypermodel::{NavLinkKind, NodeRef};
+use navsep_xml::ElementBuilder;
+
+/// One rendered navigation anchor, ready for canonical ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavAnchor {
+    /// The `rel` value (`next`, `prev`, `up`, `tour-start`).
+    pub rel: &'static str,
+    /// The href target (a page path).
+    pub href: String,
+    /// The anchor text.
+    pub label: String,
+    /// The navigational context this anchor belongs to.
+    pub context: String,
+}
+
+impl NavAnchor {
+    /// Sort key giving the canonical in-block order:
+    /// Previous, Next, Start tour, Back to index.
+    fn order(&self) -> u8 {
+        match self.rel {
+            "prev" => 0,
+            "next" => 1,
+            "tour-start" => 2,
+            "up" => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// The `rel` value navsep uses for a link kind.
+pub fn rel_of(kind: NavLinkKind) -> &'static str {
+    match kind {
+        NavLinkKind::IndexEntry => "entry",
+        NavLinkKind::Next => "next",
+        NavLinkKind::Previous => "prev",
+        NavLinkKind::UpToIndex => "up",
+        NavLinkKind::TourStart => "tour-start",
+    }
+}
+
+/// A `<dl class="facts">` list of labeled values (page content, not
+/// navigation).
+pub fn facts_list(pairs: &[(String, String)]) -> ElementBuilder {
+    let mut dl = ElementBuilder::new("dl").attr("class", "facts");
+    for (label, value) in pairs {
+        dl = dl
+            .child(ElementBuilder::new("dt").text(label.clone()))
+            .child(ElementBuilder::new("dd").text(value.clone()));
+    }
+    dl
+}
+
+/// One index entry: `(href, label, context)`.
+pub type IndexItem = (String, String, String);
+
+/// The `<ul class="index">` listing a context's members (paper Fig. 2(a)).
+pub fn index_list(items: &[IndexItem]) -> ElementBuilder {
+    let mut ul = ElementBuilder::new("ul").attr("class", "index");
+    for (href, label, context) in items {
+        ul = ul.child(
+            ElementBuilder::new("li").child(
+                ElementBuilder::new("a")
+                    .attr("href", href.clone())
+                    .attr("data-context", context.clone())
+                    .text(label.clone()),
+            ),
+        );
+    }
+    ul
+}
+
+/// The `<div class="navigation">` holding a page's traversal anchors, in
+/// canonical order.
+pub fn nav_block(anchors: &[NavAnchor]) -> ElementBuilder {
+    let mut sorted = anchors.to_vec();
+    sorted.sort_by_key(|a| (a.order(), a.context.clone(), a.href.clone()));
+    let mut div = ElementBuilder::new("div").attr("class", "navigation");
+    for a in sorted {
+        div = div.child(
+            ElementBuilder::new("a")
+                .attr("href", a.href)
+                .attr("rel", a.rel)
+                .attr("data-context", a.context)
+                .text(a.label),
+        );
+    }
+    div
+}
+
+/// Renders a [`NodeRef`] to a page href, given the entry page's slug.
+pub fn node_ref_href(node: &NodeRef, entry_slug: &str) -> String {
+    match node {
+        NodeRef::Entry => page_path(entry_slug),
+        NodeRef::Member(slug) => page_path(slug),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_render_in_order() {
+        let doc = facts_list(&[
+            ("Year".into(), "1913".into()),
+            ("Technique".into(), "papier colle".into()),
+        ])
+        .build_document();
+        let xml = doc.to_xml_string();
+        let year = xml.find("<dt>Year</dt>").unwrap();
+        let tech = xml.find("<dt>Technique</dt>").unwrap();
+        assert!(year < tech);
+    }
+
+    #[test]
+    fn index_items_carry_context() {
+        let doc = index_list(&[(
+            "guitar.html".into(),
+            "Guitar".into(),
+            "by-painter:picasso".into(),
+        )])
+        .build_document();
+        let xml = doc.to_xml_string();
+        assert!(xml.contains("data-context=\"by-painter:picasso\""));
+        assert!(xml.contains(">Guitar</a>"));
+    }
+
+    #[test]
+    fn nav_block_canonical_order() {
+        let anchors = vec![
+            NavAnchor {
+                rel: "up",
+                href: "picasso.html".into(),
+                label: "Back to index".into(),
+                context: "c".into(),
+            },
+            NavAnchor {
+                rel: "next",
+                href: "guernica.html".into(),
+                label: "Next".into(),
+                context: "c".into(),
+            },
+            NavAnchor {
+                rel: "prev",
+                href: "guitar.html".into(),
+                label: "Previous".into(),
+                context: "c".into(),
+            },
+        ];
+        let xml = nav_block(&anchors).build_document().to_xml_string();
+        let prev = xml.find("rel=\"prev\"").unwrap();
+        let next = xml.find("rel=\"next\"").unwrap();
+        let up = xml.find("rel=\"up\"").unwrap();
+        assert!(prev < next && next < up, "{xml}");
+    }
+
+    #[test]
+    fn node_ref_hrefs() {
+        assert_eq!(node_ref_href(&NodeRef::Entry, "picasso"), "picasso.html");
+        assert_eq!(
+            node_ref_href(&NodeRef::Member("guitar".into()), "picasso"),
+            "guitar.html"
+        );
+    }
+
+    #[test]
+    fn rel_mapping_total() {
+        assert_eq!(rel_of(NavLinkKind::Next), "next");
+        assert_eq!(rel_of(NavLinkKind::Previous), "prev");
+        assert_eq!(rel_of(NavLinkKind::UpToIndex), "up");
+        assert_eq!(rel_of(NavLinkKind::TourStart), "tour-start");
+        assert_eq!(rel_of(NavLinkKind::IndexEntry), "entry");
+    }
+}

@@ -1,0 +1,317 @@
+//! Change-impact analysis: what the access-structure switch costs.
+//!
+//! The paper's core qualitative claim: under tangled authoring, a
+//! "conceptually simple change" (Index → Indexed Guided Tour) is "arduous
+//! and tedious … we have to change all the nodes of the context". This
+//! module makes that measurable: a line diff (Myers O(ND)) over the file
+//! maps of two authorings, aggregated into an [`ImpactReport`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Line-level difference between two texts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffStats {
+    /// Lines present only in the new text.
+    pub added: usize,
+    /// Lines present only in the old text.
+    pub removed: usize,
+}
+
+impl DiffStats {
+    /// `true` when the texts are line-identical.
+    pub fn is_unchanged(&self) -> bool {
+        self.added == 0 && self.removed == 0
+    }
+
+    /// Total lines touched.
+    pub fn total(&self) -> usize {
+        self.added + self.removed
+    }
+}
+
+/// Computes line-diff statistics with the Myers O(ND) greedy algorithm.
+///
+/// Only counts are returned: for unit-cost insert/delete edits,
+/// `added − removed = len(b) − len(a)` and `added + removed = D`, so the
+/// shortest-edit-script length `D` determines both.
+pub fn diff_lines(a: &str, b: &str) -> DiffStats {
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    let d = myers_distance(&a_lines, &b_lines);
+    let n = a_lines.len() as isize;
+    let m = b_lines.len() as isize;
+    let added = (d as isize + m - n) / 2;
+    let removed = (d as isize - m + n) / 2;
+    DiffStats {
+        added: added as usize,
+        removed: removed as usize,
+    }
+}
+
+/// Myers' greedy shortest-edit-distance (inserts + deletes, no
+/// substitutions) over comparable slices.
+pub fn myers_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    if n == 0 {
+        return m as usize;
+    }
+    if m == 0 {
+        return n as usize;
+    }
+    let max = (n + m) as usize;
+    // v[k + max] = furthest x on diagonal k.
+    let mut v = vec![0isize; 2 * max + 1];
+    for d in 0..=max {
+        let d = d as isize;
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + max as isize) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // down: insertion
+            } else {
+                v[idx - 1] + 1 // right: deletion
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                return d as usize;
+            }
+            k += 2;
+        }
+    }
+    max // unreachable: D ≤ n + m always terminates the loop
+}
+
+/// What happened to one file between two authorings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Present in both, content differs.
+    Modified,
+    /// Only in the new authoring.
+    Added,
+    /// Only in the old authoring.
+    Removed,
+    /// Identical.
+    Unchanged,
+}
+
+impl fmt::Display for FileStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FileStatus::Modified => "modified",
+            FileStatus::Added => "added",
+            FileStatus::Removed => "removed",
+            FileStatus::Unchanged => "unchanged",
+        })
+    }
+}
+
+/// Per-file impact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileImpact {
+    /// The file path.
+    pub path: String,
+    /// What happened to it.
+    pub status: FileStatus,
+    /// Line-level stats (zero for unchanged files).
+    pub stats: DiffStats,
+}
+
+/// Aggregated change impact between two file maps.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_core::impact::ImpactReport;
+/// use std::collections::BTreeMap;
+///
+/// let before: BTreeMap<String, String> =
+///     [("a.html".to_string(), "one\ntwo\n".to_string())].into();
+/// let after: BTreeMap<String, String> =
+///     [("a.html".to_string(), "one\nTWO\nthree\n".to_string())].into();
+/// let report = ImpactReport::between(&before, &after);
+/// assert_eq!(report.files_touched, 1);
+/// assert_eq!(report.lines_added, 2);
+/// assert_eq!(report.lines_removed, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpactReport {
+    /// Files in the old authoring.
+    pub files_before: usize,
+    /// Files in the new authoring.
+    pub files_after: usize,
+    /// Files modified, added, or removed.
+    pub files_touched: usize,
+    /// Lines added across all files.
+    pub lines_added: usize,
+    /// Lines removed across all files.
+    pub lines_removed: usize,
+    /// Per-file breakdown (unchanged files included, stats zeroed).
+    pub files: Vec<FileImpact>,
+}
+
+impl ImpactReport {
+    /// Diffs two file maps.
+    pub fn between(before: &BTreeMap<String, String>, after: &BTreeMap<String, String>) -> Self {
+        let mut files = Vec::new();
+        let mut touched = 0usize;
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        let all_paths: std::collections::BTreeSet<&String> =
+            before.keys().chain(after.keys()).collect();
+        for path in all_paths {
+            let impact = match (before.get(path), after.get(path)) {
+                (Some(old), Some(new)) => {
+                    let stats = diff_lines(old, new);
+                    let status = if stats.is_unchanged() {
+                        FileStatus::Unchanged
+                    } else {
+                        FileStatus::Modified
+                    };
+                    FileImpact {
+                        path: path.clone(),
+                        status,
+                        stats,
+                    }
+                }
+                (None, Some(new)) => FileImpact {
+                    path: path.clone(),
+                    status: FileStatus::Added,
+                    stats: DiffStats {
+                        added: new.lines().count(),
+                        removed: 0,
+                    },
+                },
+                (Some(old), None) => FileImpact {
+                    path: path.clone(),
+                    status: FileStatus::Removed,
+                    stats: DiffStats {
+                        added: 0,
+                        removed: old.lines().count(),
+                    },
+                },
+                (None, None) => unreachable!("path came from one of the maps"),
+            };
+            if impact.status != FileStatus::Unchanged {
+                touched += 1;
+                added += impact.stats.added;
+                removed += impact.stats.removed;
+            }
+            files.push(impact);
+        }
+        ImpactReport {
+            files_before: before.len(),
+            files_after: after.len(),
+            files_touched: touched,
+            lines_added: added,
+            lines_removed: removed,
+            files,
+        }
+    }
+
+    /// Only the touched files.
+    pub fn touched_files(&self) -> impl Iterator<Item = &FileImpact> {
+        self.files
+            .iter()
+            .filter(|f| f.status != FileStatus::Unchanged)
+    }
+
+    /// Total lines touched.
+    pub fn lines_touched(&self) -> usize {
+        self.lines_added + self.lines_removed
+    }
+}
+
+impl fmt::Display for ImpactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} / {} files touched, +{} −{} lines",
+            self.files_touched,
+            self.files_after.max(self.files_before),
+            self.lines_added,
+            self.lines_removed
+        )?;
+        for file in self.touched_files() {
+            writeln!(
+                f,
+                "  {:<30} {:<9} +{} −{}",
+                file.path, file.status, file.stats.added, file.stats.removed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_diff_to_zero() {
+        let s = diff_lines("a\nb\nc", "a\nb\nc");
+        assert!(s.is_unchanged());
+    }
+
+    #[test]
+    fn pure_insertion_and_deletion() {
+        let s = diff_lines("a\nc", "a\nb\nc");
+        assert_eq!(s, DiffStats { added: 1, removed: 0 });
+        let s = diff_lines("a\nb\nc", "a\nc");
+        assert_eq!(s, DiffStats { added: 0, removed: 1 });
+    }
+
+    #[test]
+    fn replacement_counts_both() {
+        let s = diff_lines("a\nX\nc", "a\nY\nc");
+        assert_eq!(s, DiffStats { added: 1, removed: 1 });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(diff_lines("", ""), DiffStats::default());
+        assert_eq!(diff_lines("", "a\nb"), DiffStats { added: 2, removed: 0 });
+        assert_eq!(diff_lines("a\nb", ""), DiffStats { added: 0, removed: 2 });
+    }
+
+    #[test]
+    fn myers_is_minimal_on_known_case() {
+        // Classic: ABCABBA → CBABAC has D = 5.
+        let a: Vec<char> = "ABCABBA".chars().collect();
+        let b: Vec<char> = "CBABAC".chars().collect();
+        assert_eq!(myers_distance(&a, &b), 5);
+    }
+
+    #[test]
+    fn report_between_maps() {
+        let before: BTreeMap<String, String> = [
+            ("same.txt".to_string(), "x\n".to_string()),
+            ("mod.txt".to_string(), "a\nb\n".to_string()),
+            ("gone.txt".to_string(), "1\n2\n3\n".to_string()),
+        ]
+        .into();
+        let after: BTreeMap<String, String> = [
+            ("same.txt".to_string(), "x\n".to_string()),
+            ("mod.txt".to_string(), "a\nc\n".to_string()),
+            ("new.txt".to_string(), "n\n".to_string()),
+        ]
+        .into();
+        let r = ImpactReport::between(&before, &after);
+        assert_eq!(r.files_touched, 3); // mod, gone, new
+        assert_eq!(r.lines_added, 1 + 1); // c + n
+        assert_eq!(r.lines_removed, 1 + 3); // b + gone.txt
+        assert_eq!(r.files.len(), 4);
+        let same = r.files.iter().find(|f| f.path == "same.txt").unwrap();
+        assert_eq!(same.status, FileStatus::Unchanged);
+        // Display lists only touched files.
+        let text = r.to_string();
+        assert!(!text.contains("same.txt"));
+        assert!(text.contains("gone.txt"));
+    }
+}

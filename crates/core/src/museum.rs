@@ -1,0 +1,225 @@
+//! The museum domain: the paper's running example, exact and scaled.
+//!
+//! [`paper_museum`] reproduces the corpus of the paper's figures: Picasso
+//! with *Guitar*, *Guernica* and *Les Demoiselles d'Avignon* (the `avignon`
+//! node of Figure 8), plus a second painter and two pictorial movements so
+//! the §2 context-dependence scenario ("Next by author" vs "Next by
+//! movement") is expressible. [`generated_museum`] scales the same shape to
+//! arbitrary sizes for the quantitative experiments.
+
+use navsep_hypermodel::{
+    Cardinality, ConceptualSchema, InstanceStore, ModelError, NavigationalSchema,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The museum's conceptual schema: painters, paintings, movements.
+pub fn museum_schema() -> ConceptualSchema {
+    ConceptualSchema::new()
+        .class("Painter", &["name", "born"])
+        .class("Painting", &["title", "year", "technique"])
+        .class("Movement", &["name"])
+        .relationship("painted", "Painter", "Painting", Cardinality::Many)
+        .relationship("includes", "Movement", "Painting", Cardinality::Many)
+}
+
+/// The museum's navigational schema: painter and painting node classes.
+pub fn museum_navigation() -> NavigationalSchema {
+    NavigationalSchema::new()
+        .node_class("PainterNode", "Painter", "name", &["name", "born"])
+        .node_class("PaintingNode", "Painting", "title", &["title", "year", "technique"])
+        .node_class("MovementNode", "Movement", "name", &["name"])
+        .link_class("WorksOf", "painted")
+        .link_class("InMovement", "includes")
+}
+
+/// The exact corpus behind the paper's figures.
+///
+/// # Panics
+///
+/// Never panics — the corpus is statically schema-valid (asserted in tests).
+pub fn paper_museum() -> InstanceStore {
+    try_paper_museum().expect("the paper corpus is schema-valid")
+}
+
+fn try_paper_museum() -> Result<InstanceStore, ModelError> {
+    let mut s = InstanceStore::new(museum_schema());
+    s.create("picasso", "Painter", &[("name", "Pablo Picasso"), ("born", "1881")])?;
+    s.create("braque", "Painter", &[("name", "Georges Braque"), ("born", "1882")])?;
+    s.create(
+        "guitar",
+        "Painting",
+        &[("title", "Guitar"), ("year", "1913"), ("technique", "papier colle")],
+    )?;
+    s.create(
+        "guernica",
+        "Painting",
+        &[("title", "Guernica"), ("year", "1937"), ("technique", "oil on canvas")],
+    )?;
+    s.create(
+        "avignon",
+        "Painting",
+        &[
+            ("title", "Les Demoiselles d'Avignon"),
+            ("year", "1907"),
+            ("technique", "oil on canvas"),
+        ],
+    )?;
+    s.create(
+        "violin",
+        "Painting",
+        &[("title", "Violin and Candlestick"), ("year", "1910"), ("technique", "oil on canvas")],
+    )?;
+    s.create("cubism", "Movement", &[("name", "Cubism")])?;
+    s.create("surrealism", "Movement", &[("name", "Surrealism")])?;
+    // The paper's context: Guitar, Guernica, Avignon by Picasso.
+    s.link("painted", "picasso", "guitar")?;
+    s.link("painted", "picasso", "guernica")?;
+    s.link("painted", "picasso", "avignon")?;
+    s.link("painted", "braque", "violin")?;
+    // Movements cross-cut authorship: Cubism holds guitar/avignon/violin but
+    // not Guernica — so "Next" from Guitar differs by context (§2).
+    s.link("includes", "cubism", "guitar")?;
+    s.link("includes", "cubism", "avignon")?;
+    s.link("includes", "cubism", "violin")?;
+    s.link("includes", "surrealism", "guernica")?;
+    Ok(s)
+}
+
+/// A deterministic scaled museum: `painters` painters with
+/// `paintings_per_painter` paintings each, plus `movements` movements that
+/// partition the paintings round-robin. Titles are generated from `seed` so
+/// two calls with equal parameters produce identical corpora.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn generated_museum(
+    painters: usize,
+    paintings_per_painter: usize,
+    movements: usize,
+    seed: u64,
+) -> InstanceStore {
+    assert!(painters > 0 && paintings_per_painter > 0 && movements > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = InstanceStore::new(museum_schema());
+    for m in 0..movements {
+        s.create(
+            format!("movement-{m}"),
+            "Movement",
+            &[("name", &format!("Movement {m}"))],
+        )
+        .expect("generated movements are schema-valid");
+    }
+    let mut painting_no = 0usize;
+    for p in 0..painters {
+        let painter_slug = format!("painter-{p}");
+        let born = format!("{}", 1850 + rng.gen_range(0..100));
+        s.create(
+            painter_slug.clone(),
+            "Painter",
+            &[("name", &format!("Painter {p}")), ("born", &born)],
+        )
+        .expect("generated painters are schema-valid");
+        for _ in 0..paintings_per_painter {
+            let slug = format!("painting-{painting_no}");
+            let year = format!("{}", 1880 + rng.gen_range(0..60));
+            s.create(
+                slug.clone(),
+                "Painting",
+                &[
+                    ("title", &format!("Painting No. {painting_no}")),
+                    ("year", &year),
+                    ("technique", "oil on canvas"),
+                ],
+            )
+            .expect("generated paintings are schema-valid");
+            s.link("painted", painter_slug.as_str(), slug.as_str())
+                .expect("generated authorship links are schema-valid");
+            s.link(
+                "includes",
+                format!("movement-{}", painting_no % movements),
+                slug.as_str(),
+            )
+            .expect("generated movement links are schema-valid");
+            painting_no += 1;
+        }
+    }
+    s
+}
+
+/// The slugs of the paper's Picasso context, in context order.
+pub const PICASSO_CONTEXT: [&str; 3] = ["guitar", "guernica", "avignon"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navsep_hypermodel::{AccessStructureKind, ContextFamily};
+
+    #[test]
+    fn paper_corpus_shape() {
+        let s = paper_museum();
+        assert_eq!(s.objects_of_class("Painter").count(), 2);
+        assert_eq!(s.objects_of_class("Painting").count(), 4);
+        assert_eq!(s.objects_of_class("Movement").count(), 2);
+        let works = s.related("picasso", "painted").unwrap();
+        let slugs: Vec<&str> = works.iter().map(|o| o.id().as_str()).collect();
+        assert_eq!(slugs, PICASSO_CONTEXT);
+    }
+
+    #[test]
+    fn contexts_differ_by_derivation() {
+        let s = paper_museum();
+        let nav = museum_navigation();
+        let by_painter = ContextFamily::group_by(
+            "by-painter", &s, &nav, "Painter", "name", "painted",
+            "PaintingNode", AccessStructureKind::IndexedGuidedTour,
+        )
+        .unwrap();
+        let by_movement = ContextFamily::group_by(
+            "by-movement", &s, &nav, "Movement", "name", "includes",
+            "PaintingNode", AccessStructureKind::IndexedGuidedTour,
+        )
+        .unwrap();
+        let author_ctx = by_painter.context_of("picasso").unwrap();
+        let movement_ctx = by_movement.context_of("cubism").unwrap();
+        // §2's scenario: Next from guitar depends on how you got there.
+        assert_eq!(author_ctx.next_of("guitar").unwrap().slug, "guernica");
+        assert_eq!(movement_ctx.next_of("guitar").unwrap().slug, "avignon");
+    }
+
+    #[test]
+    fn generated_museum_is_deterministic() {
+        let a = generated_museum(3, 5, 2, 42);
+        let b = generated_museum(3, 5, 2, 42);
+        assert_eq!(a.len(), b.len());
+        let titles_a: Vec<String> = a
+            .objects_of_class("Painting")
+            .map(|o| o.attribute("year").unwrap().to_string())
+            .collect();
+        let titles_b: Vec<String> = b
+            .objects_of_class("Painting")
+            .map(|o| o.attribute("year").unwrap().to_string())
+            .collect();
+        assert_eq!(titles_a, titles_b);
+    }
+
+    #[test]
+    fn generated_museum_scales() {
+        let s = generated_museum(4, 7, 3, 1);
+        assert_eq!(s.objects_of_class("Painter").count(), 4);
+        assert_eq!(s.objects_of_class("Painting").count(), 28);
+        for p in 0..4 {
+            assert_eq!(
+                s.related(format!("painter-{p}"), "painted").unwrap().len(),
+                7
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimensions_panic() {
+        let _ = generated_museum(0, 1, 1, 0);
+    }
+}

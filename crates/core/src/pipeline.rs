@@ -1,0 +1,592 @@
+//! The separation pipeline — the paper's Figure 6 made executable.
+//!
+//! ```text
+//!   data (*.xml)      presentation (transform.xml + museum.css)
+//!        \                   /
+//!         base pages (transform)          navigation (links.xml)
+//!                  \                            /
+//!                   ASPECT WEAVER  (navsep-aspect)
+//!                            |
+//!                      the web application
+//! ```
+//!
+//! Input is *only* the separated authoring produced by
+//! [`crate::separated::separated_sources`] (or hand-written files of the
+//! same shape); output is a served site that experiment F6 proves
+//! DOM-equivalent to the tangled baseline.
+
+use crate::error::CoreError;
+use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
+use crate::layout::{data_to_page, ASPECTS_PATH, CSS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
+use navsep_aspect::{AdvicePosition, Aspect, Pointcut, WeaveReport, Weaver};
+use navsep_hypermodel::NavLinkKind;
+use navsep_style::Transform;
+use navsep_web::{Resource, Site};
+use navsep_xlink::{Endpoint, Linkbase, Resolver};
+use navsep_xml::ElementBuilder;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The navigation destined for one page, accumulated from the linkbase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageNav {
+    /// Index entries (only group/entry pages have these).
+    pub index_items: Vec<IndexItem>,
+    /// Traversal anchors, in linkbase order (canonically sorted at render).
+    pub anchors: Vec<NavAnchor>,
+}
+
+impl PageNav {
+    /// Renders this page's navigation fragments: the index list (if any)
+    /// followed by one `<div class="navigation">` per context.
+    pub fn fragments(&self) -> Vec<ElementBuilder> {
+        let mut out = Vec::new();
+        if !self.index_items.is_empty() {
+            out.push(index_list(&self.index_items));
+        }
+        // Group anchors by context, preserving first-appearance order.
+        let mut order: Vec<&str> = Vec::new();
+        for a in &self.anchors {
+            if !order.contains(&a.context.as_str()) {
+                order.push(&a.context);
+            }
+        }
+        for ctx in order {
+            let group: Vec<NavAnchor> = self
+                .anchors
+                .iter()
+                .filter(|a| a.context == ctx)
+                .cloned()
+                .collect();
+            out.push(nav_block(&group));
+        }
+        out
+    }
+}
+
+/// The result of weaving: the final site plus per-page weave reports.
+#[derive(Debug)]
+pub struct WovenOutput {
+    /// The served site (pages + passthrough raw resources).
+    pub site: Site,
+    /// One report per woven page.
+    pub reports: Vec<WeaveReport>,
+}
+
+/// Derives the per-page navigation map from a linkbase.
+///
+/// Walks extended links (one per navigational context — the `xlink:role`
+/// carries the context name), expands their arcs, and turns each traversal
+/// into an index item or navigation anchor on its *starting* page.
+///
+/// # Errors
+///
+/// Rejects linkbases whose extended links lack a role, whose locators do not
+/// address data documents, or whose arcroles aren't navsep navigation roles.
+pub fn navigation_map(linkbase: &Linkbase) -> Result<BTreeMap<String, PageNav>, CoreError> {
+    let mut map: BTreeMap<String, PageNav> = BTreeMap::new();
+    for link in linkbase.extended_links() {
+        let context = link.role.clone().ok_or_else(|| {
+            CoreError::Pipeline(
+                "extended link missing xlink:role (the context name)".to_string(),
+            )
+        })?;
+        for t in link.traversals().map_err(CoreError::XLink)? {
+            let from_page = endpoint_page(&t.from, linkbase)?;
+            let to_page = endpoint_page(&t.to, linkbase)?;
+            let kind = t
+                .arcrole
+                .as_deref()
+                .and_then(NavLinkKind::from_arcrole)
+                .ok_or_else(|| {
+                    CoreError::Pipeline(format!(
+                        "arcrole {:?} is not a navsep navigation role",
+                        t.arcrole
+                    ))
+                })?;
+            let entry = map.entry(from_page.clone()).or_default();
+            match kind {
+                NavLinkKind::IndexEntry => {
+                    let label = t
+                        .title
+                        .clone()
+                        .unwrap_or_else(|| to_page.trim_end_matches(".html").to_string());
+                    entry.index_items.push((to_page, label, context.clone()));
+                }
+                other => {
+                    let label = t
+                        .title
+                        .clone()
+                        .unwrap_or_else(|| other.default_label().to_string());
+                    entry.anchors.push(NavAnchor {
+                        rel: crate::fragments::rel_of(other),
+                        href: to_page,
+                        label,
+                        context: context.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn endpoint_page(ep: &Endpoint, linkbase: &Linkbase) -> Result<String, CoreError> {
+    match ep {
+        Endpoint::Remote(href) => {
+            let resolved = href.resolve_against(linkbase.path());
+            data_to_page(resolved.document()).ok_or_else(|| {
+                CoreError::Pipeline(format!(
+                    "locator href {:?} does not address a data document",
+                    href.to_string()
+                ))
+            })
+        }
+        Endpoint::Local(_) => Err(CoreError::Pipeline(
+            "navsep linkbases use locators, not local resources".to_string(),
+        )),
+    }
+}
+
+/// Builds the navigation aspect from a per-page navigation map.
+///
+/// One aspect, one rule: at every page `<body>`, append that page's
+/// navigation fragments. This *is* the paper's navigational aspect.
+pub fn navigation_aspect(map: BTreeMap<String, PageNav>) -> Aspect {
+    let map = Arc::new(map);
+    Aspect::new("navigation").generated_rule(
+        Pointcut::Element("body".to_string()),
+        AdvicePosition::Append,
+        move |jp| {
+            map.get(jp.page)
+                .map(PageNav::fragments)
+                .unwrap_or_default()
+        },
+    )
+}
+
+/// Runs the full pipeline: separated sources in, woven site out.
+///
+/// # Errors
+///
+/// * [`CoreError::Pipeline`] when `transform.xml` or `links.xml` is missing
+///   or a locator points outside the data set;
+/// * template, XLink, and weave errors from the respective stages.
+pub fn weave_separated(sources: &Site) -> Result<WovenOutput, CoreError> {
+    weave_separated_with(sources, &[])
+}
+
+/// Like [`weave_separated`], but composes `extra_aspects` (e.g. a banner or
+/// audit concern) with the navigation aspect.
+///
+/// # Errors
+///
+/// See [`weave_separated`].
+pub fn weave_separated_with(
+    sources: &Site,
+    extra_aspects: &[Aspect],
+) -> Result<WovenOutput, CoreError> {
+    let transform_doc = sources
+        .get(TRANSFORM_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {TRANSFORM_PATH}")))?;
+    let transform = Transform::from_document(transform_doc)?;
+
+    let links_doc = sources
+        .get(LINKBASE_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {LINKBASE_PATH}")))?;
+    let linkbase = Linkbase::from_document(links_doc, LINKBASE_PATH)?;
+
+    // Validate every locator resolves against the data set before weaving.
+    Resolver::new(sources, LINKBASE_PATH).resolve(&linkbase)?;
+
+    // Site-defined aspects (paper §7 future work): aspects.xml, if present,
+    // contributes further concerns to the weave.
+    let mut site_aspects: Vec<Aspect> = Vec::new();
+    if let Some(doc) = sources.get(ASPECTS_PATH).and_then(Resource::document) {
+        site_aspects = navsep_aspect::parse_aspects(doc)
+            .map_err(|e| CoreError::Pipeline(format!("bad {ASPECTS_PATH}: {e}")))?;
+    }
+
+    // Stage 1 — presentation: transform each data document into a base page.
+    let mut pages: BTreeMap<String, navsep_xml::Document> = BTreeMap::new();
+    for (path, res) in sources.iter() {
+        if path == LINKBASE_PATH || path == TRANSFORM_PATH || path == ASPECTS_PATH {
+            continue;
+        }
+        let Some(doc) = res.document() else { continue };
+        let Some(page_path) = data_to_page(path) else {
+            continue;
+        };
+        pages.insert(page_path, transform.apply(doc)?);
+    }
+
+    // Stage 2 — navigation: linkbase → per-page fragments → one aspect.
+    let nav_map = navigation_map(&linkbase)?;
+    let mut weaver = Weaver::new().aspect(navigation_aspect(nav_map));
+    for a in site_aspects {
+        weaver.add_aspect(a);
+    }
+    for a in extra_aspects {
+        weaver.add_aspect(a.clone());
+    }
+
+    // Stage 3 — weave.
+    let (woven, reports) = weaver.weave_site(&pages)?;
+    let mut site = Site::new();
+    for (path, doc) in woven {
+        site.put_page(path, doc);
+    }
+    // Raw resources (the CSS) pass through untouched.
+    for (path, res) in sources.iter() {
+        if let Resource::Raw { .. } = res {
+            if path == CSS_PATH {
+                site.put_css(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
+            } else {
+                site.put_text(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
+            }
+        }
+    }
+    Ok(WovenOutput { site, reports })
+}
+
+/// Like [`weave_separated`], but transforms and weaves pages on `workers`
+/// threads. Output is identical to the sequential pipeline (asserted by
+/// tests); reports are returned in page order.
+///
+/// # Errors
+///
+/// See [`weave_separated`]. The first error from any worker aborts the run.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_parallel(
+    sources: &Site,
+    workers: usize,
+) -> Result<WovenOutput, CoreError> {
+    assert!(workers > 0, "need at least one worker");
+    let transform_doc = sources
+        .get(TRANSFORM_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {TRANSFORM_PATH}")))?;
+    let transform = Transform::from_document(transform_doc)?;
+    let links_doc = sources
+        .get(LINKBASE_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {LINKBASE_PATH}")))?;
+    let linkbase = Linkbase::from_document(links_doc, LINKBASE_PATH)?;
+    Resolver::new(sources, LINKBASE_PATH).resolve(&linkbase)?;
+
+    let nav_map = navigation_map(&linkbase)?;
+    let weaver = Weaver::new().aspect(navigation_aspect(nav_map));
+
+    // Partition the data documents round-robin across workers; each worker
+    // transforms and weaves its slice independently (pages are independent).
+    let work: Vec<(String, &navsep_xml::Document)> = sources
+        .iter()
+        .filter(|(path, _)| {
+            *path != LINKBASE_PATH && *path != TRANSFORM_PATH && *path != ASPECTS_PATH
+        })
+        .filter_map(|(path, res)| {
+            let page = data_to_page(path)?;
+            res.document().map(|d| (page, d))
+        })
+        .collect();
+
+    type WovenPage = (String, navsep_xml::Document, WeaveReport);
+    let results: Vec<Result<Vec<WovenPage>, CoreError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let transform = &transform;
+                let weaver = &weaver;
+                let chunk: Vec<&(String, &navsep_xml::Document)> =
+                    work.iter().skip(w).step_by(workers).collect();
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (page_path, data_doc) in chunk {
+                        let base = transform.apply(data_doc)?;
+                        let (woven, report) = weaver.weave_page(page_path, &base)?;
+                        out.push((page_path.clone(), woven, report));
+                    }
+                    Ok(out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("weave worker panicked"))
+                .collect()
+        });
+
+    let mut pages: BTreeMap<String, (navsep_xml::Document, WeaveReport)> = BTreeMap::new();
+    for result in results {
+        for (path, doc, report) in result? {
+            pages.insert(path, (doc, report));
+        }
+    }
+    let mut site = Site::new();
+    let mut reports = Vec::with_capacity(pages.len());
+    for (path, (doc, report)) in pages {
+        site.put_page(path, doc);
+        reports.push(report);
+    }
+    for (path, res) in sources.iter() {
+        if let Resource::Raw { .. } = res {
+            if path == CSS_PATH {
+                site.put_css(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
+            } else {
+                site.put_text(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
+            }
+        }
+    }
+    Ok(WovenOutput { site, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::separated::separated_sources;
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+
+    fn woven(access: AccessStructureKind) -> WovenOutput {
+        let sources =
+            separated_sources(&paper_museum(), &museum_navigation(), &paper_spec(access)).unwrap();
+        weave_separated(&sources).unwrap()
+    }
+
+    fn page_xml(out: &WovenOutput, path: &str) -> String {
+        out.site.get(path).unwrap().document().unwrap().to_pretty_xml()
+    }
+
+    #[test]
+    fn weaves_navigation_into_pages() {
+        let out = woven(AccessStructureKind::IndexedGuidedTour);
+        let guitar = page_xml(&out, "guitar.html");
+        assert!(guitar.contains("<h1>Guitar</h1>"), "{guitar}");
+        assert!(guitar.contains("rel=\"next\""), "{guitar}");
+        assert!(guitar.contains("rel=\"up\""), "{guitar}");
+        assert!(guitar.contains("guernica.html"), "{guitar}");
+    }
+
+    #[test]
+    fn index_page_lists_members_in_context_order() {
+        let out = woven(AccessStructureKind::Index);
+        let picasso = page_xml(&out, "picasso.html");
+        let guitar = picasso.find("guitar.html").unwrap();
+        let guernica = picasso.find("guernica.html").unwrap();
+        let avignon = picasso.find("avignon.html").unwrap();
+        assert!(guitar < guernica && guernica < avignon, "{picasso}");
+    }
+
+    #[test]
+    fn css_passes_through() {
+        let out = woven(AccessStructureKind::Index);
+        assert!(out.site.get(CSS_PATH).is_some());
+    }
+
+    #[test]
+    fn reports_cover_every_page() {
+        let out = woven(AccessStructureKind::Index);
+        // 6 pages (4 paintings + 2 painters).
+        assert_eq!(out.reports.len(), 6);
+        // Every page with navigation had exactly one application.
+        for r in &out.reports {
+            assert_eq!(r.applications(), 1, "{}", r.page);
+        }
+    }
+
+    #[test]
+    fn missing_linkbase_is_pipeline_error() {
+        let mut sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        sources.remove(LINKBASE_PATH);
+        assert!(matches!(
+            weave_separated(&sources),
+            Err(CoreError::Pipeline(msg)) if msg.contains("links.xml")
+        ));
+    }
+
+    #[test]
+    fn dangling_locator_detected_before_weaving() {
+        let mut sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        sources.remove("guitar.xml");
+        assert!(matches!(
+            weave_separated(&sources),
+            Err(CoreError::XLink(_))
+        ));
+    }
+
+    #[test]
+    fn extra_aspects_compose_with_navigation() {
+        let sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        let banner = Aspect::new("banner").with_precedence(-1).rule(
+            Pointcut::Element("body".into()),
+            AdvicePosition::Prepend,
+            vec![ElementBuilder::new("div")
+                .attr("class", "banner")
+                .text("Museum of navsep")],
+        );
+        let out = weave_separated_with(&sources, &[banner]).unwrap();
+        let xml = page_xml(&out, "guitar.html");
+        assert!(xml.contains("Museum of navsep"));
+        // Banner prepended, navigation appended.
+        let banner_pos = xml.find("banner").unwrap();
+        let nav_pos = xml.find("navigation").unwrap();
+        assert!(banner_pos < nav_pos);
+    }
+
+    #[test]
+    fn navigation_map_shape() {
+        let sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
+        let doc = sources.get(LINKBASE_PATH).unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, LINKBASE_PATH).unwrap();
+        let map = navigation_map(&lb).unwrap();
+        // Entry pages hold the index items.
+        assert_eq!(map["picasso.html"].index_items.len(), 3);
+        // Guitar (first member): next + up, no prev.
+        let guitar = &map["guitar.html"];
+        assert!(guitar.anchors.iter().any(|a| a.rel == "next"));
+        assert!(guitar.anchors.iter().any(|a| a.rel == "up"));
+        assert!(!guitar.anchors.iter().any(|a| a.rel == "prev"));
+        // Guernica (middle): prev + next + up.
+        let guernica = &map["guernica.html"];
+        assert_eq!(guernica.anchors.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod aspects_xml_tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::separated::separated_sources;
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_xml::Document;
+
+    #[test]
+    fn aspects_xml_is_loaded_and_woven() {
+        let mut sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        sources.put_document(
+            ASPECTS_PATH,
+            Document::parse(
+                r#"<aspects>
+  <aspect name="banner" precedence="-5">
+    <rule pointcut='element("body")' position="prepend">
+      <div class="banner">Museum of navsep</div>
+    </rule>
+  </aspect>
+</aspects>"#,
+            )
+            .unwrap(),
+        );
+        let out = weave_separated(&sources).unwrap();
+        let xml = out
+            .site
+            .get("guitar.html")
+            .unwrap()
+            .document()
+            .unwrap()
+            .to_xml_string();
+        assert!(xml.contains("Museum of navsep"));
+        // aspects.xml must not be transformed into a page.
+        assert!(out.site.get("aspects.html").is_none());
+    }
+
+    #[test]
+    fn malformed_aspects_xml_is_reported() {
+        let mut sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        sources.put_document(
+            ASPECTS_PATH,
+            Document::parse("<aspects><aspect/></aspects>").unwrap(),
+        );
+        assert!(matches!(
+            weave_separated(&sources),
+            Err(CoreError::Pipeline(msg)) if msg.contains("aspects.xml")
+        ));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::equiv::assert_site_equivalent;
+    use crate::museum::{generated_museum, museum_navigation};
+    use crate::separated::separated_sources;
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+
+    #[test]
+    fn parallel_output_equals_sequential() {
+        let store = generated_museum(3, 7, 2, 11);
+        let nav = museum_navigation();
+        let sources = separated_sources(
+            &store,
+            &nav,
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
+        let seq = weave_separated(&sources).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let par = weave_separated_parallel(&sources, workers).unwrap();
+            assert_site_equivalent(&seq.site, &par.site)
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            assert_eq!(par.reports.len(), seq.reports.len());
+        }
+    }
+
+    #[test]
+    fn parallel_reports_are_page_ordered() {
+        let store = generated_museum(2, 3, 2, 1);
+        let nav = museum_navigation();
+        let sources =
+            separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+        let par = weave_separated_parallel(&sources, 3).unwrap();
+        let pages: Vec<&str> = par.reports.iter().map(|r| r.page.as_str()).collect();
+        let mut sorted = pages.clone();
+        sorted.sort();
+        assert_eq!(pages, sorted);
+    }
+
+    #[test]
+    fn parallel_propagates_errors() {
+        let store = generated_museum(1, 2, 2, 1);
+        let nav = museum_navigation();
+        let mut sources =
+            separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+        sources.remove(TRANSFORM_PATH);
+        assert!(weave_separated_parallel(&sources, 4).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! The separated authoring: data, presentation and navigation as three
+//! disjoint artifact sets — the paper's §6 proposal.
+//!
+//! * **data** — one XML document per domain object (`picasso.xml`,
+//!   `avignon.xml`, … — the paper's Figures 7 and 8);
+//! * **presentation** — one template transform plus CSS;
+//! * **navigation** — one XLink linkbase, `links.xml` (Figure 9).
+//!
+//! Switching the access structure rewrites *only* `links.xml`; experiment T1
+//! quantifies that against the tangled baseline.
+
+use crate::derive::{derive_site, DerivedNode};
+use crate::error::CoreError;
+use crate::layout::{data_path, CSS_PATH, LINKBASE_PATH, MUSEUM_CSS, TRANSFORM_PATH};
+use crate::spec::SiteSpec;
+use navsep_hypermodel::{
+    AccessStructureKind, InstanceStore, NavLinkKind, NavigationalContext, NavigationalSchema,
+};
+use navsep_web::Site;
+use navsep_xml::{Document, ElementBuilder, QName};
+
+/// The museum's presentation transform (XSLT-lite, see `navsep-style`).
+///
+/// One template per conceptual class; this is the *presentation* concern the
+/// pre-paper web had already separated, kept deliberately free of links.
+pub const MUSEUM_TRANSFORM: &str = r#"<transform>
+  <template match="painting">
+    <html>
+      <head>
+        <title><value-of select="title"/></title>
+        <link rel="stylesheet" type="text/css" href="museum.css"/>
+      </head>
+      <body class="painting">
+        <h1><value-of select="title"/></h1>
+        <dl class="facts">
+          <if test="year"><dt>Year</dt><dd><value-of select="year"/></dd></if>
+          <if test="technique"><dt>Technique</dt><dd><value-of select="technique"/></dd></if>
+        </dl>
+      </body>
+    </html>
+  </template>
+  <template match="painter">
+    <html>
+      <head>
+        <title><value-of select="name"/></title>
+        <link rel="stylesheet" type="text/css" href="museum.css"/>
+      </head>
+      <body class="index">
+        <h1><value-of select="name"/></h1>
+        <dl class="facts">
+          <if test="born"><dt>Born</dt><dd><value-of select="born"/></dd></if>
+        </dl>
+      </body>
+    </html>
+  </template>
+  <template match="movement">
+    <html>
+      <head>
+        <title><value-of select="name"/></title>
+        <link rel="stylesheet" type="text/css" href="museum.css"/>
+      </head>
+      <body class="index">
+        <h1><value-of select="name"/></h1>
+        <dl class="facts"/>
+      </body>
+    </html>
+  </template>
+</transform>
+"#;
+
+/// The XLink namespace shorthand used in generated linkbases.
+const XLINK_NS: &str = navsep_xlink::XLINK_NS;
+
+fn xlink(name: &str) -> QName {
+    QName::with_namespace("xlink", name, XLINK_NS)
+}
+
+/// Builds the data document of one node (paper Figs. 7–8): the object's
+/// attributes as child elements, **no links anywhere**.
+pub fn data_document(node: &DerivedNode) -> Document {
+    let mut el = ElementBuilder::new(node.element_name.as_str()).attr("id", node.node.slug.clone());
+    for (name, value) in &node.node.attributes {
+        el = el.child(ElementBuilder::new(name.as_str()).text(value.clone()));
+    }
+    el.build_document()
+}
+
+/// Builds one `<links xlink:type="extended">` element for a context.
+fn extended_link_for_context(ctx: &NavigationalContext, group_slug: &str, group_title: &str) -> ElementBuilder {
+    let mut links = ElementBuilder::new("links")
+        .attr(xlink("type"), "extended")
+        .attr(xlink("role"), ctx.name.clone())
+        .attr(xlink("title"), group_title.to_string());
+    // Locators: the index (group) document plus every member document.
+    links = links.child(
+        ElementBuilder::new("loc")
+            .attr(xlink("type"), "locator")
+            .attr(xlink("label"), "index")
+            .attr(xlink("href"), data_path(group_slug))
+            .attr(xlink("title"), group_title.to_string()),
+    );
+    for (i, m) in ctx.members.iter().enumerate() {
+        links = links.child(
+            ElementBuilder::new("loc")
+                .attr(xlink("type"), "locator")
+                .attr(xlink("label"), format!("m{}", i + 1))
+                .attr(xlink("href"), data_path(&m.slug))
+                .attr(xlink("title"), m.title.clone()),
+        );
+    }
+    let arc = |from: String, to: String, kind: NavLinkKind, title: Option<&str>| {
+        let mut a = ElementBuilder::new("go")
+            .attr(xlink("type"), "arc")
+            .attr(xlink("from"), from)
+            .attr(xlink("to"), to)
+            .attr(xlink("arcrole"), kind.arcrole());
+        if let Some(t) = title {
+            a = a.attr(xlink("title"), t.to_string());
+        }
+        a
+    };
+    let n = ctx.members.len();
+    let with_index = matches!(
+        ctx.access,
+        AccessStructureKind::Index | AccessStructureKind::IndexedGuidedTour
+    );
+    let with_tour = matches!(
+        ctx.access,
+        AccessStructureKind::GuidedTour | AccessStructureKind::IndexedGuidedTour
+    );
+    if with_index {
+        for i in 1..=n {
+            // No arc title: the traversal inherits the member locator's
+            // title, which is what index entries display.
+            links = links.child(arc(
+                "index".into(),
+                format!("m{i}"),
+                NavLinkKind::IndexEntry,
+                None,
+            ));
+        }
+        for i in 1..=n {
+            links = links.child(arc(
+                format!("m{i}"),
+                "index".into(),
+                NavLinkKind::UpToIndex,
+                Some("Back to index"),
+            ));
+        }
+    }
+    if with_tour {
+        if n > 0 {
+            links = links.child(arc(
+                "index".into(),
+                "m1".into(),
+                NavLinkKind::TourStart,
+                Some("Start tour"),
+            ));
+        }
+        for i in 1..n {
+            links = links.child(arc(
+                format!("m{i}"),
+                format!("m{}", i + 1),
+                NavLinkKind::Next,
+                Some("Next"),
+            ));
+            links = links.child(arc(
+                format!("m{}", i + 1),
+                format!("m{i}"),
+                NavLinkKind::Previous,
+                Some("Previous"),
+            ));
+        }
+    }
+    links
+}
+
+/// Generates the complete separated authoring for a site spec: data
+/// documents, `links.xml`, `transform.xml`, and the CSS.
+///
+/// Uses the museum transform and stylesheet; for other domains use
+/// [`separated_sources_with`].
+///
+/// # Errors
+///
+/// Propagates derivation failures.
+pub fn separated_sources(
+    store: &InstanceStore,
+    nav: &NavigationalSchema,
+    spec: &SiteSpec,
+) -> Result<Site, CoreError> {
+    separated_sources_with(store, nav, spec, MUSEUM_TRANSFORM, MUSEUM_CSS)
+}
+
+/// Like [`separated_sources`], with a caller-supplied presentation concern:
+/// `transform_xml` must contain one template per conceptual class the spec
+/// renders, and `css` is stored verbatim as `museum.css`'s replacement.
+///
+/// # Errors
+///
+/// Propagates derivation failures and transform parse errors.
+pub fn separated_sources_with(
+    store: &InstanceStore,
+    nav: &NavigationalSchema,
+    spec: &SiteSpec,
+    transform_xml: &str,
+    css: &str,
+) -> Result<Site, CoreError> {
+    let derived = derive_site(store, nav, spec)?;
+    let mut site = Site::new();
+    site.put_css(CSS_PATH, css);
+    site.put_document(TRANSFORM_PATH, Document::parse(transform_xml)?);
+
+    for dn in derived.member_nodes.values().chain(derived.group_nodes.values()) {
+        site.put_document(data_path(&dn.node.slug), data_document(dn));
+    }
+
+    let mut linkbase = ElementBuilder::new("linkbase").namespace("xlink", XLINK_NS);
+    for (_fspec, family) in &derived.families {
+        for ctx in &family.contexts {
+            let group_slug = crate::derive::DerivedSite::group_slug_of_context(&ctx.name);
+            linkbase = linkbase.child(extended_link_for_context(ctx, group_slug, &ctx.title));
+        }
+    }
+    site.put_document(LINKBASE_PATH, linkbase.build_document());
+    Ok(site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_xlink::Linkbase;
+
+    fn sources(access: AccessStructureKind) -> Site {
+        separated_sources(&paper_museum(), &museum_navigation(), &paper_spec(access)).unwrap()
+    }
+
+    #[test]
+    fn figure_7_picasso_xml() {
+        // Fig 7: the painter's data document, free of links.
+        let site = sources(AccessStructureKind::Index);
+        let doc = site.get("picasso.xml").unwrap().document().unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).unwrap().local(), "painter");
+        assert_eq!(doc.attribute(root, "id"), Some("picasso"));
+        let name = doc.first_child_named(root, "name").unwrap();
+        assert_eq!(doc.text_content(name), "Pablo Picasso");
+        // No xlink markup in data documents.
+        assert!(!doc.to_xml_string().contains("xlink"));
+    }
+
+    #[test]
+    fn figure_8_avignon_xml() {
+        // Fig 8: one painting's data document.
+        let site = sources(AccessStructureKind::Index);
+        let doc = site.get("avignon.xml").unwrap().document().unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).unwrap().local(), "painting");
+        let title = doc.first_child_named(root, "title").unwrap();
+        assert_eq!(doc.text_content(title), "Les Demoiselles d'Avignon");
+        let year = doc.first_child_named(root, "year").unwrap();
+        assert_eq!(doc.text_content(year), "1907");
+    }
+
+    #[test]
+    fn figure_9_links_xml_parses_as_linkbase() {
+        // Fig 9: all links live in links.xml, as XLink extended links.
+        let site = sources(AccessStructureKind::Index);
+        let doc = site.get("links.xml").unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, "links.xml").unwrap();
+        // One extended link per context (2 painters).
+        assert_eq!(lb.extended_links().len(), 2);
+        // Picasso's context: 3 index entries + 3 up arcs.
+        let picasso = &lb.extended_links()[0];
+        assert_eq!(picasso.locators.len(), 4); // index + 3 members
+        assert_eq!(picasso.traversals().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn igt_linkbase_adds_tour_arcs_only() {
+        let index = sources(AccessStructureKind::Index);
+        let igt = sources(AccessStructureKind::IndexedGuidedTour);
+        // Data documents identical between the two authorings…
+        for slug in ["picasso", "guitar", "guernica", "avignon"] {
+            let a = index.get(&data_path(slug)).unwrap().document().unwrap().to_xml_string();
+            let b = igt.get(&data_path(slug)).unwrap().document().unwrap().to_xml_string();
+            assert_eq!(a, b, "{slug} data must not change");
+        }
+        // …and the transform identical too.
+        assert_eq!(
+            index.get(TRANSFORM_PATH).unwrap().document().unwrap().to_xml_string(),
+            igt.get(TRANSFORM_PATH).unwrap().document().unwrap().to_xml_string()
+        );
+        // Only links.xml differs.
+        let a = index.get(LINKBASE_PATH).unwrap().document().unwrap();
+        let b = igt.get(LINKBASE_PATH).unwrap().document().unwrap();
+        assert_ne!(a.to_xml_string(), b.to_xml_string());
+        let lb = Linkbase::from_document(b, "links.xml").unwrap();
+        // Picasso: 6 index/up + 1 tour-start + 2 next + 2 prev = 11.
+        assert_eq!(lb.extended_links()[0].traversals().unwrap().len(), 11);
+    }
+
+    #[test]
+    fn linkbase_validates_against_data_documents() {
+        let site = sources(AccessStructureKind::IndexedGuidedTour);
+        let doc = site.get(LINKBASE_PATH).unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, LINKBASE_PATH).unwrap();
+        let resolver = navsep_xlink::Resolver::new(&site, LINKBASE_PATH);
+        let resolved = resolver.resolve(&lb).unwrap();
+        assert!(!resolved.is_empty());
+    }
+
+    #[test]
+    fn transform_parses() {
+        let t = navsep_style::Transform::parse_str(MUSEUM_TRANSFORM).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn guided_tour_linkbase_shape() {
+        let site = sources(AccessStructureKind::GuidedTour);
+        let doc = site.get(LINKBASE_PATH).unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, LINKBASE_PATH).unwrap();
+        let ts = lb.extended_links()[0].traversals().unwrap();
+        // 1 tour-start + 2 next + 2 prev, no index arcs.
+        assert_eq!(ts.len(), 5);
+        assert!(ts
+            .iter()
+            .all(|t| NavLinkKind::from_arcrole(t.arcrole.as_deref().unwrap()).is_some()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Site specifications: which context families a museum site exposes.
+
+use navsep_hypermodel::AccessStructureKind;
+
+/// One context family to derive and navigate (e.g. "paintings by painter").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilySpec {
+    /// Family name, e.g. `by-painter`.
+    pub name: String,
+    /// Conceptual class whose objects group the contexts (e.g. `Painter`).
+    pub group_class: String,
+    /// Attribute titling group pages (e.g. `name`).
+    pub group_title_attribute: String,
+    /// Node class rendering group pages (e.g. `PainterNode`).
+    pub group_node_class: String,
+    /// Relationship deriving membership (e.g. `painted`).
+    pub relationship: String,
+    /// Node class rendering member pages (e.g. `PaintingNode`).
+    pub member_node_class: String,
+    /// The access structure organizing each context.
+    pub access: AccessStructureKind,
+}
+
+/// A full site specification: ordered context families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSpec {
+    /// The families, in authoring order.
+    pub families: Vec<FamilySpec>,
+}
+
+impl SiteSpec {
+    /// A spec with a single family.
+    pub fn single(family: FamilySpec) -> Self {
+        SiteSpec {
+            families: vec![family],
+        }
+    }
+
+    /// Returns a copy with every family switched to `access` — the paper's
+    /// requirement change, expressed as data.
+    pub fn with_access(&self, access: AccessStructureKind) -> Self {
+        let mut spec = self.clone();
+        for f in &mut spec.families {
+            f.access = access;
+        }
+        spec
+    }
+}
+
+/// The paper's spec: paintings grouped by painter.
+pub fn by_painter(access: AccessStructureKind) -> FamilySpec {
+    FamilySpec {
+        name: "by-painter".into(),
+        group_class: "Painter".into(),
+        group_title_attribute: "name".into(),
+        group_node_class: "PainterNode".into(),
+        relationship: "painted".into(),
+        member_node_class: "PaintingNode".into(),
+        access,
+    }
+}
+
+/// The §2 second derivation: paintings grouped by pictorial movement.
+pub fn by_movement(access: AccessStructureKind) -> FamilySpec {
+    FamilySpec {
+        name: "by-movement".into(),
+        group_class: "Movement".into(),
+        group_title_attribute: "name".into(),
+        group_node_class: "MovementNode".into(),
+        relationship: "includes".into(),
+        member_node_class: "PaintingNode".into(),
+        access,
+    }
+}
+
+/// The paper's museum spec (one family, as in Figs. 2–4).
+pub fn paper_spec(access: AccessStructureKind) -> SiteSpec {
+    SiteSpec::single(by_painter(access))
+}
+
+/// The two-family spec that makes §2's context-dependent "Next" observable.
+pub fn contextual_spec(access: AccessStructureKind) -> SiteSpec {
+    SiteSpec {
+        families: vec![by_painter(access), by_movement(access)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_access_switches_every_family() {
+        let spec = contextual_spec(AccessStructureKind::Index);
+        let switched = spec.with_access(AccessStructureKind::IndexedGuidedTour);
+        assert!(switched
+            .families
+            .iter()
+            .all(|f| f.access == AccessStructureKind::IndexedGuidedTour));
+        // Original untouched.
+        assert!(spec
+            .families
+            .iter()
+            .all(|f| f.access == AccessStructureKind::Index));
+    }
+
+    #[test]
+    fn paper_spec_is_by_painter_only() {
+        let s = paper_spec(AccessStructureKind::Index);
+        assert_eq!(s.families.len(), 1);
+        assert_eq!(s.families[0].name, "by-painter");
+    }
+}

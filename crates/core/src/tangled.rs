@@ -1,0 +1,246 @@
+//! The tangled baseline: navigation hard-coded into every page.
+//!
+//! This is how the paper's museum was built before the proposal — the HTML
+//! of Figures 3 and 4. Content, presentation hooks *and navigation* are
+//! emitted together, page by page. Changing the access structure therefore
+//! touches **every node page of the context**, which is exactly the pain the
+//! paper dramatizes (its "two lines of HTML … in every page").
+
+use crate::derive::{derive_site, DerivedNode, DerivedSite};
+use crate::error::CoreError;
+use crate::fragments::{
+    facts_list, index_list, nav_block, node_ref_href, rel_of, IndexItem, NavAnchor,
+};
+use crate::layout::{page_path, CSS_PATH, MUSEUM_CSS};
+use crate::spec::SiteSpec;
+use navsep_hypermodel::{
+    InstanceStore, NavLinkKind, NavigationalContext, NavigationalSchema, NodeRef,
+};
+use navsep_web::Site;
+use navsep_xml::{Document, ElementBuilder};
+
+/// Builds a full XHTML page with navsep's canonical skeleton.
+pub fn page_skeleton(
+    title: &str,
+    body_class: &str,
+    body_children: Vec<ElementBuilder>,
+) -> Document {
+    ElementBuilder::new("html")
+        .child(
+            ElementBuilder::new("head")
+                .child(ElementBuilder::new("title").text(title))
+                .child(
+                    ElementBuilder::new("link")
+                        .attr("rel", "stylesheet")
+                        .attr("type", "text/css")
+                        .attr("href", CSS_PATH),
+                ),
+        )
+        .child(
+            ElementBuilder::new("body")
+                .attr("class", body_class)
+                .children(body_children),
+        )
+        .build_document()
+}
+
+/// The navigation anchors of member page `slug` inside `ctx`, tangled-style.
+fn member_anchors(ctx: &NavigationalContext, slug: &str) -> Vec<NavAnchor> {
+    let group_slug = DerivedSite::group_slug_of_context(&ctx.name);
+    ctx.access_graph()
+        .outgoing_of_member(slug)
+        .into_iter()
+        .map(|link| NavAnchor {
+            rel: rel_of(link.kind),
+            href: node_ref_href(&link.to, group_slug),
+            label: link.label.clone(),
+            context: ctx.name.clone(),
+        })
+        .collect()
+}
+
+/// The index items + entry anchors of a group page for `ctx`.
+fn entry_fragments(ctx: &NavigationalContext) -> (Vec<IndexItem>, Vec<NavAnchor>) {
+    let group_slug = DerivedSite::group_slug_of_context(&ctx.name);
+    let graph = ctx.access_graph();
+    let mut items = Vec::new();
+    let mut anchors = Vec::new();
+    for link in graph.outgoing_of_entry() {
+        match link.kind {
+            NavLinkKind::IndexEntry => {
+                if let NodeRef::Member(slug) = &link.to {
+                    items.push((page_path(slug), link.label.clone(), ctx.name.clone()));
+                }
+            }
+            _ => anchors.push(NavAnchor {
+                rel: rel_of(link.kind),
+                href: node_ref_href(&link.to, group_slug),
+                label: link.label.clone(),
+                context: ctx.name.clone(),
+            }),
+        }
+    }
+    (items, anchors)
+}
+
+fn content_of(node: &DerivedNode) -> Vec<ElementBuilder> {
+    vec![
+        ElementBuilder::new("h1").text(node.node.title.clone()),
+        facts_list(&node.facts()),
+    ]
+}
+
+/// Generates the tangled site: every page written out with its navigation
+/// inlined.
+///
+/// # Errors
+///
+/// Propagates derivation failures.
+pub fn tangled_site(
+    store: &InstanceStore,
+    nav: &NavigationalSchema,
+    spec: &SiteSpec,
+) -> Result<Site, CoreError> {
+    let derived = derive_site(store, nav, spec)?;
+    let mut site = Site::new();
+    site.put_css(CSS_PATH, MUSEUM_CSS);
+
+    // Member pages: content + one nav block per containing context.
+    for (slug, dn) in &derived.member_nodes {
+        let mut body = content_of(dn);
+        for (_fspec, family) in &derived.families {
+            for ctx in family.contexts_containing(slug) {
+                let anchors = member_anchors(ctx, slug);
+                if !anchors.is_empty() {
+                    body.push(nav_block(&anchors));
+                }
+            }
+        }
+        site.put_page(page_path(slug), page_skeleton(&dn.node.title, &dn.body_class, body));
+    }
+
+    // Group pages: content + index list and/or tour entry per own context.
+    for (slug, dn) in &derived.group_nodes {
+        let mut body = content_of(dn);
+        for (_fspec, family) in &derived.families {
+            if let Some(ctx) = family.context_of(slug) {
+                let (items, anchors) = entry_fragments(ctx);
+                if !items.is_empty() {
+                    body.push(index_list(&items));
+                }
+                if !anchors.is_empty() {
+                    body.push(nav_block(&anchors));
+                }
+            }
+        }
+        site.put_page(page_path(slug), page_skeleton(&dn.node.title, &dn.body_class, body));
+    }
+    Ok(site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museum::{museum_navigation, paper_museum};
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_style::to_display_text;
+
+    fn build(access: AccessStructureKind) -> Site {
+        tangled_site(&paper_museum(), &museum_navigation(), &paper_spec(access)).unwrap()
+    }
+
+    fn page_text(site: &Site, path: &str) -> String {
+        site.get(path).unwrap().document().unwrap().to_pretty_xml()
+    }
+
+    #[test]
+    fn figure_3_guitar_under_index() {
+        // Fig 3: the Guitar node with the Index access structure — content
+        // plus a single "Back to index" link.
+        let site = build(AccessStructureKind::Index);
+        let xml = page_text(&site, "guitar.html");
+        assert!(xml.contains("<h1>Guitar</h1>"), "{xml}");
+        assert!(xml.contains("rel=\"up\""), "{xml}");
+        assert!(!xml.contains("rel=\"next\""), "{xml}");
+        assert!(!xml.contains("rel=\"prev\""), "{xml}");
+    }
+
+    #[test]
+    fn figure_4_guitar_under_indexed_guided_tour() {
+        // Fig 4: the same node under IGT gains the tour lines.
+        let site = build(AccessStructureKind::IndexedGuidedTour);
+        let xml = page_text(&site, "guitar.html");
+        assert!(xml.contains("rel=\"next\""), "{xml}");
+        assert!(xml.contains("rel=\"up\""), "{xml}");
+        // Guitar is first in the context: no Previous.
+        assert!(!xml.contains("rel=\"prev\""), "{xml}");
+        // Guernica (middle) has both.
+        let xml = page_text(&site, "guernica.html");
+        assert!(xml.contains("rel=\"prev\""));
+        assert!(xml.contains("rel=\"next\""));
+    }
+
+    #[test]
+    fn painter_page_lists_paintings() {
+        let site = build(AccessStructureKind::Index);
+        let xml = page_text(&site, "picasso.html");
+        assert!(xml.contains("<h1>Pablo Picasso</h1>"));
+        assert!(xml.contains("class=\"index\""));
+        assert!(xml.contains("guitar.html"));
+        assert!(xml.contains("guernica.html"));
+        assert!(xml.contains("avignon.html"));
+        assert!(xml.contains("Les Demoiselles d'Avignon"));
+    }
+
+    #[test]
+    fn tour_start_only_with_tour_kinds() {
+        let index = build(AccessStructureKind::Index);
+        assert!(!page_text(&index, "picasso.html").contains("tour-start"));
+        let igt = build(AccessStructureKind::IndexedGuidedTour);
+        assert!(page_text(&igt, "picasso.html").contains("tour-start"));
+    }
+
+    #[test]
+    fn every_context_page_changes_between_access_structures() {
+        // The paper: "you should notice this isn't the only page we have to
+        // modify. We have to change all the nodes of the context."
+        let index = build(AccessStructureKind::Index);
+        let igt = build(AccessStructureKind::IndexedGuidedTour);
+        for slug in crate::museum::PICASSO_CONTEXT {
+            let a = page_text(&index, &page_path(slug));
+            let b = page_text(&igt, &page_path(slug));
+            assert_ne!(a, b, "{slug} should differ between Index and IGT");
+        }
+    }
+
+    #[test]
+    fn pages_render_as_text() {
+        let site = build(AccessStructureKind::IndexedGuidedTour);
+        let doc = site.get("guitar.html").unwrap().document().unwrap();
+        let text = to_display_text(doc);
+        assert!(text.contains("Guitar"));
+        assert!(text.contains("Next [guernica.html]"), "{text}");
+    }
+
+    #[test]
+    fn site_inventory() {
+        let site = build(AccessStructureKind::Index);
+        // 4 paintings + 2 painters + css.
+        assert_eq!(site.len(), 7);
+        assert!(site.get(CSS_PATH).is_some());
+    }
+
+    #[test]
+    fn guided_tour_members_have_no_up_link() {
+        let site = build(AccessStructureKind::GuidedTour);
+        let xml = page_text(&site, "guernica.html");
+        assert!(xml.contains("rel=\"prev\""));
+        assert!(xml.contains("rel=\"next\""));
+        assert!(!xml.contains("rel=\"up\""));
+        // And the painter page has a Start tour link but no index list.
+        let pic = page_text(&site, "picasso.html");
+        assert!(pic.contains("tour-start"));
+        assert!(!pic.contains("<ul"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Access structures: Index, Guided Tour, and Indexed Guided Tour.
+//!
+//! These are the OOHDM/HDM primitives at the heart of the paper's motivating
+//! example (its Figure 2):
+//!
+//! * **Index** — an entry page lists every member; each member links back up
+//!   to the index.
+//! * **Guided Tour** — members form a next/previous chain entered at the
+//!   first member.
+//! * **Indexed Guided Tour** — both at once. Switching Index → Indexed
+//!   Guided Tour is precisely the paper's "conceptually simple change" whose
+//!   tangled cost Figures 3–4 dramatize.
+
+use std::fmt;
+
+/// Which access structure organizes a context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessStructureKind {
+    /// Entry page with links to all members; members link back.
+    Index,
+    /// Sequential next/previous chain.
+    GuidedTour,
+    /// Index plus the sequential chain (the paper's Figure 2(b)).
+    IndexedGuidedTour,
+}
+
+impl fmt::Display for AccessStructureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessStructureKind::Index => "Index",
+            AccessStructureKind::GuidedTour => "GuidedTour",
+            AccessStructureKind::IndexedGuidedTour => "IndexedGuidedTour",
+        })
+    }
+}
+
+/// One endpoint in an access graph: the entry (index) page or a member.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// The context's entry/index page.
+    Entry,
+    /// The member with this slug.
+    Member(String),
+}
+
+impl NodeRef {
+    /// The member slug, when this is a member.
+    pub fn slug(&self) -> Option<&str> {
+        match self {
+            NodeRef::Entry => None,
+            NodeRef::Member(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Entry => f.write_str("<entry>"),
+            NodeRef::Member(s) => f.write_str(s),
+        }
+    }
+}
+
+/// The navigational meaning of one link in an access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NavLinkKind {
+    /// Index page → a member.
+    IndexEntry,
+    /// Member → the following member.
+    Next,
+    /// Member → the preceding member.
+    Previous,
+    /// Member → the index page.
+    UpToIndex,
+    /// Entry point of a guided tour (entry → first member).
+    TourStart,
+}
+
+impl NavLinkKind {
+    /// The arcrole URI navsep uses for this link kind in XLink linkbases.
+    pub fn arcrole(self) -> &'static str {
+        match self {
+            NavLinkKind::IndexEntry => "urn:navsep:nav:index-entry",
+            NavLinkKind::Next => "urn:navsep:nav:next",
+            NavLinkKind::Previous => "urn:navsep:nav:previous",
+            NavLinkKind::UpToIndex => "urn:navsep:nav:up",
+            NavLinkKind::TourStart => "urn:navsep:nav:tour-start",
+        }
+    }
+
+    /// Parses an arcrole back to a link kind.
+    pub fn from_arcrole(arcrole: &str) -> Option<Self> {
+        match arcrole {
+            "urn:navsep:nav:index-entry" => Some(NavLinkKind::IndexEntry),
+            "urn:navsep:nav:next" => Some(NavLinkKind::Next),
+            "urn:navsep:nav:previous" => Some(NavLinkKind::Previous),
+            "urn:navsep:nav:up" => Some(NavLinkKind::UpToIndex),
+            "urn:navsep:nav:tour-start" => Some(NavLinkKind::TourStart),
+            _ => None,
+        }
+    }
+
+    /// The anchor text conventionally shown for this kind of link.
+    pub fn default_label(self) -> &'static str {
+        match self {
+            NavLinkKind::IndexEntry => "",
+            NavLinkKind::Next => "Next",
+            NavLinkKind::Previous => "Previous",
+            NavLinkKind::UpToIndex => "Back to index",
+            NavLinkKind::TourStart => "Start tour",
+        }
+    }
+}
+
+impl fmt::Display for NavLinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NavLinkKind::IndexEntry => "index-entry",
+            NavLinkKind::Next => "next",
+            NavLinkKind::Previous => "previous",
+            NavLinkKind::UpToIndex => "up",
+            NavLinkKind::TourStart => "tour-start",
+        })
+    }
+}
+
+/// One derived navigational link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavLink {
+    /// Navigational meaning.
+    pub kind: NavLinkKind,
+    /// Starting page.
+    pub from: NodeRef,
+    /// Ending page.
+    pub to: NodeRef,
+    /// Anchor text (member title for index entries, else the kind's label).
+    pub label: String,
+}
+
+/// A member of a context: slug (page identity) plus display title.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Member {
+    /// Stable page slug, e.g. `guitar`.
+    pub slug: String,
+    /// Human-readable title, e.g. `Guitar`.
+    pub title: String,
+}
+
+impl Member {
+    /// Creates a member.
+    pub fn new(slug: impl Into<String>, title: impl Into<String>) -> Self {
+        Member {
+            slug: slug.into(),
+            title: title.into(),
+        }
+    }
+}
+
+/// The complete set of navigational links an access structure derives for an
+/// ordered member list.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_hypermodel::{AccessGraph, AccessStructureKind, Member, NavLinkKind};
+///
+/// let members = [Member::new("guitar", "Guitar"), Member::new("guernica", "Guernica")];
+/// let graph = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &members);
+/// // Guitar's outgoing links: Next (to guernica) + back-to-index.
+/// let outgoing = graph.outgoing_of_member("guitar");
+/// assert!(outgoing.iter().any(|l| l.kind == NavLinkKind::Next));
+/// assert!(outgoing.iter().any(|l| l.kind == NavLinkKind::UpToIndex));
+/// assert!(!outgoing.iter().any(|l| l.kind == NavLinkKind::Previous)); // first member
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessGraph {
+    kind: AccessStructureKind,
+    members: Vec<Member>,
+    links: Vec<NavLink>,
+}
+
+impl AccessGraph {
+    /// Derives the link set for `members` under `kind`.
+    pub fn build(kind: AccessStructureKind, members: &[Member]) -> Self {
+        let mut links = Vec::new();
+        let with_index = matches!(
+            kind,
+            AccessStructureKind::Index | AccessStructureKind::IndexedGuidedTour
+        );
+        let with_tour = matches!(
+            kind,
+            AccessStructureKind::GuidedTour | AccessStructureKind::IndexedGuidedTour
+        );
+        if with_index {
+            for m in members {
+                links.push(NavLink {
+                    kind: NavLinkKind::IndexEntry,
+                    from: NodeRef::Entry,
+                    to: NodeRef::Member(m.slug.clone()),
+                    label: m.title.clone(),
+                });
+            }
+            for m in members {
+                links.push(NavLink {
+                    kind: NavLinkKind::UpToIndex,
+                    from: NodeRef::Member(m.slug.clone()),
+                    to: NodeRef::Entry,
+                    label: NavLinkKind::UpToIndex.default_label().to_string(),
+                });
+            }
+        }
+        if with_tour {
+            if let Some(first) = members.first() {
+                links.push(NavLink {
+                    kind: NavLinkKind::TourStart,
+                    from: NodeRef::Entry,
+                    to: NodeRef::Member(first.slug.clone()),
+                    label: NavLinkKind::TourStart.default_label().to_string(),
+                });
+            }
+            for pair in members.windows(2) {
+                links.push(NavLink {
+                    kind: NavLinkKind::Next,
+                    from: NodeRef::Member(pair[0].slug.clone()),
+                    to: NodeRef::Member(pair[1].slug.clone()),
+                    label: NavLinkKind::Next.default_label().to_string(),
+                });
+                links.push(NavLink {
+                    kind: NavLinkKind::Previous,
+                    from: NodeRef::Member(pair[1].slug.clone()),
+                    to: NodeRef::Member(pair[0].slug.clone()),
+                    label: NavLinkKind::Previous.default_label().to_string(),
+                });
+            }
+        }
+        AccessGraph {
+            kind,
+            members: members.to_vec(),
+            links,
+        }
+    }
+
+    /// The structure kind this graph realizes.
+    pub fn kind(&self) -> AccessStructureKind {
+        self.kind
+    }
+
+    /// The ordered members.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// All links, deterministic order.
+    pub fn links(&self) -> &[NavLink] {
+        &self.links
+    }
+
+    /// Links leaving the entry/index page.
+    pub fn outgoing_of_entry(&self) -> Vec<&NavLink> {
+        self.links
+            .iter()
+            .filter(|l| l.from == NodeRef::Entry)
+            .collect()
+    }
+
+    /// Links leaving the member page `slug`.
+    pub fn outgoing_of_member(&self, slug: &str) -> Vec<&NavLink> {
+        self.links
+            .iter()
+            .filter(|l| l.from.slug() == Some(slug))
+            .collect()
+    }
+
+    /// The member following `slug` in tour order, if any.
+    pub fn next_of(&self, slug: &str) -> Option<&Member> {
+        let pos = self.members.iter().position(|m| m.slug == slug)?;
+        self.members.get(pos + 1)
+    }
+
+    /// The member preceding `slug` in tour order, if any.
+    pub fn prev_of(&self, slug: &str) -> Option<&Member> {
+        let pos = self.members.iter().position(|m| m.slug == slug)?;
+        pos.checked_sub(1).and_then(|p| self.members.get(p))
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when the graph has no links (empty member list under Index).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: usize) -> Vec<Member> {
+        (0..n)
+            .map(|i| Member::new(format!("m{i}"), format!("Member {i}")))
+            .collect()
+    }
+
+    #[test]
+    fn index_topology() {
+        let ms = members(3);
+        let g = AccessGraph::build(AccessStructureKind::Index, &ms);
+        // N index entries + N up links.
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.outgoing_of_entry().len(), 3);
+        for m in &ms {
+            let out = g.outgoing_of_member(&m.slug);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].kind, NavLinkKind::UpToIndex);
+        }
+        // No next/prev links under plain Index.
+        assert!(!g.links().iter().any(|l| l.kind == NavLinkKind::Next));
+    }
+
+    #[test]
+    fn guided_tour_topology() {
+        let ms = members(4);
+        let g = AccessGraph::build(AccessStructureKind::GuidedTour, &ms);
+        // 1 tour-start + 3 next + 3 prev.
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.outgoing_of_entry().len(), 1);
+        assert_eq!(g.outgoing_of_entry()[0].kind, NavLinkKind::TourStart);
+        // Interior member has next + prev.
+        let mid = g.outgoing_of_member("m1");
+        assert_eq!(mid.len(), 2);
+        // No index entries.
+        assert!(!g.links().iter().any(|l| l.kind == NavLinkKind::IndexEntry));
+    }
+
+    #[test]
+    fn indexed_guided_tour_is_union() {
+        let ms = members(3);
+        let index = AccessGraph::build(AccessStructureKind::Index, &ms);
+        let tour = AccessGraph::build(AccessStructureKind::GuidedTour, &ms);
+        let igt = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &ms);
+        assert_eq!(igt.len(), index.len() + tour.len());
+        // Every link of both components appears.
+        for l in index.links().iter().chain(tour.links()) {
+            assert!(igt.links().contains(l), "missing {l:?}");
+        }
+    }
+
+    #[test]
+    fn the_papers_two_lines() {
+        // Fig 3 → Fig 4: the middle painting (Guernica's analogue) gains
+        // exactly two links: Next and Previous.
+        let ms = vec![
+            Member::new("guitar", "Guitar"),
+            Member::new("guernica", "Guernica"),
+            Member::new("avignon", "Les Demoiselles d'Avignon"),
+        ];
+        let index = AccessGraph::build(AccessStructureKind::Index, &ms);
+        let igt = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &ms);
+        let before = index.outgoing_of_member("guernica").len();
+        let after = igt.outgoing_of_member("guernica").len();
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    fn next_prev_lookup() {
+        let ms = members(3);
+        let g = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &ms);
+        assert_eq!(g.next_of("m0").unwrap().slug, "m1");
+        assert_eq!(g.prev_of("m2").unwrap().slug, "m1");
+        assert!(g.prev_of("m0").is_none());
+        assert!(g.next_of("m2").is_none());
+        assert!(g.next_of("ghost").is_none());
+    }
+
+    #[test]
+    fn empty_and_singleton_member_lists() {
+        let g = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &[]);
+        assert!(g.is_empty());
+        let one = [Member::new("only", "Only")];
+        let g = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &one);
+        // index entry + up + tour start; no next/prev.
+        assert_eq!(g.len(), 3);
+        assert!(!g.links().iter().any(|l| l.kind == NavLinkKind::Next));
+    }
+
+    #[test]
+    fn arcrole_round_trip() {
+        for kind in [
+            NavLinkKind::IndexEntry,
+            NavLinkKind::Next,
+            NavLinkKind::Previous,
+            NavLinkKind::UpToIndex,
+            NavLinkKind::TourStart,
+        ] {
+            assert_eq!(NavLinkKind::from_arcrole(kind.arcrole()), Some(kind));
+        }
+        assert_eq!(NavLinkKind::from_arcrole("urn:other"), None);
+    }
+
+    #[test]
+    fn index_entry_labels_use_member_titles() {
+        let ms = members(2);
+        let g = AccessGraph::build(AccessStructureKind::Index, &ms);
+        let entries = g.outgoing_of_entry();
+        assert_eq!(entries[0].label, "Member 0");
+        assert_eq!(entries[1].label, "Member 1");
+    }
+}

@@ -1,0 +1,315 @@
+//! Implementation-class models — the reproduction of the paper's Figure 5.
+//!
+//! Figure 5 shows the class diagrams realizing the Index (5a) and Indexed
+//! Guided Tour (5b) access structures. This module models class diagrams as
+//! data ([`ClassModel`]), provides the two figures as constructors, and
+//! exports text and Graphviz DOT renderings so the bench harness can
+//! regenerate the figure mechanically.
+
+use std::fmt;
+
+/// One attribute in a class box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Type annotation (informal).
+    pub ty: String,
+}
+
+/// One operation in a class box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassOperation {
+    /// Operation name.
+    pub name: String,
+    /// Signature (informal, printed verbatim after the name).
+    pub signature: String,
+}
+
+/// An association between two classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// Source class name.
+    pub from: String,
+    /// Target class name.
+    pub to: String,
+    /// Role/label on the association.
+    pub label: String,
+    /// Multiplicity at the target end.
+    pub multiplicity: String,
+}
+
+/// One class box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Class name.
+    pub name: String,
+    /// Attributes.
+    pub attributes: Vec<ClassAttribute>,
+    /// Operations.
+    pub operations: Vec<ClassOperation>,
+}
+
+impl ClassSpec {
+    /// Creates an empty class box.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassSpec {
+            name: name.into(),
+            attributes: Vec::new(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn attribute(mut self, name: &str, ty: &str) -> Self {
+        self.attributes.push(ClassAttribute {
+            name: name.to_string(),
+            ty: ty.to_string(),
+        });
+        self
+    }
+
+    /// Adds an operation.
+    pub fn operation(mut self, name: &str, signature: &str) -> Self {
+        self.operations.push(ClassOperation {
+            name: name.to_string(),
+            signature: signature.to_string(),
+        });
+        self
+    }
+}
+
+/// A class diagram: classes plus associations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassModel {
+    /// Diagram title.
+    pub title: String,
+    /// The class boxes.
+    pub classes: Vec<ClassSpec>,
+    /// The associations.
+    pub associations: Vec<Association>,
+}
+
+impl ClassModel {
+    /// Creates an empty diagram.
+    pub fn new(title: impl Into<String>) -> Self {
+        ClassModel {
+            title: title.into(),
+            classes: Vec::new(),
+            associations: Vec::new(),
+        }
+    }
+
+    /// Adds a class box.
+    pub fn class(mut self, class: ClassSpec) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Adds an association.
+    pub fn associate(mut self, from: &str, to: &str, label: &str, multiplicity: &str) -> Self {
+        self.associations.push(Association {
+            from: from.to_string(),
+            to: to.to_string(),
+            label: label.to_string(),
+            multiplicity: multiplicity.to_string(),
+        });
+        self
+    }
+
+    /// Looks up a class by name.
+    pub fn class_named(&self, name: &str) -> Option<&ClassSpec> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Renders the diagram as indented ASCII text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for c in &self.classes {
+            out.push_str(&format!("class {}\n", c.name));
+            for a in &c.attributes {
+                out.push_str(&format!("  - {}: {}\n", a.name, a.ty));
+            }
+            for o in &c.operations {
+                out.push_str(&format!("  + {}{}\n", o.name, o.signature));
+            }
+        }
+        for a in &self.associations {
+            out.push_str(&format!(
+                "{} --{}--> {} [{}]\n",
+                a.from, a.label, a.to, a.multiplicity
+            ));
+        }
+        out
+    }
+
+    /// Renders the diagram as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n  node [shape=record];\n", self.title));
+        for c in &self.classes {
+            let attrs: Vec<String> = c
+                .attributes
+                .iter()
+                .map(|a| format!("{}: {}", a.name, a.ty))
+                .collect();
+            let ops: Vec<String> = c
+                .operations
+                .iter()
+                .map(|o| format!("{}{}", o.name, o.signature))
+                .collect();
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{{{}|{}|{}}}\"];\n",
+                c.name,
+                c.name,
+                attrs.join("\\l"),
+                ops.join("\\l"),
+            ));
+        }
+        for a in &self.associations {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{} [{}]\"];\n",
+                a.from, a.to, a.label, a.multiplicity
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for ClassModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Figure 5(a): the classes implementing the **Index** access structure.
+pub fn index_class_model() -> ClassModel {
+    ClassModel::new("Index implementation classes (paper Fig. 5a)")
+        .class(
+            ClassSpec::new("Node")
+                .attribute("slug", "String")
+                .attribute("title", "String")
+                .operation("render", "() -> Page"),
+        )
+        .class(
+            ClassSpec::new("Index")
+                .attribute("entries", "List<IndexEntry>")
+                .operation("add_entry", "(target: Node)")
+                .operation("render", "() -> Page"),
+        )
+        .class(
+            ClassSpec::new("IndexEntry")
+                .attribute("label", "String")
+                .operation("target", "() -> Node"),
+        )
+        .associate("Index", "IndexEntry", "entries", "*")
+        .associate("IndexEntry", "Node", "target", "1")
+        .associate("Node", "Index", "up", "1")
+}
+
+/// Figure 5(b): the classes implementing the **Indexed Guided Tour**.
+///
+/// The delta against [`index_class_model`] is the `TourStop` chaining —
+/// exactly the design change the paper's customer request forces.
+pub fn indexed_guided_tour_class_model() -> ClassModel {
+    ClassModel::new("Indexed Guided Tour implementation classes (paper Fig. 5b)")
+        .class(
+            ClassSpec::new("Node")
+                .attribute("slug", "String")
+                .attribute("title", "String")
+                .operation("render", "() -> Page"),
+        )
+        .class(
+            ClassSpec::new("Index")
+                .attribute("entries", "List<IndexEntry>")
+                .operation("add_entry", "(target: Node)")
+                .operation("render", "() -> Page"),
+        )
+        .class(
+            ClassSpec::new("IndexEntry")
+                .attribute("label", "String")
+                .operation("target", "() -> Node"),
+        )
+        .class(
+            ClassSpec::new("TourStop")
+                .attribute("position", "usize")
+                .operation("next", "() -> Option<TourStop>")
+                .operation("previous", "() -> Option<TourStop>"),
+        )
+        .associate("Index", "IndexEntry", "entries", "*")
+        .associate("IndexEntry", "Node", "target", "1")
+        .associate("Node", "Index", "up", "1")
+        .associate("TourStop", "Node", "node", "1")
+        .associate("TourStop", "TourStop", "next", "0..1")
+}
+
+/// The classes added by the Index → Indexed Guided Tour change: the delta the
+/// separated design localizes and the tangled design spreads over all pages.
+pub fn class_model_delta() -> Vec<String> {
+    let index = index_class_model();
+    let igt = indexed_guided_tour_class_model();
+    igt.classes
+        .iter()
+        .filter(|c| index.class_named(&c.name).is_none())
+        .map(|c| c.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_5a_contents() {
+        let m = index_class_model();
+        assert!(m.class_named("Index").is_some());
+        assert!(m.class_named("IndexEntry").is_some());
+        assert!(m.class_named("Node").is_some());
+        assert!(m.class_named("TourStop").is_none());
+        assert_eq!(m.associations.len(), 3);
+    }
+
+    #[test]
+    fn figure_5b_adds_tour_stop() {
+        let m = indexed_guided_tour_class_model();
+        let stop = m.class_named("TourStop").unwrap();
+        assert!(stop.operations.iter().any(|o| o.name == "next"));
+        assert!(stop.operations.iter().any(|o| o.name == "previous"));
+        // Self-association for chaining.
+        assert!(m
+            .associations
+            .iter()
+            .any(|a| a.from == "TourStop" && a.to == "TourStop"));
+    }
+
+    #[test]
+    fn delta_is_exactly_tour_stop() {
+        assert_eq!(class_model_delta(), vec!["TourStop".to_string()]);
+    }
+
+    #[test]
+    fn text_rendering() {
+        let text = index_class_model().to_text();
+        assert!(text.contains("class Index"));
+        assert!(text.contains("+ render() -> Page"));
+        assert!(text.contains("Index --entries--> IndexEntry [*]"));
+    }
+
+    #[test]
+    fn dot_rendering_is_valid_ish() {
+        let dot = indexed_guided_tour_class_model().to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"TourStop\" -> \"TourStop\""));
+        assert!(dot.ends_with("}\n"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn display_uses_text_form() {
+        let m = index_class_model();
+        assert_eq!(m.to_string(), m.to_text());
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors for the hypermedia design model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A violation of the conceptual or navigational schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Reference to a class the schema does not define.
+    UnknownClass(String),
+    /// Reference to a relationship the schema does not define.
+    UnknownRelationship(String),
+    /// Reference to an object id that does not exist.
+    UnknownObject(String),
+    /// An attribute not declared on the object's class.
+    UnknownAttribute {
+        /// The class name.
+        class: String,
+        /// The undeclared attribute.
+        attribute: String,
+    },
+    /// A link whose endpoints disagree with the relationship definition.
+    BadLink {
+        /// The relationship name.
+        relationship: String,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// Two objects were created with the same id.
+    DuplicateObject(String),
+    /// A navigational context is empty or malformed.
+    InvalidContext(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
+            ModelError::UnknownRelationship(r) => write!(f, "unknown relationship {r:?}"),
+            ModelError::UnknownObject(o) => write!(f, "unknown object {o:?}"),
+            ModelError::UnknownAttribute { class, attribute } => {
+                write!(f, "class {class:?} has no attribute {attribute:?}")
+            }
+            ModelError::BadLink {
+                relationship,
+                reason,
+            } => write!(f, "bad {relationship:?} link: {reason}"),
+            ModelError::DuplicateObject(o) => write!(f, "duplicate object id {o:?}"),
+            ModelError::InvalidContext(m) => write!(f, "invalid navigational context: {m}"),
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            ModelError::UnknownClass("Painter".into()).to_string(),
+            "unknown class \"Painter\""
+        );
+        assert!(ModelError::UnknownAttribute {
+            class: "Painting".into(),
+            attribute: "smell".into()
+        }
+        .to_string()
+        .contains("smell"));
+    }
+}

@@ -1,0 +1,83 @@
+//! # navsep-hypermodel — the design-level primitives
+//!
+//! The web-design methodologies the paper surveys (HDM, RMM, OOHDM) all
+//! model navigation with the same primitives: **nodes** (views of conceptual
+//! classes), **links** (views of relationships), **access structures**
+//! (Index, Guided Tour, Indexed Guided Tour) and — OOHDM's contribution —
+//! **navigational contexts**. This crate implements those primitives so the
+//! rest of the stack can carry them from design to implementation, which is
+//! the paper's whole argument.
+//!
+//! * [`conceptual`] — classes, relationships, and a validated instance store;
+//! * [`navigational`] — node/link classes as views over the conceptual model;
+//! * [`access`] — the three access structures and their derived link graphs;
+//! * [`context`] — navigational contexts and group-by families;
+//! * [`classes`] — the implementation-class diagrams of the paper's Fig. 5.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use navsep_hypermodel::{
+//!     AccessStructureKind, Cardinality, ConceptualSchema, ContextFamily, InstanceStore,
+//!     NavigationalSchema,
+//! };
+//!
+//! let schema = ConceptualSchema::new()
+//!     .class("Painter", &["name"])
+//!     .class("Painting", &["title"])
+//!     .relationship("painted", "Painter", "Painting", Cardinality::Many);
+//! let mut store = InstanceStore::new(schema);
+//! store.create("picasso", "Painter", &[("name", "Pablo Picasso")])?;
+//! store.create("guitar", "Painting", &[("title", "Guitar")])?;
+//! store.create("guernica", "Painting", &[("title", "Guernica")])?;
+//! store.link("painted", "picasso", "guitar")?;
+//! store.link("painted", "picasso", "guernica")?;
+//!
+//! let nav = NavigationalSchema::new()
+//!     .node_class("PaintingNode", "Painting", "title", &["title"]);
+//! let by_painter = ContextFamily::group_by(
+//!     "by-painter", &store, &nav, "Painter", "name", "painted",
+//!     "PaintingNode", AccessStructureKind::IndexedGuidedTour,
+//! )?;
+//! let picasso = by_painter.context_of("picasso").unwrap();
+//! assert_eq!(picasso.next_of("guitar").unwrap().slug, "guernica");
+//! # Ok::<(), navsep_hypermodel::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod classes;
+pub mod conceptual;
+pub mod context;
+pub mod error;
+pub mod navigational;
+
+pub use access::{AccessGraph, AccessStructureKind, Member, NavLink, NavLinkKind, NodeRef};
+pub use classes::{
+    class_model_delta, index_class_model, indexed_guided_tour_class_model, Association,
+    ClassAttribute, ClassModel, ClassOperation, ClassSpec,
+};
+pub use conceptual::{
+    AttributeDef, Cardinality, ClassDef, ConceptualObject, ConceptualSchema, InstanceStore,
+    ObjectId, RelationshipDef,
+};
+pub use context::{ContextFamily, NavigationalContext};
+pub use error::ModelError;
+pub use navigational::{LinkClass, NavNode, NavigationalSchema, NodeClass};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InstanceStore>();
+        assert_send_sync::<AccessGraph>();
+        assert_send_sync::<NavigationalContext>();
+        assert_send_sync::<ClassModel>();
+        assert_send_sync::<ModelError>();
+    }
+}

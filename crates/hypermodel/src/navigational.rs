@@ -1,0 +1,265 @@
+//! The navigational schema: node and link classes as *views* over the
+//! conceptual model.
+//!
+//! OOHDM's second phase defines navigation objects as customized views of
+//! conceptual objects — "nodes (views of the conceptual classes)" and "links
+//! (views of the relationships)" in the paper's §4. A [`NavigationalSchema`]
+//! names which classes become page-producing node classes (and which of
+//! their attributes are shown) and which relationships become link classes.
+
+use crate::conceptual::{ConceptualObject, InstanceStore};
+use crate::error::ModelError;
+
+/// A node class: a view over one conceptual class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeClass {
+    /// Node class name (often the conceptual class name).
+    pub name: String,
+    /// The conceptual class this node class views.
+    pub from_class: String,
+    /// Which attribute supplies the page title.
+    pub title_attribute: String,
+    /// Attributes exposed on the node (subset of the class's attributes).
+    pub shown_attributes: Vec<String>,
+}
+
+/// A link class: a view over one conceptual relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkClass {
+    /// Link class name.
+    pub name: String,
+    /// The relationship this link class views.
+    pub from_relationship: String,
+}
+
+/// The navigational schema: which views exist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NavigationalSchema {
+    node_classes: Vec<NodeClass>,
+    link_classes: Vec<LinkClass>,
+}
+
+impl NavigationalSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a node class viewing `from_class`, titled by
+    /// `title_attribute`, exposing `shown_attributes`.
+    pub fn node_class(
+        mut self,
+        name: &str,
+        from_class: &str,
+        title_attribute: &str,
+        shown_attributes: &[&str],
+    ) -> Self {
+        self.node_classes.push(NodeClass {
+            name: name.to_string(),
+            from_class: from_class.to_string(),
+            title_attribute: title_attribute.to_string(),
+            shown_attributes: shown_attributes.iter().map(|s| (*s).to_string()).collect(),
+        });
+        self
+    }
+
+    /// Declares a link class viewing `from_relationship`.
+    pub fn link_class(mut self, name: &str, from_relationship: &str) -> Self {
+        self.link_classes.push(LinkClass {
+            name: name.to_string(),
+            from_relationship: from_relationship.to_string(),
+        });
+        self
+    }
+
+    /// The node classes.
+    pub fn node_classes(&self) -> &[NodeClass] {
+        &self.node_classes
+    }
+
+    /// The link classes.
+    pub fn link_classes(&self) -> &[LinkClass] {
+        &self.link_classes
+    }
+
+    /// Looks up a node class by name.
+    pub fn node_class_named(&self, name: &str) -> Option<&NodeClass> {
+        self.node_classes.iter().find(|n| n.name == name)
+    }
+
+    /// Derives the navigation nodes of `node_class` from the instance store.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownClass`] when the node class views a class the
+    ///   store's schema lacks;
+    /// * [`ModelError::UnknownAttribute`] when the title or a shown
+    ///   attribute is not declared on that class.
+    pub fn derive_nodes(
+        &self,
+        node_class: &str,
+        store: &InstanceStore,
+    ) -> Result<Vec<NavNode>, ModelError> {
+        let nc = self
+            .node_class_named(node_class)
+            .ok_or_else(|| ModelError::UnknownClass(node_class.to_string()))?;
+        let class_def = store
+            .schema()
+            .class_def(&nc.from_class)
+            .ok_or_else(|| ModelError::UnknownClass(nc.from_class.clone()))?;
+        let check_attr = |a: &str| -> Result<(), ModelError> {
+            if class_def.attributes.iter().any(|d| d.name == a) {
+                Ok(())
+            } else {
+                Err(ModelError::UnknownAttribute {
+                    class: nc.from_class.clone(),
+                    attribute: a.to_string(),
+                })
+            }
+        };
+        check_attr(&nc.title_attribute)?;
+        for a in &nc.shown_attributes {
+            check_attr(a)?;
+        }
+        Ok(store
+            .objects_of_class(&nc.from_class)
+            .map(|o| NavNode::from_object(nc, o))
+            .collect())
+    }
+}
+
+/// A derived navigation node: one page-to-be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavNode {
+    /// Page slug (the conceptual object's id).
+    pub slug: String,
+    /// The node class that produced this node.
+    pub node_class: String,
+    /// Display title (value of the class's title attribute).
+    pub title: String,
+    /// Exposed `(attribute, value)` pairs, in declaration order.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl NavNode {
+    fn from_object(nc: &NodeClass, obj: &ConceptualObject) -> Self {
+        NavNode {
+            slug: obj.id().as_str().to_string(),
+            node_class: nc.name.clone(),
+            title: obj
+                .attribute(&nc.title_attribute)
+                .unwrap_or(obj.id().as_str())
+                .to_string(),
+            attributes: nc
+                .shown_attributes
+                .iter()
+                .filter_map(|a| {
+                    obj.attribute(a)
+                        .map(|v| (a.clone(), v.to_string()))
+                })
+                .collect(),
+        }
+    }
+
+    /// Value of a shown attribute.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conceptual::{Cardinality, ConceptualSchema};
+
+    fn store() -> InstanceStore {
+        let schema = ConceptualSchema::new()
+            .class("Painter", &["name", "born"])
+            .class("Painting", &["title", "year", "technique"])
+            .relationship("painted", "Painter", "Painting", Cardinality::Many);
+        let mut s = InstanceStore::new(schema);
+        s.create("picasso", "Painter", &[("name", "Pablo Picasso"), ("born", "1881")])
+            .unwrap();
+        s.create(
+            "guitar",
+            "Painting",
+            &[("title", "Guitar"), ("year", "1913"), ("technique", "oil")],
+        )
+        .unwrap();
+        s.create("guernica", "Painting", &[("title", "Guernica"), ("year", "1937")])
+            .unwrap();
+        s.link("painted", "picasso", "guitar").unwrap();
+        s.link("painted", "picasso", "guernica").unwrap();
+        s
+    }
+
+    fn nav_schema() -> NavigationalSchema {
+        NavigationalSchema::new()
+            .node_class("PainterNode", "Painter", "name", &["name", "born"])
+            .node_class("PaintingNode", "Painting", "title", &["title", "year"])
+            .link_class("WorksOf", "painted")
+    }
+
+    #[test]
+    fn derives_nodes_as_views() {
+        let nodes = nav_schema().derive_nodes("PaintingNode", &store()).unwrap();
+        assert_eq!(nodes.len(), 2);
+        let guitar = &nodes[0];
+        assert_eq!(guitar.slug, "guitar");
+        assert_eq!(guitar.title, "Guitar");
+        assert_eq!(guitar.attribute("year"), Some("1913"));
+        // "technique" exists on the class but is NOT part of the view.
+        assert_eq!(guitar.attribute("technique"), None);
+    }
+
+    #[test]
+    fn missing_shown_attribute_skipped_per_object() {
+        // guernica has no technique/born etc. — only declared-but-missing
+        // values are skipped, not an error.
+        let nodes = nav_schema().derive_nodes("PaintingNode", &store()).unwrap();
+        let guernica = &nodes[1];
+        assert_eq!(guernica.attribute("year"), Some("1937"));
+    }
+
+    #[test]
+    fn unknown_node_class_is_error() {
+        assert!(matches!(
+            nav_schema().derive_nodes("SculptureNode", &store()),
+            Err(ModelError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn undeclared_attribute_is_error() {
+        let schema = NavigationalSchema::new().node_class(
+            "PaintingNode",
+            "Painting",
+            "smell", // not a Painting attribute
+            &[],
+        );
+        assert!(matches!(
+            schema.derive_nodes("PaintingNode", &store()),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn title_falls_back_to_slug() {
+        let schema = ConceptualSchema::new().class("Thing", &["label"]);
+        let mut s = InstanceStore::new(schema);
+        s.create("t1", "Thing", &[]).unwrap();
+        let nav = NavigationalSchema::new().node_class("ThingNode", "Thing", "label", &[]);
+        let nodes = nav.derive_nodes("ThingNode", &s).unwrap();
+        assert_eq!(nodes[0].title, "t1");
+    }
+
+    #[test]
+    fn link_classes_recorded() {
+        let s = nav_schema();
+        assert_eq!(s.link_classes().len(), 1);
+        assert_eq!(s.link_classes()[0].from_relationship, "painted");
+    }
+}

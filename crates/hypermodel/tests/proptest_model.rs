@@ -1,0 +1,87 @@
+//! Property-based tests for the conceptual instance store.
+
+use navsep_hypermodel::{Cardinality, ConceptualSchema, InstanceStore};
+use proptest::prelude::*;
+
+fn schema() -> ConceptualSchema {
+    ConceptualSchema::new()
+        .class("Group", &["name"])
+        .class("Item", &["title"])
+        .relationship("holds", "Group", "Item", Cardinality::Many)
+}
+
+proptest! {
+    /// `related` and `related_to` are dual: x ∈ related(g) ⟺ g ∈ related_to(x).
+    #[test]
+    fn related_and_related_to_are_dual(
+        groups in 1usize..4,
+        items in 1usize..6,
+        links in proptest::collection::vec((0usize..4, 0usize..6), 0..12),
+    ) {
+        let mut store = InstanceStore::new(schema());
+        for g in 0..groups {
+            store.create(format!("g{g}"), "Group", &[("name", "G")]).unwrap();
+        }
+        for i in 0..items {
+            store.create(format!("i{i}"), "Item", &[("title", "T")]).unwrap();
+        }
+        for (g, i) in links {
+            let g = g % groups;
+            let i = i % items;
+            store.link("holds", format!("g{g}"), format!("i{i}")).unwrap();
+        }
+        for g in 0..groups {
+            let forward = store.related(format!("g{g}"), "holds").unwrap();
+            for item in &forward {
+                let reverse = store.related_to(item.id().clone(), "holds").unwrap();
+                let group_id = format!("g{g}");
+                let item_id = item.id().to_string();
+                prop_assert!(
+                    reverse.iter().any(|o| o.id().as_str() == group_id),
+                    "duality violated for {} -> {}",
+                    group_id,
+                    item_id
+                );
+            }
+        }
+        for i in 0..items {
+            let item_id = format!("i{i}");
+            let reverse = store.related_to(item_id.as_str(), "holds").unwrap();
+            for group in &reverse {
+                let forward = store.related(group.id().clone(), "holds").unwrap();
+                prop_assert!(forward.iter().any(|o| o.id().as_str() == item_id));
+            }
+        }
+    }
+
+    /// Link order is preserved: related() returns targets in insertion order.
+    #[test]
+    fn link_order_preserved(n in 1usize..8) {
+        let mut store = InstanceStore::new(schema());
+        store.create("g", "Group", &[]).unwrap();
+        for i in 0..n {
+            store.create(format!("i{i}"), "Item", &[]).unwrap();
+        }
+        // Link in reverse order; related() must reflect exactly that.
+        for i in (0..n).rev() {
+            store.link("holds", "g", format!("i{i}")).unwrap();
+        }
+        let related = store.related("g", "holds").unwrap();
+        let ids: Vec<String> = related.iter().map(|o| o.id().to_string()).collect();
+        let expected: Vec<String> = (0..n).rev().map(|i| format!("i{i}")).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// Object count equals creations; duplicate ids always rejected.
+    #[test]
+    fn creation_count_and_duplicates(ids in proptest::collection::vec("[a-d]{1,2}", 1..12)) {
+        let mut store = InstanceStore::new(schema());
+        let mut unique = std::collections::BTreeSet::new();
+        for id in &ids {
+            let fresh = unique.insert(id.clone());
+            let result = store.create(id.as_str(), "Item", &[]);
+            prop_assert_eq!(result.is_ok(), fresh);
+        }
+        prop_assert_eq!(store.len(), unique.len());
+    }
+}

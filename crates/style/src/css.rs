@@ -1,0 +1,686 @@
+//! A CSS subset: parsing, selector matching, and the cascade.
+//!
+//! Covers what the paper's presentation concern needs: type/`#id`/`.class`/
+//! attribute selectors, `*`, descendant and child combinators, comma-grouped
+//! selectors, `!important`, comments, and specificity-ordered cascading with
+//! inline `style` attributes on top.
+
+use navsep_xml::{Document, NodeId};
+use std::collections::BTreeMap;
+use std::error::Error as StdError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Failure to parse a CSS stylesheet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCssError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseCssError {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseCssError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Why parsing failed.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset of the failure.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseCssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid css at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl StdError for ParseCssError {}
+
+/// How an attribute selector compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrOp {
+    /// `[attr]` — the attribute exists.
+    Exists,
+    /// `[attr=value]` — the attribute equals the value.
+    Equals,
+}
+
+/// One `[attr]` / `[attr=value]` selector component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSelector {
+    /// Attribute local name.
+    pub name: String,
+    /// Comparison operator.
+    pub op: AttrOp,
+    /// Right-hand side for [`AttrOp::Equals`].
+    pub value: Option<String>,
+}
+
+/// A compound selector: everything between combinators
+/// (`div.card#main[role=nav]`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompoundSelector {
+    /// Element type; `None` means `*` or omitted.
+    pub element: Option<String>,
+    /// `#id` component.
+    pub id: Option<String>,
+    /// `.class` components.
+    pub classes: Vec<String>,
+    /// Attribute components.
+    pub attrs: Vec<AttrSelector>,
+}
+
+impl CompoundSelector {
+    fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        let Some(name) = doc.name(node) else {
+            return false;
+        };
+        if let Some(el) = &self.element {
+            if name.local() != el {
+                return false;
+            }
+        }
+        if let Some(id) = &self.id {
+            if doc.attribute(node, "id") != Some(id.as_str()) {
+                return false;
+            }
+        }
+        if !self.classes.is_empty() {
+            let class_attr = doc.attribute(node, "class").unwrap_or("");
+            let have: Vec<&str> = class_attr.split_ascii_whitespace().collect();
+            if !self.classes.iter().all(|c| have.contains(&c.as_str())) {
+                return false;
+            }
+        }
+        for a in &self.attrs {
+            match (a.op, doc.attribute(node, &a.name)) {
+                (AttrOp::Exists, Some(_)) => {}
+                (AttrOp::Equals, Some(v)) if Some(v) == a.value.as_deref() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn specificity(&self) -> Specificity {
+        Specificity {
+            ids: u32::from(self.id.is_some()),
+            classes: (self.classes.len() + self.attrs.len()) as u32,
+            elements: u32::from(self.element.is_some()),
+        }
+    }
+}
+
+/// How two compound selectors in a complex selector relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combinator {
+    /// Whitespace: any ancestor.
+    Descendant,
+    /// `>`: direct parent.
+    Child,
+}
+
+/// A complex selector: compounds joined by combinators, matched right-to-left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// Compound selectors, leftmost first. Never empty.
+    pub compounds: Vec<CompoundSelector>,
+    /// `combinators[i]` joins `compounds[i]` and `compounds[i+1]`.
+    pub combinators: Vec<Combinator>,
+}
+
+impl Selector {
+    /// Whether this selector matches `node` in `doc`.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        let last = self.compounds.len() - 1;
+        if !self.compounds[last].matches(doc, node) {
+            return false;
+        }
+        self.matches_upward(doc, node, last)
+    }
+
+    fn matches_upward(&self, doc: &Document, node: NodeId, idx: usize) -> bool {
+        if idx == 0 {
+            return true;
+        }
+        let comb = self.combinators[idx - 1];
+        let target = &self.compounds[idx - 1];
+        match comb {
+            Combinator::Child => match doc.parent(node) {
+                Some(p) if target.matches(doc, p) => self.matches_upward(doc, p, idx - 1),
+                _ => false,
+            },
+            Combinator::Descendant => {
+                let mut cur = doc.parent(node);
+                while let Some(p) = cur {
+                    if target.matches(doc, p) && self.matches_upward(doc, p, idx - 1) {
+                        return true;
+                    }
+                    cur = doc.parent(p);
+                }
+                false
+            }
+        }
+    }
+
+    /// The selector's specificity (ids, classes+attrs, elements).
+    pub fn specificity(&self) -> Specificity {
+        self.compounds
+            .iter()
+            .map(CompoundSelector::specificity)
+            .fold(Specificity::ZERO, Specificity::add)
+    }
+}
+
+/// CSS specificity triple; ordered ids > classes > elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Specificity {
+    /// Count of `#id` components.
+    pub ids: u32,
+    /// Count of class + attribute components.
+    pub classes: u32,
+    /// Count of element-type components.
+    pub elements: u32,
+}
+
+impl Specificity {
+    /// The zero specificity.
+    pub const ZERO: Specificity = Specificity {
+        ids: 0,
+        classes: 0,
+        elements: 0,
+    };
+
+    fn add(self, other: Specificity) -> Specificity {
+        Specificity {
+            ids: self.ids + other.ids,
+            classes: self.classes + other.classes,
+            elements: self.elements + other.elements,
+        }
+    }
+}
+
+/// One `property: value` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Property name, lowercased.
+    pub property: String,
+    /// Raw value text (trimmed).
+    pub value: String,
+    /// Whether `!important` was present.
+    pub important: bool,
+}
+
+/// One rule: selector group + declaration block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssRule {
+    /// The comma-separated selector group.
+    pub selectors: Vec<Selector>,
+    /// The declarations.
+    pub declarations: Vec<Declaration>,
+}
+
+/// A parsed CSS stylesheet.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_style::CssStylesheet;
+/// use navsep_xml::Document;
+///
+/// let css: CssStylesheet = "h1 { color: navy } .nav a { color: green }".parse()?;
+/// let doc = Document::parse(r#"<body><div class="nav"><a>next</a></div></body>"#)?;
+/// let a = doc.descendants(doc.document_node())
+///     .find(|&n| doc.name(n).map(|q| q.local() == "a").unwrap_or(false))
+///     .unwrap();
+/// let style = css.computed_style(&doc, a);
+/// assert_eq!(style.get("color").map(String::as_str), Some("green"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CssStylesheet {
+    rules: Vec<CssRule>,
+}
+
+impl CssStylesheet {
+    /// An empty stylesheet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rules in source order.
+    pub fn rules(&self) -> &[CssRule] {
+        &self.rules
+    }
+
+    /// Computes the cascaded style of `node`: matching declarations applied
+    /// in (importance, specificity, source order) order, then the inline
+    /// `style` attribute on top (inline beats everything but `!important`).
+    pub fn computed_style(&self, doc: &Document, node: NodeId) -> BTreeMap<String, String> {
+        // (important, specificity, order) — sort ascending, later wins.
+        let mut applicable: Vec<(bool, Specificity, usize, &Declaration)> = Vec::new();
+        for (order, rule) in self.rules.iter().enumerate() {
+            let best = rule
+                .selectors
+                .iter()
+                .filter(|s| s.matches(doc, node))
+                .map(Selector::specificity)
+                .max();
+            if let Some(spec) = best {
+                for d in &rule.declarations {
+                    applicable.push((d.important, spec, order, d));
+                }
+            }
+        }
+        applicable.sort_by_key(|(imp, spec, order, _)| (*imp, *spec, *order));
+        let mut out = BTreeMap::new();
+        let mut important_set: Vec<&str> = Vec::new();
+        for (imp, _, _, d) in &applicable {
+            out.insert(d.property.clone(), d.value.clone());
+            if *imp {
+                important_set.push(&d.property);
+            }
+        }
+        // Inline style: overrides non-important declarations.
+        if let Some(inline) = doc.attribute(node, "style") {
+            for (prop, value) in parse_inline_declarations(inline) {
+                if !important_set.iter().any(|p| *p == prop) {
+                    out.insert(prop, value);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromStr for CssStylesheet {
+    type Err = ParseCssError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_stylesheet(s)
+    }
+}
+
+/// Parses the content of an inline `style` attribute.
+pub fn parse_inline_declarations(s: &str) -> Vec<(String, String)> {
+    s.split(';')
+        .filter_map(|decl| {
+            let (p, v) = decl.split_once(':')?;
+            let p = p.trim().to_ascii_lowercase();
+            let v = v.trim().to_string();
+            if p.is_empty() || v.is_empty() {
+                None
+            } else {
+                Some((p, v))
+            }
+        })
+        .collect()
+}
+
+// ---- parser ---------------------------------------------------------------
+
+fn parse_stylesheet(src: &str) -> Result<CssStylesheet, ParseCssError> {
+    let src = strip_comments(src);
+    let mut rules = Vec::new();
+    let mut rest: &str = &src;
+    let mut consumed = 0usize;
+    loop {
+        let trimmed = rest.trim_start();
+        consumed += rest.len() - trimmed.len();
+        rest = trimmed;
+        if rest.is_empty() {
+            break;
+        }
+        if rest.starts_with('@') {
+            // Skip at-rules: either to the next ';' or over one balanced block.
+            let mut depth = 0usize;
+            let mut end = rest.len();
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        // A stray '}' with no open block ends the bad at-rule.
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                    }
+                    ';' if depth == 0 => {
+                        end = i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            consumed += end;
+            rest = &rest[end..];
+            continue;
+        }
+        let open = rest
+            .find('{')
+            .ok_or_else(|| ParseCssError::new("expected '{'", consumed))?;
+        let close = rest[open..]
+            .find('}')
+            .map(|i| open + i)
+            .ok_or_else(|| ParseCssError::new("unclosed block", consumed + open))?;
+        let selector_text = &rest[..open];
+        let block = &rest[open + 1..close];
+        let selectors = selector_text
+            .split(',')
+            .map(|s| parse_selector(s.trim(), consumed))
+            .collect::<Result<Vec<_>, _>>()?;
+        let declarations = parse_declarations(block);
+        rules.push(CssRule {
+            selectors,
+            declarations,
+        });
+        consumed += close + 1;
+        rest = &rest[close + 1..];
+    }
+    Ok(CssStylesheet { rules })
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut rest = src;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => rest = &rest[start + 2 + end + 2..],
+            None => return out, // unterminated comment swallows the rest
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn parse_declarations(block: &str) -> Vec<Declaration> {
+    block
+        .split(';')
+        .filter_map(|decl| {
+            let (p, v) = decl.split_once(':')?;
+            let p = p.trim().to_ascii_lowercase();
+            let mut v = v.trim().to_string();
+            let important = v.to_ascii_lowercase().ends_with("!important");
+            if important {
+                v.truncate(v.len() - "!important".len());
+                v = v.trim_end().to_string();
+            }
+            if p.is_empty() || v.is_empty() {
+                None
+            } else {
+                Some(Declaration {
+                    property: p,
+                    value: v,
+                    important,
+                })
+            }
+        })
+        .collect()
+}
+
+fn parse_selector(text: &str, offset: usize) -> Result<Selector, ParseCssError> {
+    if text.is_empty() {
+        return Err(ParseCssError::new("empty selector", offset));
+    }
+    let mut compounds = Vec::new();
+    let mut combinators = Vec::new();
+    // Tokenize on whitespace, treating '>' as its own token.
+    let normalized = text.replace('>', " > ");
+    let tokens: Vec<&str> = normalized.split_ascii_whitespace().collect();
+    let mut expect_compound = true;
+    for tok in tokens {
+        if tok == ">" {
+            if expect_compound || combinators.len() >= compounds.len() {
+                return Err(ParseCssError::new("misplaced '>'", offset));
+            }
+            combinators.push(Combinator::Child);
+            expect_compound = true;
+        } else {
+            if !expect_compound {
+                combinators.push(Combinator::Descendant);
+            }
+            compounds.push(parse_compound(tok, offset)?);
+            expect_compound = false;
+        }
+    }
+    if compounds.is_empty() || expect_compound {
+        return Err(ParseCssError::new("selector ends with a combinator", offset));
+    }
+    Ok(Selector {
+        compounds,
+        combinators,
+    })
+}
+
+fn parse_compound(tok: &str, offset: usize) -> Result<CompoundSelector, ParseCssError> {
+    let mut out = CompoundSelector::default();
+    let mut rest = tok;
+    // Leading element name or '*'.
+    if let Some(stripped) = rest.strip_prefix('*') {
+        rest = stripped;
+    } else {
+        let end = rest
+            .find(['#', '.', '['])
+            .unwrap_or(rest.len());
+        if end > 0 {
+            out.element = Some(rest[..end].to_string());
+            rest = &rest[end..];
+        }
+    }
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix('#') {
+            let end = r.find(['#', '.', '[']).unwrap_or(r.len());
+            if end == 0 {
+                return Err(ParseCssError::new("empty #id", offset));
+            }
+            out.id = Some(r[..end].to_string());
+            rest = &r[end..];
+        } else if let Some(r) = rest.strip_prefix('.') {
+            let end = r.find(['#', '.', '[']).unwrap_or(r.len());
+            if end == 0 {
+                return Err(ParseCssError::new("empty .class", offset));
+            }
+            out.classes.push(r[..end].to_string());
+            rest = &r[end..];
+        } else if let Some(r) = rest.strip_prefix('[') {
+            let close = r
+                .find(']')
+                .ok_or_else(|| ParseCssError::new("unclosed '['", offset))?;
+            let inner = &r[..close];
+            if let Some((name, value)) = inner.split_once('=') {
+                let value = value.trim_matches(['"', '\'']);
+                out.attrs.push(AttrSelector {
+                    name: name.trim().to_string(),
+                    op: AttrOp::Equals,
+                    value: Some(value.to_string()),
+                });
+            } else {
+                out.attrs.push(AttrSelector {
+                    name: inner.trim().to_string(),
+                    op: AttrOp::Exists,
+                    value: None,
+                });
+            }
+            rest = &r[close + 1..];
+        } else {
+            return Err(ParseCssError::new(
+                format!("unexpected selector text {rest:?}"),
+                offset,
+            ));
+        }
+    }
+    if out.element.is_none() && out.id.is_none() && out.classes.is_empty() && out.attrs.is_empty()
+    {
+        return Err(ParseCssError::new("empty compound selector", offset));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<html><body><div id="nav" class="menu wide">
+                 <ul><li class="item"><a href="x" rel="next">next</a></li></ul>
+               </div><p style="color: red; margin: 0">text</p></body></html>"#,
+        )
+        .unwrap()
+    }
+
+    fn find(d: &Document, name: &str) -> NodeId {
+        d.descendants(d.document_node())
+            .find(|&n| d.name(n).map(|q| q.local() == name).unwrap_or(false))
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_rules_and_declarations() {
+        let css: CssStylesheet = "a { color: blue; text-decoration: underline }".parse().unwrap();
+        assert_eq!(css.rules().len(), 1);
+        assert_eq!(css.rules()[0].declarations.len(), 2);
+    }
+
+    #[test]
+    fn type_id_class_matching() {
+        let css: CssStylesheet = "#nav { x: 1 } .menu { y: 2 } div { z: 3 }".parse().unwrap();
+        let d = doc();
+        let nav = find(&d, "div");
+        let style = css.computed_style(&d, nav);
+        assert_eq!(style.get("x").map(String::as_str), Some("1"));
+        assert_eq!(style.get("y").map(String::as_str), Some("2"));
+        assert_eq!(style.get("z").map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn descendant_and_child_combinators() {
+        let css: CssStylesheet = "div a { c: d } ul > li { e: f } body > a { no: no }"
+            .parse()
+            .unwrap();
+        let d = doc();
+        let a = find(&d, "a");
+        let li = find(&d, "li");
+        assert_eq!(
+            css.computed_style(&d, a).get("c").map(String::as_str),
+            Some("d")
+        );
+        assert_eq!(
+            css.computed_style(&d, li).get("e").map(String::as_str),
+            Some("f")
+        );
+        assert!(!css.computed_style(&d, a).contains_key("no"));
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        let css: CssStylesheet = "a[rel=next] { k: v } a[missing] { n: n }".parse().unwrap();
+        let d = doc();
+        let a = find(&d, "a");
+        let style = css.computed_style(&d, a);
+        assert_eq!(style.get("k").map(String::as_str), Some("v"));
+        assert!(!style.contains_key("n"));
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        // Source order puts the lower-specificity rule last: it must lose.
+        let css: CssStylesheet = "#nav { color: red } div { color: blue }".parse().unwrap();
+        let d = doc();
+        let nav = find(&d, "div");
+        assert_eq!(
+            css.computed_style(&d, nav).get("color").map(String::as_str),
+            Some("red")
+        );
+    }
+
+    #[test]
+    fn important_beats_specificity() {
+        let css: CssStylesheet = "div { color: blue !important } #nav { color: red }"
+            .parse()
+            .unwrap();
+        let d = doc();
+        let nav = find(&d, "div");
+        assert_eq!(
+            css.computed_style(&d, nav).get("color").map(String::as_str),
+            Some("blue")
+        );
+    }
+
+    #[test]
+    fn inline_style_wins_over_rules() {
+        let css: CssStylesheet = "p { color: green }".parse().unwrap();
+        let d = doc();
+        let p = find(&d, "p");
+        let style = css.computed_style(&d, p);
+        assert_eq!(style.get("color").map(String::as_str), Some("red"));
+        assert_eq!(style.get("margin").map(String::as_str), Some("0"));
+    }
+
+    #[test]
+    fn comments_and_at_rules_skipped() {
+        let css: CssStylesheet =
+            "/* hi */ @media print { p { a: b } } a { c: d } @import 'x.css'; b { e: f }"
+                .parse()
+                .unwrap();
+        assert_eq!(css.rules().len(), 2);
+    }
+
+    #[test]
+    fn selector_group_uses_best_specificity() {
+        let css: CssStylesheet = "p, #nav { color: black } div { color: white }".parse().unwrap();
+        let d = doc();
+        let nav = find(&d, "div");
+        // #nav (in the group) has higher specificity than div.
+        assert_eq!(
+            css.computed_style(&d, nav).get("color").map(String::as_str),
+            Some("black")
+        );
+    }
+
+    #[test]
+    fn malformed_css_reports_errors() {
+        assert!("a { color: red".parse::<CssStylesheet>().is_err());
+        assert!("{ color: red }".parse::<CssStylesheet>().is_err());
+        assert!("a > { x: y }".parse::<CssStylesheet>().is_err());
+        assert!("a..b { x: y }".parse::<CssStylesheet>().is_err());
+    }
+
+    #[test]
+    fn multiple_classes_all_required() {
+        let css: CssStylesheet = ".menu.wide { w: 1 } .menu.narrow { n: 1 }".parse().unwrap();
+        let d = doc();
+        let nav = find(&d, "div");
+        let style = css.computed_style(&d, nav);
+        assert_eq!(style.get("w").map(String::as_str), Some("1"));
+        assert!(!style.contains_key("n"));
+    }
+
+    #[test]
+    fn specificity_values() {
+        let sel = parse_selector("div#a.b.c[d]", 0).unwrap();
+        assert_eq!(
+            sel.specificity(),
+            Specificity {
+                ids: 1,
+                classes: 3,
+                elements: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! HTML (XHTML-flavoured) page construction and text rendering helpers.
+//!
+//! The woven output of the navsep pipeline is XHTML: well-formed XML using
+//! HTML vocabulary, exactly what the paper's figures 3 and 4 show. These
+//! helpers keep page generation terse and give the browser simulator a
+//! plain-text renderer for assertions and demos.
+
+use navsep_xml::{Document, ElementBuilder, NodeId, NodeKind};
+
+/// Builds the skeleton of an XHTML page: `html > (head > title [+ css link],
+/// body)`. Returns the builder for further chaining.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_style::html::{page, anchor};
+/// use navsep_xml::ElementBuilder;
+///
+/// let doc = page("Guitar", Some("museum.css"),
+///     vec![ElementBuilder::new("h1").text("Guitar"),
+///          anchor("guernica.html", "Next")])
+///     .build_document();
+/// let xml = doc.to_xml_string();
+/// assert!(xml.contains("<title>Guitar</title>"));
+/// assert!(xml.contains("href=\"guernica.html\""));
+/// ```
+pub fn page(
+    title: &str,
+    stylesheet: Option<&str>,
+    body_children: Vec<ElementBuilder>,
+) -> ElementBuilder {
+    let mut head = ElementBuilder::new("head").child(ElementBuilder::new("title").text(title));
+    if let Some(css) = stylesheet {
+        head = head.child(
+            ElementBuilder::new("link")
+                .attr("rel", "stylesheet")
+                .attr("type", "text/css")
+                .attr("href", css),
+        );
+    }
+    ElementBuilder::new("html")
+        .child(head)
+        .child(ElementBuilder::new("body").children(body_children))
+}
+
+/// An `<a href>` element with text content.
+pub fn anchor(href: &str, text: &str) -> ElementBuilder {
+    ElementBuilder::new("a").attr("href", href).text(text)
+}
+
+/// An unordered list of pre-built items.
+pub fn unordered_list(items: Vec<ElementBuilder>) -> ElementBuilder {
+    ElementBuilder::new("ul").children(
+        items
+            .into_iter()
+            .map(|item| ElementBuilder::new("li").child(item)),
+    )
+}
+
+/// Elements rendered as blocks (forcing line breaks) by [`to_display_text`].
+const BLOCK_ELEMENTS: &[&str] = &[
+    "html", "head", "body", "div", "p", "h1", "h2", "h3", "h4", "ul", "ol", "li", "table", "tr",
+    "hr", "br", "title",
+];
+
+/// Renders a document to the plain text a text-mode browser would show.
+///
+/// Block elements produce line breaks; `<a href>` anchors render as
+/// `text [href]` so navigation choices stay visible in terminal demos.
+pub fn to_display_text(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_element() {
+        render(doc, root, &mut out);
+    }
+    // Collapse runs of blank lines.
+    let mut lines: Vec<&str> = out.lines().map(str::trim_end).collect();
+    lines.dedup_by(|a, b| a.is_empty() && b.is_empty());
+    let mut text = lines.join("\n");
+    while text.starts_with('\n') {
+        text.remove(0);
+    }
+    while text.ends_with('\n') {
+        text.pop();
+    }
+    text
+}
+
+fn render(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Text(t) => {
+            let collapsed: String = t.split_whitespace().collect::<Vec<_>>().join(" ");
+            if !collapsed.is_empty() {
+                if !out.is_empty() && !out.ends_with([' ', '\n']) {
+                    out.push(' ');
+                }
+                out.push_str(&collapsed);
+            }
+        }
+        NodeKind::Element { name, .. } => {
+            let local = name.local();
+            let is_block = BLOCK_ELEMENTS.contains(&local);
+            if is_block && !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            if local == "li" {
+                out.push_str("  • ");
+            }
+            let href = doc.attribute(node, "href").map(str::to_string);
+            for &c in doc.children(node) {
+                render(doc, c, out);
+            }
+            if local == "a" {
+                if let Some(h) = href {
+                    out.push_str(&format!(" [{h}]"));
+                }
+            }
+            if is_block && !out.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_skeleton() {
+        let doc = page("T", None, vec![]).build_document();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).unwrap().local(), "html");
+        assert!(doc.first_child_named(root, "head").is_some());
+        assert!(doc.first_child_named(root, "body").is_some());
+        // No stylesheet link requested.
+        let head = doc.first_child_named(root, "head").unwrap();
+        assert!(doc.first_child_named(head, "link").is_none());
+    }
+
+    #[test]
+    fn stylesheet_link_added() {
+        let doc = page("T", Some("s.css"), vec![]).build_document();
+        let head = doc
+            .first_child_named(doc.root_element().unwrap(), "head")
+            .unwrap();
+        let link = doc.first_child_named(head, "link").unwrap();
+        assert_eq!(doc.attribute(link, "href"), Some("s.css"));
+        assert_eq!(doc.attribute(link, "rel"), Some("stylesheet"));
+    }
+
+    #[test]
+    fn display_text_renders_blocks_and_anchors() {
+        let doc = page(
+            "Guitar",
+            None,
+            vec![
+                ElementBuilder::new("h1").text("Guitar"),
+                unordered_list(vec![
+                    anchor("guernica.html", "Guernica"),
+                    anchor("avignon.html", "Avignon"),
+                ]),
+            ],
+        )
+        .build_document();
+        let text = to_display_text(&doc);
+        assert!(text.contains("Guitar"));
+        assert!(text.contains("• Guernica [guernica.html]"), "{text}");
+        assert!(text.contains("• Avignon [avignon.html]"));
+    }
+
+    #[test]
+    fn inline_text_spacing() {
+        let doc = Document::parse("<p>one <em>two</em> three</p>").unwrap();
+        assert_eq!(to_display_text(&doc), "one two three");
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        let doc = Document::parse("<p>a\n   b</p>").unwrap();
+        assert_eq!(to_display_text(&doc), "a b");
+    }
+}

@@ -1,0 +1,62 @@
+//! # navsep-style — the presentation concern
+//!
+//! The paper's starting point is the one separation the web had already
+//! achieved by 2002: presentation apart from data, via stylesheets. This
+//! crate supplies that substrate for the navsep pipeline:
+//!
+//! * [`CssStylesheet`] — a CSS subset with selectors, specificity and the
+//!   cascade, for styling woven pages;
+//! * [`Transform`] — an XSLT-lite template transformer that turns data XML
+//!   (`picasso.xml`) into XHTML pages;
+//! * [`html`] — page-building and text-rendering helpers shared by the
+//!   tangled baseline and the woven pipeline.
+//!
+//! Keeping presentation here — and *only* here — is what lets the
+//! experiments show that switching an access structure (the paper's
+//! requirement change) does not touch presentation or data.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use navsep_style::{CssStylesheet, Transform};
+//! use navsep_xml::Document;
+//!
+//! let transform = Transform::parse_str(r#"<transform>
+//!   <template match="painting"><h1><value-of select="@title"/></h1></template>
+//! </transform>"#)?;
+//! let data = Document::parse(r#"<painting title="Guitar"/>"#)?;
+//! let page = transform.apply(&data)?;
+//! assert!(page.to_xml_string().contains("<h1>Guitar</h1>"));
+//!
+//! let css: CssStylesheet = "h1 { color: navy }".parse()?;
+//! let h1 = page.root_element().unwrap();
+//! assert_eq!(css.computed_style(&page, h1).get("color").map(String::as_str), Some("navy"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod css;
+pub mod html;
+pub mod template;
+
+pub use css::{
+    AttrOp, AttrSelector, Combinator, CompoundSelector, CssRule, CssStylesheet, Declaration,
+    ParseCssError, Selector, Specificity,
+};
+pub use html::{anchor, page, to_display_text, unordered_list};
+pub use template::{Pattern, TemplateError, Transform};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CssStylesheet>();
+        assert_send_sync::<Transform>();
+        assert_send_sync::<TemplateError>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the presentation substrate.
+
+use navsep_style::{CssStylesheet, Transform};
+use navsep_xml::{Document, ElementBuilder};
+use proptest::prelude::*;
+
+fn css_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,6}".prop_map(|s| s)
+}
+
+proptest! {
+    /// The CSS parser never panics on arbitrary input.
+    #[test]
+    fn css_parser_never_panics(input in "\\PC{0,128}") {
+        let _ = input.parse::<CssStylesheet>();
+    }
+
+    /// CSS-shaped input never panics either.
+    #[test]
+    fn css_shaped_input_never_panics(input in "[a-z#.\\[\\]=>{}:;, *!']{0,96}") {
+        let _ = input.parse::<CssStylesheet>();
+    }
+
+    /// Generated well-formed rules always parse, and the rule count matches.
+    #[test]
+    fn generated_rules_parse(
+        rules in proptest::collection::vec(
+            (css_ident(), css_ident(), css_ident()), 1..8)
+    ) {
+        let text: String = rules
+            .iter()
+            .map(|(sel, prop, val)| format!("{sel} {{ {prop}: {val} }}\n"))
+            .collect();
+        let sheet: CssStylesheet = text.parse().unwrap();
+        prop_assert_eq!(sheet.rules().len(), rules.len());
+    }
+
+    /// A type selector matches exactly the elements of that name.
+    #[test]
+    fn type_selector_matches_by_name(name in css_ident(), other in css_ident()) {
+        prop_assume!(name != other);
+        let css: CssStylesheet = format!("{name} {{ hit: yes }}").parse().unwrap();
+        let doc = ElementBuilder::new(name.as_str())
+            .child(ElementBuilder::new(other.as_str()))
+            .build_document();
+        let root = doc.root_element().unwrap();
+        let child = doc.child_elements(root).next().unwrap();
+        prop_assert!(css.computed_style(&doc, root).contains_key("hit"));
+        prop_assert!(!css.computed_style(&doc, child).contains_key("hit"));
+    }
+
+    /// Later rules of equal specificity win (source order).
+    #[test]
+    fn source_order_breaks_ties(v1 in css_ident(), v2 in css_ident()) {
+        let css: CssStylesheet = format!("p {{ k: {v1} }} p {{ k: {v2} }}").parse().unwrap();
+        let doc = Document::parse("<p/>").unwrap();
+        let p = doc.root_element().unwrap();
+        let style = css.computed_style(&doc, p);
+        prop_assert_eq!(style.get("k"), Some(&v2));
+    }
+
+    /// The transform engine never panics on arbitrary transform documents
+    /// (they may be rejected, but cleanly).
+    #[test]
+    fn transform_loader_never_panics(input in "\\PC{0,128}") {
+        let _ = Transform::parse_str(&input);
+    }
+
+    /// Applying the identity-ish transform (built-in rules only) to a random
+    /// tree keeps exactly its text content.
+    #[test]
+    fn builtin_rules_preserve_text(words in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut b = ElementBuilder::new("root");
+        for w in &words {
+            b = b.child(ElementBuilder::new("item").text(w.clone()));
+        }
+        let data = b.build_document();
+        let t = Transform::parse_str("<transform></transform>").unwrap();
+        let out = t.apply(&data).unwrap();
+        // Output is a forest of text nodes under the document node.
+        let text: String = out
+            .descendants(out.document_node())
+            .filter_map(|n| out.node_text(n).map(str::to_string))
+            .collect();
+        prop_assert_eq!(text, words.concat());
+    }
+}

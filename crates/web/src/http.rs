@@ -1,0 +1,230 @@
+//! HTTP-shaped request/response messages.
+//!
+//! No sockets: navsep simulates the web tier deterministically (the paper's
+//! evaluation is about document structure, not wire protocols). The message
+//! shapes mirror HTTP/1.1 closely enough that a socket transport could be
+//! bolted on without touching consumers.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Request methods (the subset a read-only site serves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Retrieve headers only.
+    Head,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+        })
+    }
+}
+
+/// A request: method, path, headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    method: Method,
+    path: String,
+    headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A GET request for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A HEAD request for `path`.
+    pub fn head(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Head,
+            path: path.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The request path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Response status codes (the subset the site server produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(u16);
+
+impl Status {
+    /// 200.
+    pub const OK: Status = Status(200);
+    /// 404.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 405.
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 500.
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+
+    /// The numeric code.
+    pub fn code(self) -> u16 {
+        self.0
+    }
+
+    /// `true` for 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// The standard reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// A response: status, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: Status,
+    headers: Vec<(String, String)>,
+    body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with a content type and body.
+    pub fn ok(content_type: &str, body: Bytes) -> Self {
+        Response {
+            status: Status::OK,
+            headers: vec![("content-type".to_string(), content_type.to_string())],
+            body,
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found(path: &str) -> Self {
+        Response {
+            status: Status::NOT_FOUND,
+            headers: vec![("content-type".to_string(), "text/plain".to_string())],
+            body: Bytes::from(format!("not found: {path}")),
+        }
+    }
+
+    /// A 405 response.
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: Status::METHOD_NOT_ALLOWED,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// The status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `content-type` header, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        self.header_value("content-type")
+    }
+
+    /// Drops the body (for HEAD).
+    pub fn without_body(mut self) -> Self {
+        self.body = Bytes::new();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder() {
+        let r = Request::get("/a.xml").header("Accept", "application/xml");
+        assert_eq!(r.method(), Method::Get);
+        assert_eq!(r.path(), "/a.xml");
+        assert_eq!(r.header_value("accept"), Some("application/xml"));
+        assert_eq!(r.header_value("missing"), None);
+    }
+
+    #[test]
+    fn status_properties() {
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status::NOT_FOUND.to_string(), "404 Not Found");
+        assert_eq!(Status::OK.code(), 200);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r = Response::ok("text/css", Bytes::from("a{}"));
+        assert_eq!(r.status(), Status::OK);
+        assert_eq!(r.content_type(), Some("text/css"));
+        assert_eq!(r.body_text(), "a{}");
+        let head = r.without_body();
+        assert!(head.body().is_empty());
+    }
+
+    #[test]
+    fn not_found_mentions_path() {
+        let r = Response::not_found("/ghost.xml");
+        assert!(r.body_text().contains("/ghost.xml"));
+    }
+}

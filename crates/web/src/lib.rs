@@ -1,0 +1,68 @@
+//! # navsep-web — the web tier the paper assumes
+//!
+//! The paper evaluates its proposal against a museum *web application*; its
+//! stated blocker is that 2002 browsers could not process XLink. This crate
+//! simulates the missing tier deterministically:
+//!
+//! * [`Site`] — in-memory path→resource store (implements
+//!   [`navsep_xlink::DocumentProvider`]);
+//! * [`Request`]/[`Response`] — HTTP-shaped messages (no sockets; the
+//!   evaluation is about document structure, not wire protocols);
+//! * [`SiteHandler`]/[`ServerPool`] — a concurrent worker-pool server with
+//!   atomic re-publish (for re-weaving under load);
+//! * [`UserAgent`] — the XLink-aware browser: HTML anchors *and* XLink
+//!   simple links, `actuate="onLoad"` auto-traversals;
+//! * [`NavigationSession`] — history plus the **current navigational
+//!   context**, making the paper's context-dependent "Next" observable.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use navsep_web::{NavigationSession, Site, SiteHandler};
+//! use navsep_xml::Document;
+//!
+//! let mut site = Site::new();
+//! site.put_page("index.html", Document::parse(
+//!     r#"<html><body><a href="guitar.html">Guitar</a></body></html>"#)?);
+//! site.put_page("guitar.html", Document::parse(
+//!     r#"<html><body><h1>Guitar</h1></body></html>"#)?);
+//!
+//! let mut session = NavigationSession::new(SiteHandler::new(site));
+//! session.visit("index.html")?;
+//! session.follow("Guitar")?;
+//! assert_eq!(session.current_path(), Some("guitar.html"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod http;
+pub mod server;
+pub mod session;
+pub mod site;
+
+pub use agent::{
+    anchors_under, links_of, resolve_href, ActivatedPage, AgentError, LoadedPage, UiLink,
+    UiLinkKind, UserAgent,
+};
+pub use http::{Method, Request, Response, Status};
+pub use server::{Handler, ServerPool, SiteHandler};
+pub use session::{History, NavigationSession, SessionError, Visit};
+pub use site::{MediaType, Resource, Site};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Site>();
+        assert_send_sync::<SiteHandler>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+        assert_send_sync::<SessionError>();
+    }
+}

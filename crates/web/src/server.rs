@@ -1,0 +1,275 @@
+//! Serving a site: handler trait, site handler, and a concurrent worker pool.
+//!
+//! The pool exists to make the substrate honest as a *web* tier: requests
+//! are served concurrently from worker threads over a shared, read-locked
+//! site, the way a 2002-era document server would. `crossbeam` channels move
+//! requests in and responses out; `parking_lot::RwLock` guards the site so
+//! publishes (re-weaves) can swap content while reads continue.
+
+use crate::http::{Method, Request, Response};
+use crate::site::Site;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Anything that can answer requests.
+pub trait Handler: Send + Sync {
+    /// Produces the response for `request`.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<H: Handler + ?Sized> Handler for Arc<H> {
+    fn handle(&self, request: &Request) -> Response {
+        (**self).handle(request)
+    }
+}
+
+/// Serves a [`Site`] read-locked behind `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct SiteHandler {
+    site: RwLock<Site>,
+    served: AtomicU64,
+}
+
+impl SiteHandler {
+    /// Creates a handler serving `site`.
+    pub fn new(site: Site) -> Self {
+        SiteHandler {
+            site: RwLock::new(site),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Atomically replaces the served site (e.g. after re-weaving).
+    pub fn publish(&self, site: Site) {
+        *self.site.write() = site;
+    }
+
+    /// Runs `f` with read access to the current site.
+    pub fn with_site<R>(&self, f: impl FnOnce(&Site) -> R) -> R {
+        f(&self.site.read())
+    }
+
+    /// Total requests handled since construction.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl Handler for SiteHandler {
+    fn handle(&self, request: &Request) -> Response {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let site = self.site.read();
+        match site.get(request.path()) {
+            Some(res) => {
+                let response = Response::ok(res.media_type().as_str(), res.to_bytes());
+                match request.method() {
+                    Method::Get => response,
+                    Method::Head => response.without_body(),
+                }
+            }
+            None => Response::not_found(request.path()),
+        }
+    }
+}
+
+enum Job {
+    Work(Request, Sender<Response>),
+    Shutdown,
+}
+
+/// A fixed-size worker pool dispatching requests to a shared [`Handler`].
+///
+/// # Examples
+///
+/// ```
+/// use navsep_web::{Request, ServerPool, Site, SiteHandler};
+/// use navsep_xml::Document;
+/// use std::sync::Arc;
+///
+/// let mut site = Site::new();
+/// site.put_document("a.xml", Document::parse("<a/>")?);
+/// let pool = ServerPool::start(Arc::new(SiteHandler::new(site)), 4);
+/// let response = pool.request(Request::get("a.xml")).recv().unwrap();
+/// assert!(response.status().is_success());
+/// pool.shutdown();
+/// # Ok::<(), navsep_xml::ParseXmlError>(())
+/// ```
+pub struct ServerPool {
+    jobs: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerPool {
+    /// Starts `workers` threads serving through `handler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn start<H: Handler + 'static>(handler: Arc<H>, workers: usize) -> Self {
+        assert!(workers > 0, "a server pool needs at least one worker");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx: Receiver<Job> = rx.clone();
+            let handler = Arc::clone(&handler);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("navsep-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Work(request, reply) => {
+                                    let response = handler.handle(&request);
+                                    let _ = reply.send(response);
+                                }
+                                Job::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        ServerPool {
+            jobs: tx,
+            workers: handles,
+        }
+    }
+
+    /// Submits a request; the response arrives on the returned channel.
+    pub fn request(&self, request: Request) -> Receiver<Response> {
+        let (tx, rx) = channel::bounded(1);
+        self.jobs
+            .send(Job::Work(request, tx))
+            .expect("server pool has shut down");
+        rx
+    }
+
+    /// Convenience: submit and wait.
+    pub fn request_sync(&self, request: Request) -> Response {
+        self.request(request)
+            .recv()
+            .expect("worker dropped the response")
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops all workers and joins them.
+    pub fn shutdown(mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.jobs.send(Job::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerPool {
+    fn drop(&mut self) {
+        // Best-effort teardown when shutdown() was not called explicitly.
+        for _ in 0..self.workers.len() {
+            let _ = self.jobs.send(Job::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navsep_xml::Document;
+
+    fn site() -> Site {
+        let mut s = Site::new();
+        s.put_document("a.xml", Document::parse("<a>hello</a>").unwrap());
+        s.put_css("style.css", "a { x: y }");
+        s
+    }
+
+    #[test]
+    fn site_handler_serves_get_and_head() {
+        let h = SiteHandler::new(site());
+        let get = h.handle(&Request::get("a.xml"));
+        assert!(get.status().is_success());
+        assert!(get.body_text().contains("hello"));
+        assert_eq!(get.content_type(), Some("application/xml"));
+        let head = h.handle(&Request::head("a.xml"));
+        assert!(head.status().is_success());
+        assert!(head.body().is_empty());
+        assert_eq!(h.requests_served(), 2);
+    }
+
+    #[test]
+    fn missing_resource_is_404() {
+        let h = SiteHandler::new(site());
+        let r = h.handle(&Request::get("ghost.xml"));
+        assert_eq!(r.status().code(), 404);
+    }
+
+    #[test]
+    fn publish_swaps_content() {
+        let h = SiteHandler::new(site());
+        let mut new_site = Site::new();
+        new_site.put_document("a.xml", Document::parse("<a>rewoven</a>").unwrap());
+        h.publish(new_site);
+        let r = h.handle(&Request::get("a.xml"));
+        assert!(r.body_text().contains("rewoven"));
+    }
+
+    #[test]
+    fn pool_serves_concurrently() {
+        let pool = ServerPool::start(Arc::new(SiteHandler::new(site())), 4);
+        assert_eq!(pool.workers(), 4);
+        let receivers: Vec<_> = (0..64)
+            .map(|i| {
+                let path = if i % 2 == 0 { "a.xml" } else { "style.css" };
+                pool.request(Request::get(path))
+            })
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().status().is_success());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_request_sync() {
+        let pool = ServerPool::start(Arc::new(SiteHandler::new(site())), 2);
+        let r = pool.request_sync(Request::get("style.css"));
+        assert_eq!(r.content_type(), Some("text/css"));
+        // Drop without explicit shutdown must not hang.
+    }
+
+    #[test]
+    fn publish_under_load_is_safe() {
+        let handler = Arc::new(SiteHandler::new(site()));
+        let pool = ServerPool::start(Arc::clone(&handler), 4);
+        for i in 0..32 {
+            if i % 8 == 0 {
+                let mut s = site();
+                s.put_text("version.txt", format!("v{i}"));
+                handler.publish(s);
+            }
+            let r = pool.request_sync(Request::get("a.xml"));
+            assert!(r.status().is_success());
+        }
+        pool.shutdown();
+        assert!(handler.requests_served() >= 32);
+    }
+}

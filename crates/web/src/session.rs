@@ -1,0 +1,419 @@
+//! Navigation sessions: history, current position, and — crucially —
+//! the **current navigational context**.
+//!
+//! The paper's §2 insists that navigation is contextual: *"if we got the
+//! information navigating through the author, and then we push on a link
+//! Next, we will move to the next painting by the same author"* — but via a
+//! pictorial movement, Next goes elsewhere. A [`NavigationSession`] models
+//! the user-side state making that real: which page, which context, what
+//! history.
+
+use crate::agent::{resolve_href, AgentError, LoadedPage, UiLink, UserAgent};
+use crate::server::Handler;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors during session navigation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// Underlying fetch failed.
+    Agent(AgentError),
+    /// No link with the requested text/rel exists on the current page.
+    NoSuchLink(String),
+    /// The session has not visited any page yet.
+    NoCurrentPage,
+    /// Nothing to go back/forward to.
+    HistoryExhausted(&'static str),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Agent(e) => write!(f, "{e}"),
+            SessionError::NoSuchLink(t) => write!(f, "no link {t:?} on the current page"),
+            SessionError::NoCurrentPage => f.write_str("no page has been visited yet"),
+            SessionError::HistoryExhausted(dir) => write!(f, "cannot go {dir}: history empty"),
+        }
+    }
+}
+
+impl StdError for SessionError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SessionError::Agent(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AgentError> for SessionError {
+    fn from(e: AgentError) -> Self {
+        SessionError::Agent(e)
+    }
+}
+
+/// Back/forward history over visited paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    back: Vec<String>,
+    forward: Vec<String>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records leaving `path` for a new page (clears the forward stack).
+    pub fn push(&mut self, path: String) {
+        self.back.push(path);
+        self.forward.clear();
+    }
+
+    /// Pops the back stack, pushing `current` onto forward.
+    pub fn go_back(&mut self, current: String) -> Option<String> {
+        let target = self.back.pop()?;
+        self.forward.push(current);
+        Some(target)
+    }
+
+    /// Pops the forward stack, pushing `current` onto back.
+    pub fn go_forward(&mut self, current: String) -> Option<String> {
+        let target = self.forward.pop()?;
+        self.back.push(current);
+        Some(target)
+    }
+
+    /// Depth of the back stack.
+    pub fn back_len(&self) -> usize {
+        self.back.len()
+    }
+
+    /// Depth of the forward stack.
+    pub fn forward_len(&self) -> usize {
+        self.forward.len()
+    }
+}
+
+/// One step in a session trace (for demos and assertions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Visit {
+    /// The path visited.
+    pub path: String,
+    /// The context active when the page was entered.
+    pub context: Option<String>,
+}
+
+/// A browsing session over a served site.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_web::{NavigationSession, Site, SiteHandler};
+/// use navsep_xml::Document;
+///
+/// let mut site = Site::new();
+/// site.put_page("a.html", Document::parse(
+///     r#"<html><body><a href="b.html">to b</a></body></html>"#)?);
+/// site.put_page("b.html", Document::parse(
+///     r#"<html><body>done</body></html>"#)?);
+///
+/// let mut session = NavigationSession::new(SiteHandler::new(site));
+/// session.visit("a.html")?;
+/// session.follow("to b")?;
+/// assert_eq!(session.current_path(), Some("b.html"));
+/// session.back()?;
+/// assert_eq!(session.current_path(), Some("a.html"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct NavigationSession<H> {
+    agent: UserAgent<H>,
+    history: History,
+    current: Option<LoadedPage>,
+    context: Option<String>,
+    trace: Vec<Visit>,
+}
+
+impl<H: Handler> NavigationSession<H> {
+    /// Starts a session fetching through `handler`.
+    pub fn new(handler: H) -> Self {
+        NavigationSession {
+            agent: UserAgent::new(handler),
+            history: History::new(),
+            current: None,
+            context: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Visits `path` directly (typing a URL), keeping the current context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch failures.
+    pub fn visit(&mut self, path: &str) -> Result<&LoadedPage, SessionError> {
+        let page = self.agent.fetch(path)?;
+        if let Some(old) = self.current.take() {
+            self.history.push(old.path);
+        }
+        self.trace.push(Visit {
+            path: page.path.clone(),
+            context: self.context.clone(),
+        });
+        self.current = Some(page);
+        Ok(self.current.as_ref().expect("just set"))
+    }
+
+    /// Follows the link with anchor text `text` on the current page. When
+    /// the link carries a `data-context`, the session switches into that
+    /// navigational context — the mechanism behind context-dependent "Next".
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::NoCurrentPage`] before the first visit;
+    /// * [`SessionError::NoSuchLink`] when no link matches;
+    /// * fetch errors from the agent.
+    pub fn follow(&mut self, text: &str) -> Result<&LoadedPage, SessionError> {
+        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        let link = current
+            .link_by_text(text)
+            .ok_or_else(|| SessionError::NoSuchLink(text.to_string()))?
+            .clone();
+        self.follow_link(&link)
+    }
+
+    /// Follows the first link with the given `rel`/arcrole.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`follow`](NavigationSession::follow).
+    pub fn follow_rel(&mut self, rel: &str) -> Result<&LoadedPage, SessionError> {
+        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        let link = current
+            .link_by_rel(rel)
+            .ok_or_else(|| SessionError::NoSuchLink(rel.to_string()))?
+            .clone();
+        self.follow_link(&link)
+    }
+
+    /// Follows a specific link object from the current page.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`follow`](NavigationSession::follow).
+    pub fn follow_link(&mut self, link: &UiLink) -> Result<&LoadedPage, SessionError> {
+        let base = self
+            .current
+            .as_ref()
+            .ok_or(SessionError::NoCurrentPage)?
+            .path
+            .clone();
+        if let Some(ctx) = &link.context {
+            self.context = Some(ctx.clone());
+        }
+        let target = resolve_href(&link.href, &base);
+        self.visit(&target)
+    }
+
+    /// Goes back one page (context is preserved — the paper's model keeps
+    /// the user inside the context they navigated into).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::HistoryExhausted`] at the beginning of history.
+    pub fn back(&mut self) -> Result<&LoadedPage, SessionError> {
+        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        let target = self
+            .history
+            .go_back(current.path.clone())
+            .ok_or(SessionError::HistoryExhausted("back"))?;
+        let page = self.agent.fetch(&target)?;
+        self.trace.push(Visit {
+            path: page.path.clone(),
+            context: self.context.clone(),
+        });
+        self.current = Some(page);
+        Ok(self.current.as_ref().expect("just set"))
+    }
+
+    /// Goes forward one page.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::HistoryExhausted`] at the end of history.
+    pub fn forward(&mut self) -> Result<&LoadedPage, SessionError> {
+        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        let target = self
+            .history
+            .go_forward(current.path.clone())
+            .ok_or(SessionError::HistoryExhausted("forward"))?;
+        let page = self.agent.fetch(&target)?;
+        self.trace.push(Visit {
+            path: page.path.clone(),
+            context: self.context.clone(),
+        });
+        self.current = Some(page);
+        Ok(self.current.as_ref().expect("just set"))
+    }
+
+    /// The current page, if any.
+    pub fn current_page(&self) -> Option<&LoadedPage> {
+        self.current.as_ref()
+    }
+
+    /// The current page's path.
+    pub fn current_path(&self) -> Option<&str> {
+        self.current.as_ref().map(|p| p.path.as_str())
+    }
+
+    /// The active navigational context, if the user entered one.
+    pub fn current_context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+
+    /// Explicitly enters a navigational context (e.g. from an index page).
+    pub fn enter_context(&mut self, name: impl Into<String>) {
+        self.context = Some(name.into());
+    }
+
+    /// Leaves the current context.
+    pub fn leave_context(&mut self) {
+        self.context = None;
+    }
+
+    /// The full visit trace.
+    pub fn trace(&self) -> &[Visit] {
+        &self.trace
+    }
+
+    /// Back/forward history state.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteHandler;
+    use crate::site::Site;
+    use navsep_xml::Document;
+
+    fn three_page_site() -> SiteHandler {
+        let mut site = Site::new();
+        site.put_page(
+            "index.html",
+            Document::parse(
+                r#"<html><body>
+  <a href="guitar.html" data-context="by-painter:picasso">Guitar</a>
+</body></html>"#,
+            )
+            .unwrap(),
+        );
+        site.put_page(
+            "guitar.html",
+            Document::parse(
+                r#"<html><body>
+  <a href="guernica.html" rel="next">Next</a>
+  <a href="index.html" rel="up">Back to index</a>
+</body></html>"#,
+            )
+            .unwrap(),
+        );
+        site.put_page(
+            "guernica.html",
+            Document::parse(r#"<html><body><a href="guitar.html" rel="prev">Previous</a></body></html>"#)
+                .unwrap(),
+        );
+        SiteHandler::new(site)
+    }
+
+    #[test]
+    fn visit_and_follow() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        assert_eq!(s.current_path(), Some("guitar.html"));
+        // Entering via the index link switched the context.
+        assert_eq!(s.current_context(), Some("by-painter:picasso"));
+        s.follow_rel("next").unwrap();
+        assert_eq!(s.current_path(), Some("guernica.html"));
+        // Context survives ordinary navigation.
+        assert_eq!(s.current_context(), Some("by-painter:picasso"));
+    }
+
+    #[test]
+    fn back_and_forward() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        s.follow("Next").unwrap();
+        s.back().unwrap();
+        assert_eq!(s.current_path(), Some("guitar.html"));
+        s.back().unwrap();
+        assert_eq!(s.current_path(), Some("index.html"));
+        assert!(matches!(
+            s.back(),
+            Err(SessionError::HistoryExhausted("back"))
+        ));
+        s.forward().unwrap();
+        assert_eq!(s.current_path(), Some("guitar.html"));
+        s.forward().unwrap();
+        assert_eq!(s.current_path(), Some("guernica.html"));
+        assert!(matches!(
+            s.forward(),
+            Err(SessionError::HistoryExhausted("forward"))
+        ));
+    }
+
+    #[test]
+    fn visiting_clears_forward_stack() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        s.back().unwrap();
+        assert_eq!(s.history().forward_len(), 1);
+        s.visit("guernica.html").unwrap();
+        assert_eq!(s.history().forward_len(), 0);
+    }
+
+    #[test]
+    fn errors_before_first_visit() {
+        let mut s = NavigationSession::new(three_page_site());
+        assert!(matches!(s.follow("x"), Err(SessionError::NoCurrentPage)));
+        assert!(matches!(s.back(), Err(SessionError::NoCurrentPage)));
+    }
+
+    #[test]
+    fn missing_link_reported() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        assert!(matches!(
+            s.follow("Nonexistent"),
+            Err(SessionError::NoSuchLink(_))
+        ));
+    }
+
+    #[test]
+    fn trace_records_contexts() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        let trace = s.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].context, None);
+        assert_eq!(trace[1].context.as_deref(), Some("by-painter:picasso"));
+    }
+
+    #[test]
+    fn explicit_context_management() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.enter_context("by-movement:cubism");
+        assert_eq!(s.current_context(), Some("by-movement:cubism"));
+        s.leave_context();
+        assert_eq!(s.current_context(), None);
+    }
+}

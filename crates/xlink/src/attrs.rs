@@ -1,0 +1,295 @@
+//! The XLink global attribute vocabulary.
+//!
+//! XLink 1.0 defines its markup entirely through *global attributes* in the
+//! `http://www.w3.org/1999/xlink` namespace: `type`, `href`, `role`,
+//! `arcrole`, `title`, `show`, `actuate`, `label`, `from`, `to`. This module
+//! reads them off DOM elements and types their enumerated values.
+
+use crate::error::XLinkError;
+use navsep_xml::{Document, NodeId};
+use std::fmt;
+
+/// The XLink namespace URI.
+pub const XLINK_NS: &str = "http://www.w3.org/1999/xlink";
+
+/// Arcrole identifying a linkbase reference (XLink 1.0 §5.1.5).
+pub const LINKBASE_ARCROLE: &str = "http://www.w3.org/1999/xlink/properties/linkbase";
+
+/// Values of `xlink:type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkType {
+    /// An entire link expressed on one element (`simple`).
+    Simple,
+    /// A link expressed by an element with locator/resource/arc children.
+    Extended,
+    /// A remote resource participating in an extended link.
+    Locator,
+    /// A traversal rule between labeled resources.
+    Arc,
+    /// A local resource participating in an extended link.
+    Resource,
+    /// A human-readable title element.
+    Title,
+    /// Explicit opt-out (`none`): the element has no XLink meaning.
+    None,
+}
+
+impl LinkType {
+    /// Parses an `xlink:type` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XLinkError::InvalidLinkType`] for unknown values.
+    pub fn from_value(v: &str) -> Result<Self, XLinkError> {
+        match v {
+            "simple" => Ok(LinkType::Simple),
+            "extended" => Ok(LinkType::Extended),
+            "locator" => Ok(LinkType::Locator),
+            "arc" => Ok(LinkType::Arc),
+            "resource" => Ok(LinkType::Resource),
+            "title" => Ok(LinkType::Title),
+            "none" => Ok(LinkType::None),
+            other => Err(XLinkError::InvalidLinkType(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for LinkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LinkType::Simple => "simple",
+            LinkType::Extended => "extended",
+            LinkType::Locator => "locator",
+            LinkType::Arc => "arc",
+            LinkType::Resource => "resource",
+            LinkType::Title => "title",
+            LinkType::None => "none",
+        })
+    }
+}
+
+/// Values of `xlink:show` — what a conforming application should do with the
+/// ending resource on traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Show {
+    /// Open in a new presentation context (a new window, in 2002 terms).
+    New,
+    /// Replace the current context — ordinary hyperlink navigation.
+    #[default]
+    Replace,
+    /// Embed the ending resource in place of the link.
+    Embed,
+    /// Behaviour is application-defined.
+    Other,
+    /// No behaviour is specified.
+    NoneSpecified,
+}
+
+impl Show {
+    /// Parses an `xlink:show` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XLinkError::InvalidShow`] for unknown values.
+    pub fn from_value(v: &str) -> Result<Self, XLinkError> {
+        match v {
+            "new" => Ok(Show::New),
+            "replace" => Ok(Show::Replace),
+            "embed" => Ok(Show::Embed),
+            "other" => Ok(Show::Other),
+            "none" => Ok(Show::NoneSpecified),
+            other => Err(XLinkError::InvalidShow(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Show {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Show::New => "new",
+            Show::Replace => "replace",
+            Show::Embed => "embed",
+            Show::Other => "other",
+            Show::NoneSpecified => "none",
+        })
+    }
+}
+
+/// Values of `xlink:actuate` — when traversal should happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Actuate {
+    /// Traverse immediately on loading the starting resource.
+    OnLoad,
+    /// Traverse when the user requests it (a click).
+    #[default]
+    OnRequest,
+    /// Behaviour is application-defined.
+    Other,
+    /// No behaviour is specified.
+    NoneSpecified,
+}
+
+impl Actuate {
+    /// Parses an `xlink:actuate` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XLinkError::InvalidActuate`] for unknown values.
+    pub fn from_value(v: &str) -> Result<Self, XLinkError> {
+        match v {
+            "onLoad" => Ok(Actuate::OnLoad),
+            "onRequest" => Ok(Actuate::OnRequest),
+            "other" => Ok(Actuate::Other),
+            "none" => Ok(Actuate::NoneSpecified),
+            other => Err(XLinkError::InvalidActuate(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Actuate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Actuate::OnLoad => "onLoad",
+            Actuate::OnRequest => "onRequest",
+            Actuate::Other => "other",
+            Actuate::NoneSpecified => "none",
+        })
+    }
+}
+
+/// Reads the raw `xlink:*` attributes from one element.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct XLinkAttrs {
+    /// `xlink:type`, parsed.
+    pub link_type: Option<LinkType>,
+    /// `xlink:href`, raw.
+    pub href: Option<String>,
+    /// `xlink:role`.
+    pub role: Option<String>,
+    /// `xlink:arcrole`.
+    pub arcrole: Option<String>,
+    /// `xlink:title` (the attribute form).
+    pub title: Option<String>,
+    /// `xlink:show`, parsed.
+    pub show: Option<Show>,
+    /// `xlink:actuate`, parsed.
+    pub actuate: Option<Actuate>,
+    /// `xlink:label`.
+    pub label: Option<String>,
+    /// `xlink:from`.
+    pub from: Option<String>,
+    /// `xlink:to`.
+    pub to: Option<String>,
+}
+
+impl XLinkAttrs {
+    /// Extracts the XLink attributes of `element` in `doc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `type`, `show` or `actuate` carry values outside
+    /// the recommendation's enumerations.
+    pub fn read(doc: &Document, element: NodeId) -> Result<Self, XLinkError> {
+        let get = |local: &str| doc.attribute_ns(element, XLINK_NS, local).map(str::to_string);
+        let link_type = match get("type") {
+            Some(v) => Some(LinkType::from_value(&v)?),
+            None => None,
+        };
+        let show = match get("show") {
+            Some(v) => Some(Show::from_value(&v)?),
+            None => None,
+        };
+        let actuate = match get("actuate") {
+            Some(v) => Some(Actuate::from_value(&v)?),
+            None => None,
+        };
+        Ok(XLinkAttrs {
+            link_type,
+            href: get("href"),
+            role: get("role"),
+            arcrole: get("arcrole"),
+            title: get("title"),
+            show,
+            actuate,
+            label: get("label"),
+            from: get("from"),
+            to: get("to"),
+        })
+    }
+
+    /// `true` when the element carries any XLink markup at all.
+    pub fn is_linked(&self) -> bool {
+        self.link_type.is_some() || self.href.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navsep_xml::Document;
+
+    fn parse_one(attrs: &str) -> (Document, NodeId) {
+        let doc = Document::parse(&format!(
+            "<a xmlns:xlink=\"http://www.w3.org/1999/xlink\" {attrs}/>"
+        ))
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        (doc, root)
+    }
+
+    #[test]
+    fn reads_all_attributes() {
+        let (doc, root) = parse_one(
+            "xlink:type=\"arc\" xlink:from=\"a\" xlink:to=\"b\" xlink:arcrole=\"urn:next\" \
+             xlink:show=\"replace\" xlink:actuate=\"onRequest\" xlink:title=\"Next\"",
+        );
+        let attrs = XLinkAttrs::read(&doc, root).unwrap();
+        assert_eq!(attrs.link_type, Some(LinkType::Arc));
+        assert_eq!(attrs.from.as_deref(), Some("a"));
+        assert_eq!(attrs.to.as_deref(), Some("b"));
+        assert_eq!(attrs.arcrole.as_deref(), Some("urn:next"));
+        assert_eq!(attrs.show, Some(Show::Replace));
+        assert_eq!(attrs.actuate, Some(Actuate::OnRequest));
+        assert_eq!(attrs.title.as_deref(), Some("Next"));
+    }
+
+    #[test]
+    fn invalid_enumerations_rejected() {
+        let (doc, root) = parse_one("xlink:type=\"mega\"");
+        assert!(matches!(
+            XLinkAttrs::read(&doc, root),
+            Err(XLinkError::InvalidLinkType(_))
+        ));
+        let (doc, root) = parse_one("xlink:show=\"explode\"");
+        assert!(matches!(
+            XLinkAttrs::read(&doc, root),
+            Err(XLinkError::InvalidShow(_))
+        ));
+        let (doc, root) = parse_one("xlink:actuate=\"never\"");
+        assert!(matches!(
+            XLinkAttrs::read(&doc, root),
+            Err(XLinkError::InvalidActuate(_))
+        ));
+    }
+
+    #[test]
+    fn non_xlink_attributes_ignored() {
+        let doc = Document::parse("<a type=\"simple\" href=\"x\"/>").unwrap();
+        let root = doc.root_element().unwrap();
+        let attrs = XLinkAttrs::read(&doc, root).unwrap();
+        assert!(!attrs.is_linked());
+    }
+
+    #[test]
+    fn defaults_for_show_actuate() {
+        assert_eq!(Show::default(), Show::Replace);
+        assert_eq!(Actuate::default(), Actuate::OnRequest);
+    }
+
+    #[test]
+    fn display_matches_lexical_values() {
+        assert_eq!(LinkType::Extended.to_string(), "extended");
+        assert_eq!(Show::New.to_string(), "new");
+        assert_eq!(Actuate::OnLoad.to_string(), "onLoad");
+    }
+}

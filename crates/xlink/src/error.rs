@@ -1,0 +1,98 @@
+//! Errors raised while interpreting XLink markup.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A violation of the XLink 1.0 rules found while reading a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XLinkError {
+    /// `xlink:type` had a value outside the six defined ones.
+    InvalidLinkType(String),
+    /// `xlink:show` had an unknown value.
+    InvalidShow(String),
+    /// `xlink:actuate` had an unknown value.
+    InvalidActuate(String),
+    /// A simple link or locator is missing its `xlink:href`.
+    MissingHref {
+        /// Element name carrying the XLink markup.
+        element: String,
+    },
+    /// An arc refers to a label no locator/resource in the link defines.
+    UndefinedLabel {
+        /// The dangling label.
+        label: String,
+        /// `from` or `to`.
+        end: &'static str,
+    },
+    /// A locator/resource/arc/title appeared outside an extended link.
+    MisplacedElement {
+        /// The `xlink:type` value of the misplaced element.
+        link_type: String,
+    },
+    /// The href could not be parsed as a URI reference.
+    InvalidHref(String),
+    /// A document referenced by a link could not be found.
+    UnknownDocument(String),
+    /// A fragment pointer did not select anything in its target document.
+    PointerFailed {
+        /// The href whose fragment failed.
+        href: String,
+        /// Why the pointer failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for XLinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XLinkError::InvalidLinkType(v) => write!(f, "invalid xlink:type value {v:?}"),
+            XLinkError::InvalidShow(v) => write!(f, "invalid xlink:show value {v:?}"),
+            XLinkError::InvalidActuate(v) => write!(f, "invalid xlink:actuate value {v:?}"),
+            XLinkError::MissingHref { element } => {
+                write!(f, "element <{element}> requires an xlink:href")
+            }
+            XLinkError::UndefinedLabel { label, end } => {
+                write!(f, "arc {end}={label:?} names a label with no resource")
+            }
+            XLinkError::MisplacedElement { link_type } => {
+                write!(
+                    f,
+                    "xlink:type={link_type:?} element is only allowed inside an extended link"
+                )
+            }
+            XLinkError::InvalidHref(h) => write!(f, "invalid href {h:?}"),
+            XLinkError::UnknownDocument(d) => write!(f, "linked document {d:?} not found"),
+            XLinkError::PointerFailed { href, reason } => {
+                write!(f, "pointer in {href:?} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for XLinkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            XLinkError::InvalidLinkType("banana".into()).to_string(),
+            "invalid xlink:type value \"banana\""
+        );
+        assert!(XLinkError::UndefinedLabel {
+            label: "x".into(),
+            end: "from"
+        }
+        .to_string()
+        .contains("from"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<XLinkError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for XLink arc expansion and href resolution.
+
+use navsep_xlink::{ExtendedLink, Href, Linkbase};
+use navsep_xml::Document;
+use proptest::prelude::*;
+
+const XLINK: &str = "xmlns:xlink=\"http://www.w3.org/1999/xlink\"";
+
+/// Builds an extended link with `groups[i]` locators labeled `g{i}`, plus
+/// one arc per (from, to) pair given as indices.
+fn link_doc(groups: &[usize], arcs: &[(usize, usize)]) -> Document {
+    let mut body = String::new();
+    for (gi, &count) in groups.iter().enumerate() {
+        for k in 0..count {
+            body.push_str(&format!(
+                "<l xlink:type=\"locator\" xlink:label=\"g{gi}\" xlink:href=\"doc-{gi}-{k}.xml\"/>\n"
+            ));
+        }
+    }
+    for &(f, t) in arcs {
+        body.push_str(&format!(
+            "<a xlink:type=\"arc\" xlink:from=\"g{f}\" xlink:to=\"g{t}\"/>\n"
+        ));
+    }
+    Document::parse(&format!(
+        "<links {XLINK} xlink:type=\"extended\">\n{body}</links>"
+    ))
+    .expect("generated link is well-formed")
+}
+
+proptest! {
+    /// Arc expansion count is exactly Σ |from group| × |to group|.
+    #[test]
+    fn expansion_count_is_group_product(
+        groups in proptest::collection::vec(1usize..5, 1..4),
+        arc_pairs in proptest::collection::vec((0usize..4, 0usize..4), 0..6),
+    ) {
+        let arcs: Vec<(usize, usize)> = arc_pairs
+            .into_iter()
+            .map(|(f, t)| (f % groups.len(), t % groups.len()))
+            .collect();
+        let doc = link_doc(&groups, &arcs);
+        let link = ExtendedLink::parse(&doc, doc.root_element().unwrap()).unwrap();
+        let expected: usize = arcs.iter().map(|&(f, t)| groups[f] * groups[t]).sum();
+        prop_assert_eq!(link.traversals().unwrap().len(), expected);
+    }
+
+    /// An omitted from/to expands over every label.
+    #[test]
+    fn wildcard_arc_expands_over_all(groups in proptest::collection::vec(1usize..4, 1..4)) {
+        let doc = {
+            let mut body = String::new();
+            for (gi, &count) in groups.iter().enumerate() {
+                for k in 0..count {
+                    body.push_str(&format!(
+                        "<l xlink:type=\"locator\" xlink:label=\"g{gi}\" xlink:href=\"d{gi}-{k}.xml\"/>"
+                    ));
+                }
+            }
+            body.push_str("<a xlink:type=\"arc\"/>");
+            Document::parse(&format!(
+                "<links {XLINK} xlink:type=\"extended\">{body}</links>"
+            ))
+            .unwrap()
+        };
+        let link = ExtendedLink::parse(&doc, doc.root_element().unwrap()).unwrap();
+        let total: usize = groups.iter().sum();
+        prop_assert_eq!(link.traversals().unwrap().len(), total * total);
+    }
+
+    /// Href display/parse round trip.
+    #[test]
+    fn href_round_trips(doc_part in "[a-z]{1,8}(\\.xml)?", frag in proptest::option::of("[a-z]{1,8}")) {
+        let text = match &frag {
+            Some(f) => format!("{doc_part}#{f}"),
+            None => doc_part.clone(),
+        };
+        let href: Href = text.parse().unwrap();
+        prop_assert_eq!(href.to_string(), text);
+    }
+
+    /// Resolution against a base is idempotent: resolving an already
+    /// resolved href against the same base changes nothing more.
+    #[test]
+    fn resolution_is_idempotent(
+        base_dirs in proptest::collection::vec("[a-z]{1,4}", 0..3),
+        ups in 0usize..3,
+        target in "[a-z]{1,6}",
+    ) {
+        let base = if base_dirs.is_empty() {
+            "base.xml".to_string()
+        } else {
+            format!("{}/base.xml", base_dirs.join("/"))
+        };
+        let rel = format!("{}{}.xml", "../".repeat(ups), target);
+        let href: Href = rel.parse().unwrap();
+        let once = href.resolve_against(&base);
+        let twice = once.resolve_against(&base);
+        // A resolved path with no leading ../ segments is a fixed point when
+        // it no longer escapes the base directory.
+        if !once.document().starts_with("..") {
+            let redo: Href = once.document().parse().unwrap();
+            let expected = redo.resolve_against(&base);
+            prop_assert_eq!(twice.document(), expected.document());
+        }
+    }
+
+    /// A linkbase built from any set of extended links reports referenced
+    /// documents without duplicates.
+    #[test]
+    fn referenced_documents_unique(groups in proptest::collection::vec(1usize..4, 1..3)) {
+        let doc = link_doc(&groups, &[(0, 0)]);
+        let lb = Linkbase::from_document(&doc, "links.xml").unwrap();
+        let docs = lb.referenced_documents().unwrap();
+        let mut dedup = docs.clone();
+        dedup.dedup();
+        prop_assert_eq!(docs.len(), {
+            let mut sorted = dedup.clone();
+            sorted.sort();
+            sorted.dedup();
+            sorted.len()
+        });
+    }
+}

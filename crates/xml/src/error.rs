@@ -1,0 +1,189 @@
+//! Error types for XML parsing and well-formedness checking.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A position inside an XML source text, in human-oriented coordinates.
+///
+/// Lines and columns are 1-based, matching what editors display. The byte
+/// `offset` is 0-based and refers to the UTF-8 encoding of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TextPos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (counted in Unicode scalar values).
+    pub column: u32,
+    /// 0-based byte offset into the source.
+    pub offset: usize,
+}
+
+impl TextPos {
+    /// Creates a position. `line` and `column` are 1-based.
+    pub fn new(line: u32, column: u32, offset: usize) -> Self {
+        TextPos {
+            line,
+            column,
+            offset,
+        }
+    }
+
+    /// The start of a document: line 1, column 1, offset 0.
+    pub fn start() -> Self {
+        TextPos::new(1, 1, 0)
+    }
+}
+
+impl fmt::Display for TextPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The reason a parse failed, without position information.
+///
+/// [`ParseXmlError`] couples one of these with a [`TextPos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// What the parser was expecting, e.g. `"'>'"`.
+        expected: String,
+        /// The character actually found.
+        found: char,
+    },
+    /// An element or attribute name is empty or contains forbidden characters.
+    InvalidName(String),
+    /// A closing tag does not match the open element.
+    MismatchedTag {
+        /// Name of the element that is open.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// Reference to an entity this parser does not define.
+    UnknownEntity(String),
+    /// A numeric character reference denotes no valid character.
+    InvalidCharRef(String),
+    /// A namespace prefix is used without an in-scope declaration.
+    UnboundPrefix(String),
+    /// The document has no root element, or content outside the root.
+    InvalidDocumentStructure(String),
+    /// `--` inside a comment, `]]>` in text, or similar lexical violations.
+    InvalidToken(String),
+    /// Element nesting deeper than the parser's limit (guards the stack).
+    TooDeep(usize),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "closing tag </{found}> does not match open <{expected}>")
+            }
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::InvalidCharRef(s) => write!(f, "invalid character reference &#{s};"),
+            XmlErrorKind::UnboundPrefix(p) => write!(f, "namespace prefix {p:?} is not bound"),
+            XmlErrorKind::InvalidDocumentStructure(msg) => {
+                write!(f, "invalid document structure: {msg}")
+            }
+            XmlErrorKind::InvalidToken(msg) => write!(f, "invalid token: {msg}"),
+            XmlErrorKind::TooDeep(limit) => {
+                write!(f, "element nesting exceeds the limit of {limit}")
+            }
+        }
+    }
+}
+
+/// An error produced while parsing an XML document.
+///
+/// Carries the [`XmlErrorKind`] describing what went wrong and the
+/// [`TextPos`] where it happened.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::Document;
+///
+/// let err = Document::parse("<a><b></a>").unwrap_err();
+/// assert!(err.to_string().contains("</a>"));
+/// assert_eq!(err.pos().line, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    kind: XmlErrorKind,
+    pos: TextPos,
+}
+
+impl ParseXmlError {
+    /// Creates an error of `kind` at `pos`.
+    pub fn new(kind: XmlErrorKind, pos: TextPos) -> Self {
+        ParseXmlError { kind, pos }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Where it went wrong.
+    pub fn pos(&self) -> TextPos {
+        self.pos
+    }
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.pos)
+    }
+}
+
+impl StdError for ParseXmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = ParseXmlError::new(
+            XmlErrorKind::UnknownEntity("nbsp".into()),
+            TextPos::new(3, 17, 42),
+        );
+        assert_eq!(err.to_string(), "unknown entity &nbsp; at 3:17");
+    }
+
+    #[test]
+    fn text_pos_orders_by_line_then_column() {
+        let a = TextPos::new(1, 9, 8);
+        let b = TextPos::new(2, 1, 10);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn kind_display_mismatched_tag() {
+        let kind = XmlErrorKind::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert_eq!(kind.to_string(), "closing tag </b> does not match open <a>");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<ParseXmlError>();
+    }
+}

@@ -1,0 +1,154 @@
+//! Escaping and entity/character-reference expansion.
+//!
+//! Implements the five predefined XML entities (`&amp;`, `&lt;`, `&gt;`,
+//! `&quot;`, `&apos;`) and decimal/hexadecimal character references.
+
+use std::borrow::Cow;
+
+/// Escapes `text` for use as element character data.
+///
+/// Replaces `&`, `<` and `>` (the latter to stay clear of `]]>`). Returns
+/// `Cow::Borrowed` when no replacement is needed, avoiding allocation.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::escape::escape_text;
+/// assert_eq!(escape_text("a < b & c"), "a &lt; b &amp; c");
+/// assert!(matches!(escape_text("plain"), std::borrow::Cow::Borrowed(_)));
+/// ```
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| match c {
+        '&' => Some("&amp;"),
+        '<' => Some("&lt;"),
+        '>' => Some("&gt;"),
+        _ => None,
+    })
+}
+
+/// Escapes `value` for use inside a double-quoted attribute value.
+///
+/// Replaces `&`, `<`, `"`, and the whitespace characters tab/newline/CR
+/// (so attribute-value normalization round-trips).
+pub fn escape_attr(value: &str) -> Cow<'_, str> {
+    escape_with(value, |c| match c {
+        '&' => Some("&amp;"),
+        '<' => Some("&lt;"),
+        '"' => Some("&quot;"),
+        '\t' => Some("&#9;"),
+        '\n' => Some("&#10;"),
+        '\r' => Some("&#13;"),
+        _ => None,
+    })
+}
+
+fn escape_with(text: &str, replace: impl Fn(char) -> Option<&'static str>) -> Cow<'_, str> {
+    let mut out: Option<String> = None;
+    for (i, c) in text.char_indices() {
+        if let Some(rep) = replace(c) {
+            let buf = out.get_or_insert_with(|| String::with_capacity(text.len() + 8));
+            if buf.is_empty() {
+                buf.push_str(&text[..i]);
+            }
+            buf.push_str(rep);
+        } else if let Some(buf) = out.as_mut() {
+            buf.push(c);
+        }
+    }
+    match out {
+        Some(s) => Cow::Owned(s),
+        None => Cow::Borrowed(text),
+    }
+}
+
+/// Expands a predefined entity name to its character.
+///
+/// Returns `None` for anything but the five XML built-ins.
+pub fn predefined_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => None,
+    }
+}
+
+/// Parses the body of a character reference (`#10`, `#x1F600`) into a char.
+///
+/// `body` excludes the `&` and `;` delimiters but includes the `#`.
+/// Returns `None` when the number is malformed or maps to a code point
+/// forbidden in XML documents.
+pub fn parse_char_ref(body: &str) -> Option<char> {
+    let digits = body.strip_prefix('#')?;
+    let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        digits.parse::<u32>().ok()?
+    };
+    let c = char::from_u32(code)?;
+    if is_xml_char(c) {
+        Some(c)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` when `c` is allowed in XML 1.0 content.
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_round_trips_predefined() {
+        let s = "a<b>&c";
+        let escaped = escape_text(s);
+        assert_eq!(escaped, "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("he said \"hi\"\n"), "he said &quot;hi&quot;&#10;");
+    }
+
+    #[test]
+    fn no_allocation_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn predefined_entities_complete() {
+        assert_eq!(predefined_entity("amp"), Some('&'));
+        assert_eq!(predefined_entity("lt"), Some('<'));
+        assert_eq!(predefined_entity("gt"), Some('>'));
+        assert_eq!(predefined_entity("quot"), Some('"'));
+        assert_eq!(predefined_entity("apos"), Some('\''));
+        assert_eq!(predefined_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn char_refs_decimal_and_hex() {
+        assert_eq!(parse_char_ref("#65"), Some('A'));
+        assert_eq!(parse_char_ref("#x41"), Some('A'));
+        assert_eq!(parse_char_ref("#x1F600"), Some('😀'));
+        assert_eq!(parse_char_ref("#0"), None); // NUL forbidden
+        assert_eq!(parse_char_ref("#xD800"), None); // surrogate
+        assert_eq!(parse_char_ref("65"), None); // missing '#'
+        assert_eq!(parse_char_ref("#xZZ"), None);
+    }
+
+    #[test]
+    fn multibyte_prefix_before_first_escape() {
+        assert_eq!(escape_text("año&"), "año&amp;");
+    }
+}

@@ -1,0 +1,685 @@
+//! The XML parser: source text to [`Document`].
+//!
+//! A hand-written recursive-descent parser covering the subset of XML 1.0 +
+//! Namespaces needed by the navsep pipeline: elements, attributes, namespace
+//! resolution, text, CDATA, comments, processing instructions, the XML
+//! declaration, an (ignored) DOCTYPE, predefined entities and character
+//! references. DTD-defined entities are rejected rather than silently
+//! mis-parsed.
+
+use crate::dom::{Attribute, Document, NodeId};
+use crate::error::{ParseXmlError, TextPos, XmlErrorKind};
+use crate::escape::{is_xml_char, parse_char_ref, predefined_entity};
+use crate::name::{is_name_char, is_name_start_char, NamespaceStack, QName};
+
+/// Maximum element nesting depth. Documents deeper than this are rejected
+/// with [`XmlErrorKind::TooDeep`] instead of risking stack exhaustion in the
+/// recursive-descent parser.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses `text` into a [`Document`]. Exposed as [`Document::parse`].
+pub(crate) fn parse_document(text: &str) -> Result<Document, ParseXmlError> {
+    let mut parser = Parser::new(text);
+    parser.parse()
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    depth: usize,
+    doc: Document,
+    ns: NamespaceStack,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            depth: 0,
+            doc: Document::new(),
+            ns: NamespaceStack::new(),
+        }
+    }
+
+    fn text_pos(&self) -> TextPos {
+        TextPos::new(self.line, self.col, self.pos)
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> ParseXmlError {
+        ParseXmlError::new(kind, self.text_pos())
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseXmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(found) => Err(self.err(XmlErrorKind::UnexpectedChar {
+                    expected: format!("{s:?}"),
+                    found,
+                })),
+                None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.bump();
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn parse(&mut self) -> Result<Document, ParseXmlError> {
+        self.eat("\u{FEFF}"); // byte-order mark
+        // An XML declaration is "<?xml" followed by whitespace — not a PI
+        // whose target merely starts with "xml" (e.g. <?xml-stylesheet?>).
+        if ["<?xml ", "<?xml\t", "<?xml\n", "<?xml\r", "<?xml?"]
+            .iter()
+            .any(|p| self.starts_with(p))
+        {
+            self.parse_xml_decl()?;
+        }
+        let mut saw_root = false;
+        loop {
+            self.skip_ws();
+            if self.at_eof() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                let parent = self.doc.document_node();
+                self.doc.create_comment(parent, c);
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                let (target, data) = self.parse_pi()?;
+                let parent = self.doc.document_node();
+                self.doc.create_pi(parent, target, data);
+            } else if self.starts_with("<") {
+                if saw_root {
+                    return Err(self.err(XmlErrorKind::InvalidDocumentStructure(
+                        "content after root element".into(),
+                    )));
+                }
+                let parent = self.doc.document_node();
+                self.parse_element(parent)?;
+                saw_root = true;
+            } else {
+                return Err(self.err(XmlErrorKind::InvalidDocumentStructure(
+                    "character data outside the root element".into(),
+                )));
+            }
+        }
+        if !saw_root {
+            return Err(self.err(XmlErrorKind::InvalidDocumentStructure(
+                "no root element".into(),
+            )));
+        }
+        Ok(std::mem::take(&mut self.doc))
+    }
+
+    fn parse_xml_decl(&mut self) -> Result<(), ParseXmlError> {
+        self.expect("<?xml")?;
+        // Tolerantly scan to the closing "?>"; contents (version/encoding)
+        // do not affect this in-memory parser.
+        loop {
+            if self.eat("?>") {
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseXmlError> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseXmlError> {
+        self.expect("<!--")?;
+        let mut out = String::new();
+        loop {
+            if self.starts_with("--") {
+                if self.eat("-->") {
+                    return Ok(out);
+                }
+                return Err(self.err(XmlErrorKind::InvalidToken(
+                    "'--' is not allowed inside a comment".into(),
+                )));
+            }
+            match self.bump() {
+                Some(c) => out.push(c),
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), ParseXmlError> {
+        self.expect("<?")?;
+        let target = self.parse_name_token()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err(XmlErrorKind::InvalidToken(
+                "processing-instruction target may not be 'xml'".into(),
+            )));
+        }
+        self.skip_ws();
+        let mut data = String::new();
+        loop {
+            if self.eat("?>") {
+                return Ok((target, data));
+            }
+            match self.bump() {
+                Some(c) => data.push(c),
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_name_token(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start_char(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::UnexpectedChar {
+                    expected: "a name".into(),
+                    found: c,
+                }))
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    // ---- elements --------------------------------------------------------
+
+    fn parse_element(&mut self, parent: NodeId) -> Result<NodeId, ParseXmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(XmlErrorKind::TooDeep(MAX_DEPTH)));
+        }
+        let result = self.parse_element_inner(parent);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(&mut self, parent: NodeId) -> Result<NodeId, ParseXmlError> {
+        self.expect("<")?;
+        let lexical = self.parse_name_token()?;
+        let (prefix, local) = QName::split_lexical(&lexical)
+            .ok_or_else(|| self.err(XmlErrorKind::InvalidName(lexical.clone())))?;
+        let prefix = prefix.to_string();
+        let local = local.to_string();
+
+        // Collect raw attributes first; namespace decls must be in scope
+        // before prefixes (including the element's own) are resolved.
+        let mut raw_attrs: Vec<(String, String, String)> = Vec::new(); // (prefix, local, value)
+        let mut decls: Vec<(String, String)> = Vec::new(); // (prefix, uri)
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    self_closing = true;
+                    break;
+                }
+                Some(c) if is_name_start_char(c) => {
+                    let attr_name = self.parse_name_token()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if attr_name == "xmlns" {
+                        decls.push((String::new(), value));
+                    } else if let Some(rest) = attr_name.strip_prefix("xmlns:") {
+                        if rest.is_empty() {
+                            return Err(self.err(XmlErrorKind::InvalidName(attr_name)));
+                        }
+                        decls.push((rest.to_string(), value));
+                    } else {
+                        let (ap, al) = QName::split_lexical(&attr_name)
+                            .ok_or_else(|| self.err(XmlErrorKind::InvalidName(attr_name.clone())))?;
+                        raw_attrs.push((ap.to_string(), al.to_string(), value));
+                    }
+                }
+                Some(c) => {
+                    return Err(self.err(XmlErrorKind::UnexpectedChar {
+                        expected: "an attribute name, '>' or '/>'".into(),
+                        found: c,
+                    }))
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+
+        self.ns.push();
+        for (p, uri) in &decls {
+            self.ns.declare(p.clone(), uri.clone());
+        }
+
+        let element_name = self.resolve_element_name(&prefix, &local)?;
+        let id = self.doc.create_element(parent, element_name);
+        for (p, uri) in decls {
+            self.doc.declare_namespace(id, p, uri);
+        }
+        let mut resolved: Vec<Attribute> = Vec::with_capacity(raw_attrs.len());
+        for (ap, al, value) in raw_attrs {
+            let name = self.resolve_attr_name(&ap, &al)?;
+            if resolved.iter().any(|a| {
+                a.name().local() == name.local() && a.name().namespace() == name.namespace()
+            }) {
+                return Err(self.err(XmlErrorKind::DuplicateAttribute(name.as_markup())));
+            }
+            resolved.push(Attribute::new(name, value));
+        }
+        for a in resolved {
+            self.doc
+                .set_attribute(id, a.name().clone(), a.value().to_string());
+        }
+
+        if !self_closing {
+            self.parse_content(id)?;
+            // closing tag
+            let close = self.parse_name_token()?;
+            if close != lexical {
+                self.ns.pop();
+                return Err(self.err(XmlErrorKind::MismatchedTag {
+                    expected: lexical,
+                    found: close,
+                }));
+            }
+            self.skip_ws();
+            self.expect(">")?;
+        }
+        self.ns.pop();
+        Ok(id)
+    }
+
+    fn resolve_element_name(&self, prefix: &str, local: &str) -> Result<QName, ParseXmlError> {
+        if prefix.is_empty() {
+            Ok(match self.ns.default_namespace() {
+                Some(uri) => QName::in_default_namespace(local, uri),
+                None => QName::new(local),
+            })
+        } else {
+            match self.ns.resolve(prefix) {
+                Some(uri) => Ok(QName::with_namespace(prefix, local, uri)),
+                None => Err(self.err(XmlErrorKind::UnboundPrefix(prefix.to_string()))),
+            }
+        }
+    }
+
+    fn resolve_attr_name(&self, prefix: &str, local: &str) -> Result<QName, ParseXmlError> {
+        if prefix.is_empty() {
+            // Default namespace does not apply to attributes.
+            Ok(QName::new(local))
+        } else {
+            match self.ns.resolve(prefix) {
+                Some(uri) => Ok(QName::with_namespace(prefix, local, uri)),
+                None => Err(self.err(XmlErrorKind::UnboundPrefix(prefix.to_string()))),
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::UnexpectedChar {
+                    expected: "'\"' or \"'\"".into(),
+                    found: c,
+                }))
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('<') => {
+                    return Err(self.err(XmlErrorKind::InvalidToken(
+                        "'<' is not allowed in attribute values".into(),
+                    )))
+                }
+                Some('&') => out.push(self.parse_reference()?),
+                // Attribute-value normalization: whitespace -> space.
+                Some('\t' | '\n' | '\r') => {
+                    self.bump();
+                    out.push(' ');
+                }
+                Some(c) => {
+                    self.check_char(c)?;
+                    self.bump();
+                    out.push(c);
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_reference(&mut self) -> Result<char, ParseXmlError> {
+        self.expect("&")?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c != ';') {
+            self.bump();
+            if self.pos - start > 32 {
+                return Err(self.err(XmlErrorKind::InvalidToken(
+                    "unterminated entity reference".into(),
+                )));
+            }
+        }
+        let body = self.src[start..self.pos].to_string();
+        self.expect(";")?;
+        if let Some(stripped) = body.strip_prefix('#') {
+            parse_char_ref(&format!("#{stripped}"))
+                .ok_or_else(|| self.err(XmlErrorKind::InvalidCharRef(stripped.to_string())))
+        } else {
+            predefined_entity(&body)
+                .ok_or_else(|| self.err(XmlErrorKind::UnknownEntity(body.clone())))
+        }
+    }
+
+    fn check_char(&self, c: char) -> Result<(), ParseXmlError> {
+        if is_xml_char(c) {
+            Ok(())
+        } else {
+            Err(self.err(XmlErrorKind::InvalidToken(format!(
+                "character U+{:04X} is not allowed in XML",
+                c as u32
+            ))))
+        }
+    }
+
+    /// Parses element content until the matching `</` is consumed.
+    fn parse_content(&mut self, parent: NodeId) -> Result<(), ParseXmlError> {
+        let mut text = String::new();
+        loop {
+            if self.at_eof() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
+            if self.starts_with("</") {
+                self.flush_text(parent, &mut text);
+                self.expect("</")?;
+                return Ok(());
+            }
+            if self.starts_with("<![CDATA[") {
+                self.eat("<![CDATA[");
+                loop {
+                    if self.eat("]]>") {
+                        break;
+                    }
+                    match self.bump() {
+                        Some(c) => text.push(c),
+                        None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                    }
+                }
+                continue;
+            }
+            if self.starts_with("<!--") {
+                self.flush_text(parent, &mut text);
+                let c = self.parse_comment()?;
+                self.doc.create_comment(parent, c);
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.flush_text(parent, &mut text);
+                let (target, data) = self.parse_pi()?;
+                self.doc.create_pi(parent, target, data);
+                continue;
+            }
+            if self.starts_with("<") {
+                self.flush_text(parent, &mut text);
+                self.parse_element(parent)?;
+                continue;
+            }
+            if self.starts_with("]]>") {
+                return Err(self.err(XmlErrorKind::InvalidToken(
+                    "']]>' is not allowed in character data".into(),
+                )));
+            }
+            match self.peek() {
+                Some('&') => text.push(self.parse_reference()?),
+                Some(c) => {
+                    self.check_char(c)?;
+                    self.bump();
+                    text.push(c);
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn flush_text(&mut self, parent: NodeId, text: &mut String) {
+        if !text.is_empty() {
+            let t = std::mem::take(text);
+            self.doc.create_text(parent, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dom::{Document, NodeKind};
+    use crate::error::XmlErrorKind;
+    use crate::name::XML_NS;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = Document::parse("<a/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()).unwrap().local(), "a");
+    }
+
+    #[test]
+    fn parses_declaration_and_doctype() {
+        let doc = Document::parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n<a/>",
+        )
+        .unwrap();
+        assert!(doc.root_element().is_some());
+    }
+
+    #[test]
+    fn resolves_namespaces() {
+        let doc = Document::parse(
+            "<r xmlns=\"urn:d\" xmlns:x=\"urn:x\"><x:a y=\"1\" x:z=\"2\"/></r>",
+        )
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).unwrap().namespace(), Some("urn:d"));
+        let a = doc.child_elements(root).next().unwrap();
+        let name = doc.name(a).unwrap();
+        assert_eq!(name.namespace(), Some("urn:x"));
+        assert_eq!(name.prefix(), "x");
+        // Unprefixed attribute is in *no* namespace even with a default ns.
+        assert_eq!(doc.attribute(a, "y"), Some("1"));
+        assert_eq!(doc.attribute_ns(a, "urn:x", "z"), Some("2"));
+    }
+
+    #[test]
+    fn unbound_prefix_is_an_error() {
+        let err = Document::parse("<x:a/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnboundPrefix(p) if p == "x"));
+    }
+
+    #[test]
+    fn mismatched_tags_error_with_position() {
+        let err = Document::parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.pos().line, 2);
+    }
+
+    #[test]
+    fn entities_and_char_refs_expand() {
+        let doc = Document::parse("<a attr=\"&lt;&#65;&gt;\">&amp;&#x42;</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(root, "attr"), Some("<A>"));
+        assert_eq!(doc.text_content(root), "&B");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = Document::parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnknownEntity(e) if e == "nbsp"));
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let doc = Document::parse("<a><![CDATA[<not> & markup]]></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "<not> & markup");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        let doc = Document::parse("<a><!-- note --><?php echo ?></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let kinds: Vec<_> = doc.children(root).iter().map(|&c| doc.kind(c).clone()).collect();
+        assert!(matches!(&kinds[0], NodeKind::Comment(c) if c == " note "));
+        assert!(
+            matches!(&kinds[1], NodeKind::ProcessingInstruction { target, data } if target == "php" && data == "echo ")
+        );
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        let err = Document::parse("<a><!-- bad -- comment --></a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::InvalidToken(_)));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Document::parse("<a k=\"1\" k=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn duplicate_attribute_by_namespace_rejected() {
+        // Same expanded name through two prefixes.
+        let err = Document::parse(
+            "<a xmlns:p=\"urn:x\" xmlns:q=\"urn:x\" p:k=\"1\" q:k=\"2\"/>",
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let err = Document::parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::InvalidDocumentStructure(_)));
+    }
+
+    #[test]
+    fn attribute_value_normalization() {
+        let doc = Document::parse("<a k=\"one\ntwo\tthree\"/>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(root, "k"), Some("one two three"));
+    }
+
+    #[test]
+    fn xml_id_attribute_resolves_namespace() {
+        let doc = Document::parse("<a xml:id=\"root\"/>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attribute_ns(root, XML_NS, "id"), Some("root"));
+        assert_eq!(doc.element_by_id("root"), Some(root));
+    }
+
+    #[test]
+    fn cdata_split_sections_merge_into_one_text_run() {
+        let doc = Document::parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        // One merged text node: "xyz".
+        assert_eq!(doc.children(root).len(), 1);
+        assert_eq!(doc.text_content(root), "xyz");
+    }
+
+    #[test]
+    fn whitespace_only_document_is_error() {
+        assert!(Document::parse("   \n  ").is_err());
+        assert!(Document::parse("").is_err());
+    }
+
+    #[test]
+    fn bom_is_tolerated() {
+        let doc = Document::parse("\u{FEFF}<a/>").unwrap();
+        assert!(doc.root_element().is_some());
+    }
+
+    #[test]
+    fn nested_default_namespace_undeclaration() {
+        let doc = Document::parse("<a xmlns=\"urn:d\"><b xmlns=\"\"/></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let b = doc.child_elements(root).next().unwrap();
+        assert_eq!(doc.name(b).unwrap().namespace(), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! A conformance battery for the XML substrate: tricky-but-legal documents
+//! must parse, illegal ones must fail, and structures must survive a
+//! round trip. Complements the unit tests with the cases that broke real
+//! parsers.
+
+use navsep_xml::{Document, WriteOptions, XmlErrorKind, XML_NS};
+
+fn roundtrip(src: &str) -> String {
+    let doc = Document::parse(src).expect("document should parse");
+    doc.to_xml(&WriteOptions::default().declaration(false))
+}
+
+#[test]
+fn doctype_with_internal_subset() {
+    let src = "<!DOCTYPE museum [\n  <!ELEMENT museum (painting*)>\n  <!ATTLIST painting id ID #REQUIRED>\n]>\n<museum/>";
+    assert!(Document::parse(src).is_ok());
+}
+
+#[test]
+fn comment_with_single_dashes_ok_double_rejected() {
+    assert!(Document::parse("<a><!-- one - dash - fine --></a>").is_ok());
+    assert!(Document::parse("<a><!-- two -- dashes --></a>").is_err());
+}
+
+#[test]
+fn cdata_containing_markup_like_text() {
+    let doc = Document::parse("<a><![CDATA[<b>&amp;</b>]]></a>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.text_content(root), "<b>&amp;</b>");
+    // On reserialization, it is escaped as ordinary text.
+    let out = doc.to_xml(&WriteOptions::default().declaration(false));
+    assert_eq!(out, "<a>&lt;b&gt;&amp;amp;&lt;/b&gt;</a>");
+}
+
+#[test]
+fn cdata_with_bracket_tricks() {
+    let doc = Document::parse("<a><![CDATA[ ]] ]]] ]]></a>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.text_content(root), " ]] ]]] ");
+}
+
+#[test]
+fn deeply_nested_document_within_limit() {
+    let depth = 100; // inside MAX_DEPTH
+    let mut src = String::new();
+    for i in 0..depth {
+        src.push_str(&format!("<e{i}>"));
+    }
+    for i in (0..depth).rev() {
+        src.push_str(&format!("</e{i}>"));
+    }
+    let doc = Document::parse(&src).expect("deep nesting parses");
+    assert_eq!(doc.len(), depth + 1);
+    // And serializes back.
+    let out = doc.to_xml(&WriteOptions::default().declaration(false));
+    assert!(out.starts_with("<e0><e1>"));
+}
+
+#[test]
+fn pathological_nesting_rejected_not_crashed() {
+    // Beyond the limit the parser must fail with a structured error, never
+    // blow the stack (the guard is what this test is for).
+    let depth = 400;
+    let mut src = String::new();
+    for _ in 0..depth {
+        src.push_str("<d>");
+    }
+    // Even without closing tags the open-tag cascade must trip the guard.
+    let err = Document::parse(&src).unwrap_err();
+    assert!(matches!(err.kind(), XmlErrorKind::TooDeep(_)), "{err}");
+}
+
+#[test]
+fn many_siblings() {
+    let n = 10_000;
+    let body: String = (0..n).map(|i| format!("<i x=\"{i}\"/>")).collect();
+    let doc = Document::parse(&format!("<r>{body}</r>")).unwrap();
+    assert_eq!(doc.children(doc.root_element().unwrap()).len(), n);
+}
+
+#[test]
+fn namespace_shadowing_and_undeclaration() {
+    let doc = Document::parse(
+        r#"<a xmlns:p="urn:one"><b xmlns:p="urn:two"><p:x/></b><p:y/></a>"#,
+    )
+    .unwrap();
+    let names: Vec<(String, Option<String>)> = doc
+        .descendants(doc.document_node())
+        .filter_map(|n| doc.name(n))
+        .map(|q| (q.local().to_string(), q.namespace().map(str::to_string)))
+        .collect();
+    assert_eq!(names[2], ("x".to_string(), Some("urn:two".to_string())));
+    assert_eq!(names[3], ("y".to_string(), Some("urn:one".to_string())));
+}
+
+#[test]
+fn xml_namespace_is_predeclared() {
+    let doc = Document::parse(r#"<a xml:lang="es"/>"#).unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.attribute_ns(root, XML_NS, "lang"), Some("es"));
+}
+
+#[test]
+fn utf8_content_everywhere() {
+    let src = "<ñandú título=\"Pájaro\">emoji 🎨 and 中文</ñandú>";
+    let out = roundtrip(src);
+    assert_eq!(out, src);
+}
+
+#[test]
+fn entity_in_attribute_survives() {
+    let out = roundtrip("<a k=\"&lt;&amp;&gt;\"/>");
+    assert_eq!(out, "<a k=\"&lt;&amp;>\"/>"); // '>' needs no escaping in attrs
+    // Reparse gives the same value.
+    let doc = Document::parse(&out).unwrap();
+    assert_eq!(doc.attribute(doc.root_element().unwrap(), "k"), Some("<&>"));
+}
+
+#[test]
+fn numeric_references_boundaries() {
+    // Highest valid code point and a supplementary-plane char.
+    let doc = Document::parse("<a>&#x10FFFF;&#128512;</a>").unwrap();
+    let text = doc.text_content(doc.root_element().unwrap());
+    assert_eq!(text.chars().count(), 2);
+    // Out-of-range rejected.
+    assert!(Document::parse("<a>&#x110000;</a>").is_err());
+}
+
+#[test]
+fn error_positions_are_precise() {
+    let err = Document::parse("<a>\n  <b>\n    &bogus;\n  </b>\n</a>").unwrap_err();
+    assert_eq!(err.pos().line, 3);
+    assert!(matches!(err.kind(), XmlErrorKind::UnknownEntity(_)));
+}
+
+#[test]
+fn rejects_classic_malformations() {
+    for (case, src) in [
+        ("unclosed root", "<a>"),
+        ("stray close", "</a>"),
+        ("attr without value", "<a k/>"),
+        ("attr without quotes", "<a k=v/>"),
+        ("lt in attr", "<a k=\"<\"/>"),
+        ("two roots", "<a/><b/>"),
+        ("text at top level", "<a/>text"),
+        ("bad pi target", "<a><?xml version=\"1.0\"?></a>"),
+        ("cdata end in text", "<a>]]></a>"),
+        ("nul char ref", "<a>&#0;</a>"),
+    ] {
+        assert!(Document::parse(src).is_err(), "{case} should fail: {src}");
+    }
+}
+
+#[test]
+fn whitespace_preserved_in_text() {
+    let doc = Document::parse("<a>  leading and trailing  </a>").unwrap();
+    assert_eq!(
+        doc.text_content(doc.root_element().unwrap()),
+        "  leading and trailing  "
+    );
+}
+
+#[test]
+fn attribute_order_preserved() {
+    let out = roundtrip("<a z=\"1\" a=\"2\" m=\"3\"/>");
+    assert_eq!(out, "<a z=\"1\" a=\"2\" m=\"3\"/>");
+}
+
+#[test]
+fn processing_instruction_at_top_level() {
+    let doc = Document::parse("<?xml-stylesheet href=\"s.css\" type=\"text/css\"?><a/>").unwrap();
+    assert!(doc.root_element().is_some());
+    assert_eq!(doc.children(doc.document_node()).len(), 2);
+}
+
+#[test]
+fn large_attribute_values() {
+    let big = "x".repeat(100_000);
+    let doc = Document::parse(&format!("<a k=\"{big}\"/>")).unwrap();
+    assert_eq!(
+        doc.attribute(doc.root_element().unwrap(), "k").map(str::len),
+        Some(100_000)
+    );
+}
+
+#[test]
+fn mixed_content_round_trip() {
+    let src = "<p>one <em>two</em> three <strong>four</strong> five</p>";
+    assert_eq!(roundtrip(src), src);
+}
+
+#[test]
+fn self_closing_vs_empty_pair_equivalence() {
+    let a = Document::parse("<a><b/></a>").unwrap();
+    let b = Document::parse("<a><b></b></a>").unwrap();
+    // Both serialize to the self-closing form.
+    let opts = WriteOptions::default().declaration(false);
+    assert_eq!(a.to_xml(&opts), b.to_xml(&opts));
+}

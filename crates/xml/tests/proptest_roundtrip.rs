@@ -1,0 +1,133 @@
+//! Property-based tests: serialize ∘ parse is the identity on serialized
+//! documents, and parsing never panics on arbitrary input.
+
+use navsep_xml::{Document, ElementBuilder, WriteOptions};
+use proptest::prelude::*;
+
+/// Strategy for XML element/attribute names (a safe subset).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}".prop_filter("avoid 'xmlns' keyword", |s| s != "xmlns" && s != "xml")
+}
+
+/// Strategy for text content, including characters that need escaping.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("a".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just(" ".to_string()),
+            Just("ñ".to_string()),
+            Just("😀".to_string()),
+            Just("]]>".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|v| v.concat())
+}
+
+/// Strategy for attribute values, including whitespace that must survive via
+/// character references.
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("v".to_string()),
+            Just("<".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("\t".to_string()),
+            Just("\n".to_string()),
+            Just("é".to_string()),
+        ],
+        0..8,
+    )
+    .prop_map(|v| v.concat())
+}
+
+/// Recursive strategy producing a random element tree as a builder.
+fn tree_strategy() -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (name_strategy(), text_strategy()).prop_map(|(name, text)| {
+        let b = ElementBuilder::new(name.as_str());
+        if text.is_empty() {
+            b
+        } else {
+            b.text(text)
+        }
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut b = ElementBuilder::new(name.as_str());
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        b = b.attr(k.as_str(), v);
+                    }
+                }
+                b.children(children)
+            })
+    })
+}
+
+proptest! {
+    /// serialize → parse → serialize is a fixed point.
+    #[test]
+    fn serialize_parse_serialize_is_identity(tree in tree_strategy()) {
+        let doc = tree.build_document();
+        let opts = WriteOptions::default().declaration(false);
+        let first = doc.to_xml(&opts);
+        let reparsed = Document::parse(&first).expect("own output must reparse");
+        let second = reparsed.to_xml(&opts);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Pretty-printed output also reparses (indentation must not corrupt
+    /// attribute values or break well-formedness).
+    #[test]
+    fn pretty_output_reparses(tree in tree_strategy()) {
+        let doc = tree.build_document();
+        let pretty = doc.to_pretty_xml();
+        prop_assert!(Document::parse(&pretty).is_ok());
+    }
+
+    /// Text content survives the round trip exactly for non-whitespace text
+    /// placed as the only child.
+    #[test]
+    fn text_content_round_trips(text in text_strategy()) {
+        let doc = ElementBuilder::new("t").text(text.clone()).build_document();
+        let xml = doc.to_xml(&WriteOptions::default().declaration(false));
+        let back = Document::parse(&xml).unwrap();
+        let root = back.root_element().unwrap();
+        prop_assert_eq!(back.text_content(root), text);
+    }
+
+    /// Attribute values survive the round trip exactly (incl. tab/newline,
+    /// which must be written as character references).
+    #[test]
+    fn attribute_value_round_trips(value in attr_value_strategy()) {
+        let doc = ElementBuilder::new("t").attr("k", value.clone()).build_document();
+        let xml = doc.to_xml(&WriteOptions::default().declaration(false));
+        let back = Document::parse(&xml).unwrap();
+        let root = back.root_element().unwrap();
+        prop_assert_eq!(back.attribute(root, "k"), Some(value.as_str()));
+    }
+
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = Document::parse(&input);
+    }
+
+    /// The parser never panics on angle-bracket-dense input either.
+    #[test]
+    fn parser_never_panics_markupish(input in "[<>&;\"'a-z/=! \\-\\[\\]]{0,64}") {
+        let _ = Document::parse(&input);
+    }
+}

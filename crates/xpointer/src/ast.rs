@@ -1,0 +1,251 @@
+//! The XPointer abstract syntax tree.
+//!
+//! Three pointer forms from the XPointer framework are covered:
+//!
+//! * **shorthand** — a bare `NCName` identifying the element with that ID
+//!   (`guitar`);
+//! * **`element()` scheme** — `element(guitar/1/2)`: optional starting ID
+//!   followed by a *child sequence* of 1-based element positions;
+//! * **`xpointer()` scheme** — an XPath location-path subset:
+//!   `xpointer(/museum/painter[2]/painting[@id='guitar'])`.
+//!
+//! Several scheme parts may be concatenated (`element(a) element(b)`); the
+//! first that yields a non-empty location set wins, per the framework's
+//! fallback rule.
+
+use std::fmt;
+
+/// A complete XPointer: either a shorthand ID or one-or-more scheme parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pointer {
+    /// A bare name addressing the element with that `id` / `xml:id`.
+    Shorthand(String),
+    /// Scheme parts, tried left to right until one matches.
+    Schemes(Vec<SchemePart>),
+}
+
+impl fmt::Display for Pointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pointer::Shorthand(name) => write!(f, "{name}"),
+            Pointer::Schemes(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One scheme invocation inside a pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemePart {
+    /// `element(...)` — ID + child sequence addressing.
+    Element(ElementScheme),
+    /// `xpointer(...)` — XPath-subset location path.
+    XPointer(LocationPath),
+    /// Any other scheme, kept verbatim so callers can report it.
+    Unknown {
+        /// Scheme name as written.
+        name: String,
+        /// Raw scheme data between the parentheses.
+        data: String,
+    },
+}
+
+impl fmt::Display for SchemePart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemePart::Element(e) => write!(f, "element({e})"),
+            SchemePart::XPointer(p) => write!(f, "xpointer({p})"),
+            SchemePart::Unknown { name, data } => write!(f, "{name}({data})"),
+        }
+    }
+}
+
+/// The `element()` scheme: optional starting ID, then 1-based child steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementScheme {
+    /// Starting element ID; `None` starts at the document root.
+    pub start_id: Option<String>,
+    /// Each step selects the n-th *element* child (1-based).
+    pub child_sequence: Vec<usize>,
+}
+
+impl fmt::Display for ElementScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(id) = &self.start_id {
+            f.write_str(id)?;
+        }
+        for step in &self.child_sequence {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An XPath-subset location path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationPath {
+    /// `true` for paths beginning with `/` (evaluated from the document).
+    pub absolute: bool,
+    /// The steps, applied left to right.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            f.write_str("/")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One location step: axis, node test, and zero or more predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The traversal direction.
+    pub axis: Axis,
+    /// What kind/name of node the step selects.
+    pub node_test: NodeTest,
+    /// Filters applied in order to the step's result.
+    pub predicates: Vec<Predicate>,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => {}
+            Axis::DescendantOrSelf => f.write_str("descendant-or-self::node()/")?,
+            Axis::Attribute => f.write_str("@")?,
+            Axis::SelfAxis => f.write_str("self::")?,
+            Axis::Parent => f.write_str("parent::")?,
+        }
+        write!(f, "{}", self.node_test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Traversal axes (the subset this engine evaluates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Direct children (the default axis).
+    Child,
+    /// The node itself plus all descendants (`//` expands to this).
+    DescendantOrSelf,
+    /// Attributes of the context element (`@name`).
+    Attribute,
+    /// The context node itself (`.`).
+    SelfAxis,
+    /// The parent node (`..`).
+    Parent,
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// Elements (or attributes, on the attribute axis) with this local name.
+    Name(String),
+    /// Any element (`*`), or any attribute on the attribute axis.
+    Wildcard,
+    /// `text()` — text nodes.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::AnyNode => f.write_str("node()"),
+        }
+    }
+}
+
+/// Step predicates (the subset this engine evaluates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `[n]` — keep the n-th node of the step result (1-based).
+    Position(usize),
+    /// `[last()]` — keep the last node.
+    Last,
+    /// `[@name]` — keep elements that have the attribute.
+    HasAttribute(String),
+    /// `[@name='value']` — keep elements whose attribute equals the value.
+    AttributeEquals(String, String),
+    /// `[name='value']` — keep elements having a child `name` whose text
+    /// content equals `value`.
+    ChildEquals(String, String),
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Position(n) => write!(f, "{n}"),
+            Predicate::Last => f.write_str("last()"),
+            Predicate::HasAttribute(a) => write!(f, "@{a}"),
+            Predicate::AttributeEquals(a, v) => write!(f, "@{a}='{v}'"),
+            Predicate::ChildEquals(c, v) => write!(f, "{c}='{v}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_examples() {
+        let p = Pointer::Shorthand("guitar".into());
+        assert_eq!(p.to_string(), "guitar");
+
+        let e = SchemePart::Element(ElementScheme {
+            start_id: Some("picasso".into()),
+            child_sequence: vec![1, 3],
+        });
+        assert_eq!(e.to_string(), "element(picasso/1/3)");
+
+        let path = LocationPath {
+            absolute: true,
+            steps: vec![
+                Step {
+                    axis: Axis::Child,
+                    node_test: NodeTest::Name("museum".into()),
+                    predicates: vec![],
+                },
+                Step {
+                    axis: Axis::Child,
+                    node_test: NodeTest::Name("painting".into()),
+                    predicates: vec![Predicate::AttributeEquals("id".into(), "guitar".into())],
+                },
+            ],
+        };
+        assert_eq!(path.to_string(), "/museum/painting[@id='guitar']");
+    }
+
+    #[test]
+    fn unknown_scheme_preserved() {
+        let u = SchemePart::Unknown {
+            name: "xmlns".into(),
+            data: "p=urn:x".into(),
+        };
+        assert_eq!(u.to_string(), "xmlns(p=urn:x)");
+    }
+}

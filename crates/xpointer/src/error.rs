@@ -1,0 +1,87 @@
+//! Errors for XPointer parsing and evaluation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Failure to parse an XPointer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePointerError {
+    message: String,
+    /// Byte offset into the pointer string where parsing failed.
+    offset: usize,
+}
+
+impl ParsePointerError {
+    /// Creates a parse error at byte `offset` in the pointer text.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParsePointerError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Human-readable reason for the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset into the pointer string.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParsePointerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid xpointer at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl StdError for ParsePointerError {}
+
+/// Failure to evaluate a (well-formed) pointer against a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalPointerError {
+    /// No scheme part of the pointer produced any location.
+    NoMatch(String),
+    /// The pointer used a scheme this engine does not implement.
+    UnsupportedScheme(String),
+}
+
+impl fmt::Display for EvalPointerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalPointerError::NoMatch(ptr) => {
+                write!(f, "pointer {ptr:?} selects nothing in this document")
+            }
+            EvalPointerError::UnsupportedScheme(name) => {
+                write!(f, "unsupported xpointer scheme {name:?}")
+            }
+        }
+    }
+}
+
+impl StdError for EvalPointerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParsePointerError::new("expected ')'", 7);
+        assert_eq!(e.to_string(), "invalid xpointer at offset 7: expected ')'");
+        assert_eq!(e.offset(), 7);
+    }
+
+    #[test]
+    fn eval_error_display() {
+        assert!(EvalPointerError::NoMatch("foo".into())
+            .to_string()
+            .contains("selects nothing"));
+        assert!(EvalPointerError::UnsupportedScheme("xmlns".into())
+            .to_string()
+            .contains("unsupported"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Evaluation of pointers against a [`Document`].
+
+use crate::ast::{Axis, ElementScheme, LocationPath, NodeTest, Pointer, Predicate, SchemePart};
+use crate::error::EvalPointerError;
+use navsep_xml::{Document, NodeId, NodeKind};
+
+/// A location selected by a pointer: a node or an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// An element, text, comment, or PI node.
+    Node(NodeId),
+    /// An attribute of `of`, identified by local name, with its value.
+    Attribute {
+        /// The element owning the attribute.
+        of: NodeId,
+        /// The attribute's local name.
+        name: String,
+        /// The attribute's value at evaluation time.
+        value: String,
+    },
+}
+
+impl Location {
+    /// The node this location refers to (the owner element for attributes).
+    pub fn node(&self) -> NodeId {
+        match self {
+            Location::Node(n) => *n,
+            Location::Attribute { of, .. } => *of,
+        }
+    }
+}
+
+/// Evaluates `pointer` against `doc`, returning all selected locations.
+///
+/// Scheme parts are tried left to right; the first part that selects a
+/// non-empty set supplies the result (the XPointer framework's fallback
+/// rule). Unknown schemes are skipped unless *all* parts are unknown.
+///
+/// # Errors
+///
+/// * [`EvalPointerError::NoMatch`] when nothing is selected.
+/// * [`EvalPointerError::UnsupportedScheme`] when the pointer consists only
+///   of schemes this engine cannot evaluate.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::Document;
+/// use navsep_xpointer::{evaluate, parse, Location};
+///
+/// let doc = Document::parse(r#"<m><p id="guitar"><t>Guitar</t></p></m>"#)?;
+/// let locs = evaluate(&doc, &parse("guitar")?)?;
+/// let Location::Node(n) = locs[0] else { unreachable!() };
+/// assert_eq!(doc.text_content(n), "Guitar");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(doc: &Document, pointer: &Pointer) -> Result<Vec<Location>, EvalPointerError> {
+    match pointer {
+        Pointer::Shorthand(id) => match doc.element_by_id(id) {
+            Some(n) => Ok(vec![Location::Node(n)]),
+            None => Err(EvalPointerError::NoMatch(id.clone())),
+        },
+        Pointer::Schemes(parts) => {
+            let mut saw_supported = false;
+            for part in parts {
+                match part {
+                    SchemePart::Element(e) => {
+                        saw_supported = true;
+                        let locs = eval_element_scheme(doc, e);
+                        if !locs.is_empty() {
+                            return Ok(locs);
+                        }
+                    }
+                    SchemePart::XPointer(path) => {
+                        saw_supported = true;
+                        let locs = eval_location_path(doc, path);
+                        if !locs.is_empty() {
+                            return Ok(locs);
+                        }
+                    }
+                    SchemePart::Unknown { .. } => {}
+                }
+            }
+            if saw_supported {
+                Err(EvalPointerError::NoMatch(pointer.to_string()))
+            } else {
+                let name = match parts.first() {
+                    Some(SchemePart::Unknown { name, .. }) => name.clone(),
+                    _ => String::new(),
+                };
+                Err(EvalPointerError::UnsupportedScheme(name))
+            }
+        }
+    }
+}
+
+/// Convenience: parse then evaluate, returning the first selected node.
+///
+/// # Errors
+///
+/// Propagates parse errors (as `NoMatch` with the raw text) and evaluation
+/// errors.
+pub fn resolve_first(doc: &Document, pointer_text: &str) -> Result<NodeId, EvalPointerError> {
+    let pointer = crate::parser::parse(pointer_text)
+        .map_err(|_| EvalPointerError::NoMatch(pointer_text.to_string()))?;
+    let locs = evaluate(doc, &pointer)?;
+    Ok(locs[0].node())
+}
+
+fn eval_element_scheme(doc: &Document, scheme: &ElementScheme) -> Vec<Location> {
+    let mut current: NodeId = match &scheme.start_id {
+        Some(id) => match doc.element_by_id(id) {
+            Some(n) => n,
+            None => return Vec::new(),
+        },
+        None => doc.document_node(),
+    };
+    for &step in &scheme.child_sequence {
+        let mut elems = doc.child_elements(current);
+        match elems.nth(step - 1) {
+            Some(next) => current = next,
+            None => return Vec::new(),
+        }
+    }
+    if current == doc.document_node() {
+        // element() must select an element, not the document node.
+        match doc.root_element() {
+            Some(root) => vec![Location::Node(root)],
+            None => Vec::new(),
+        }
+    } else {
+        vec![Location::Node(current)]
+    }
+}
+
+/// Evaluates a location path with an explicit context node.
+///
+/// Relative paths start at `ctx`; absolute paths still start at the document
+/// node. This is the entry point template engines use to evaluate `select`
+/// expressions while walking a tree.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::Document;
+/// use navsep_xpointer::{evaluate_from, parser};
+///
+/// let doc = Document::parse("<a><b><c/><c/></b></a>")?;
+/// let b = doc.first_child_named(doc.root_element().unwrap(), "b").unwrap();
+/// let path = parser::parse_location_path("c", 0).unwrap();
+/// assert_eq!(evaluate_from(&doc, b, &path).len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate_from(doc: &Document, ctx: NodeId, path: &LocationPath) -> Vec<Location> {
+    let start = if path.absolute {
+        vec![Location::Node(doc.document_node())]
+    } else {
+        vec![Location::Node(ctx)]
+    };
+    eval_steps(doc, start, path)
+}
+
+fn eval_location_path(doc: &Document, path: &LocationPath) -> Vec<Location> {
+    let start: Vec<Location> = if path.absolute {
+        vec![Location::Node(doc.document_node())]
+    } else {
+        match doc.root_element() {
+            Some(root) => vec![Location::Node(root)],
+            None => return Vec::new(),
+        }
+    };
+    eval_steps(doc, start, path)
+}
+
+fn eval_steps(doc: &Document, start: Vec<Location>, path: &LocationPath) -> Vec<Location> {
+    let mut current = start;
+    for step in &path.steps {
+        let mut next: Vec<Location> = Vec::new();
+        for loc in &current {
+            let Location::Node(ctx) = loc else {
+                continue; // attribute locations have no further axes here
+            };
+            let mut selected = apply_axis(doc, *ctx, step.axis, &step.node_test);
+            for pred in &step.predicates {
+                selected = apply_predicate(doc, selected, pred);
+            }
+            next.extend(selected);
+        }
+        dedup_locations(&mut next);
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+fn apply_axis(doc: &Document, ctx: NodeId, axis: Axis, test: &NodeTest) -> Vec<Location> {
+    match axis {
+        Axis::Child => doc
+            .children(ctx)
+            .iter()
+            .copied()
+            .filter(|&c| node_test_matches(doc, c, test))
+            .map(Location::Node)
+            .collect(),
+        Axis::DescendantOrSelf => doc
+            .descendants(ctx)
+            .filter(|&n| node_test_matches(doc, n, test))
+            .map(Location::Node)
+            .collect(),
+        Axis::SelfAxis => {
+            if node_test_matches(doc, ctx, test) {
+                vec![Location::Node(ctx)]
+            } else {
+                Vec::new()
+            }
+        }
+        Axis::Parent => match doc.parent(ctx) {
+            Some(p) if node_test_matches(doc, p, test) => vec![Location::Node(p)],
+            _ => Vec::new(),
+        },
+        Axis::Attribute => {
+            let mut out = Vec::new();
+            for a in doc.attributes(ctx) {
+                let matches = match test {
+                    NodeTest::Name(n) => a.name().local() == n,
+                    NodeTest::Wildcard | NodeTest::AnyNode => true,
+                    NodeTest::Text => false,
+                };
+                if matches {
+                    out.push(Location::Attribute {
+                        of: ctx,
+                        name: a.name().local().to_string(),
+                        value: a.value().to_string(),
+                    });
+                }
+            }
+            out
+        }
+    }
+}
+
+fn node_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Name(n) => doc
+            .name(node)
+            .map(|q| q.local() == n)
+            .unwrap_or(false),
+        NodeTest::Wildcard => doc.is_element(node),
+        NodeTest::Text => matches!(doc.kind(node), NodeKind::Text(_)),
+        // node() matches every node, including the document node, so that
+        // `//x` (descendant-or-self::node()/child::x) can select the root.
+        NodeTest::AnyNode => true,
+    }
+}
+
+fn apply_predicate(doc: &Document, locs: Vec<Location>, pred: &Predicate) -> Vec<Location> {
+    match pred {
+        Predicate::Position(n) => locs.into_iter().skip(n - 1).take(1).collect(),
+        Predicate::Last => match locs.last() {
+            Some(l) => vec![l.clone()],
+            None => Vec::new(),
+        },
+        Predicate::HasAttribute(name) => locs
+            .into_iter()
+            .filter(|l| match l {
+                Location::Node(n) => doc.attribute(*n, name).is_some(),
+                Location::Attribute { .. } => false,
+            })
+            .collect(),
+        Predicate::AttributeEquals(name, value) => locs
+            .into_iter()
+            .filter(|l| match l {
+                Location::Node(n) => doc.attribute(*n, name) == Some(value.as_str()),
+                Location::Attribute { .. } => false,
+            })
+            .collect(),
+        Predicate::ChildEquals(child, value) => locs
+            .into_iter()
+            .filter(|l| match l {
+                Location::Node(n) => doc
+                    .children_named(*n, child)
+                    .any(|c| doc.text_content(c) == *value),
+                Location::Attribute { .. } => false,
+            })
+            .collect(),
+    }
+}
+
+fn dedup_locations(locs: &mut Vec<Location>) {
+    let mut seen = std::collections::HashSet::new();
+    locs.retain(|l| {
+        let key = match l {
+            Location::Node(n) => (*n, String::new()),
+            Location::Attribute { of, name, .. } => (*of, name.clone()),
+        };
+        seen.insert(key)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn museum() -> Document {
+        Document::parse(
+            r#"<museum>
+  <painter id="picasso" name="Pablo Picasso">
+    <painting id="guitar" title="Guitar" year="1913"/>
+    <painting id="guernica" title="Guernica" year="1937"/>
+    <painting id="avignon" title="Les Demoiselles d'Avignon" year="1907"/>
+  </painter>
+  <painter id="dali" name="Salvador Dali">
+    <painting id="memory" title="The Persistence of Memory" year="1931"/>
+  </painter>
+</museum>"#,
+        )
+        .unwrap()
+    }
+
+    fn eval_str(doc: &Document, s: &str) -> Vec<Location> {
+        evaluate(doc, &parse(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shorthand_id() {
+        let doc = museum();
+        let locs = eval_str(&doc, "guernica");
+        assert_eq!(locs.len(), 1);
+        assert_eq!(doc.attribute(locs[0].node(), "title"), Some("Guernica"));
+    }
+
+    #[test]
+    fn element_scheme_from_root() {
+        let doc = museum();
+        // /1 = museum, /1/1 = first painter, /1/1/2 = guernica
+        let locs = eval_str(&doc, "element(/1/1/2)");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("guernica"));
+    }
+
+    #[test]
+    fn element_scheme_from_id() {
+        let doc = museum();
+        let locs = eval_str(&doc, "element(picasso/3)");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("avignon"));
+    }
+
+    #[test]
+    fn element_scheme_out_of_range_is_no_match() {
+        let doc = museum();
+        let err = evaluate(&doc, &parse("element(picasso/9)").unwrap()).unwrap_err();
+        assert!(matches!(err, EvalPointerError::NoMatch(_)));
+    }
+
+    #[test]
+    fn absolute_path() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(/museum/painter/painting)");
+        assert_eq!(locs.len(), 4);
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(/museum/painter[2]/painting[1])");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("memory"));
+    }
+
+    #[test]
+    fn last_predicate() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(/museum/painter[1]/painting[last()])");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("avignon"));
+    }
+
+    #[test]
+    fn attribute_equals_predicate() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(//painting[@id='guitar'])");
+        assert_eq!(locs.len(), 1);
+        assert_eq!(doc.attribute(locs[0].node(), "year"), Some("1913"));
+    }
+
+    #[test]
+    fn attribute_axis_returns_values() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(//painting[@id='guitar']/@title)");
+        assert_eq!(
+            locs,
+            vec![Location::Attribute {
+                of: doc.element_by_id("guitar").unwrap(),
+                name: "title".into(),
+                value: "Guitar".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_descendants() {
+        let doc = museum();
+        assert_eq!(eval_str(&doc, "xpointer(/museum/*)").len(), 2);
+        assert_eq!(eval_str(&doc, "xpointer(//*)").len(), 7); // museum + 2 painters + 4 paintings
+    }
+
+    #[test]
+    fn has_attribute_predicate() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(//*[@year])");
+        assert_eq!(locs.len(), 4);
+    }
+
+    #[test]
+    fn parent_and_self_axes() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(//painting[@id='memory']/parent::painter)");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("dali"));
+        let locs = eval_str(&doc, "xpointer(//painter[@id='dali']/self::painter)");
+        assert_eq!(locs.len(), 1);
+    }
+
+    #[test]
+    fn fallback_across_scheme_parts() {
+        let doc = museum();
+        let locs = eval_str(&doc, "element(nonexistent) xpointer(//painting[@id='guitar'])");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("guitar"));
+    }
+
+    #[test]
+    fn unsupported_scheme_only() {
+        let doc = museum();
+        let err = evaluate(&doc, &parse("xmlns(p=urn:x)").unwrap()).unwrap_err();
+        assert!(matches!(err, EvalPointerError::UnsupportedScheme(s) if s == "xmlns"));
+    }
+
+    #[test]
+    fn resolve_first_convenience() {
+        let doc = museum();
+        let n = resolve_first(&doc, "guitar").unwrap();
+        assert_eq!(doc.attribute(n, "title"), Some("Guitar"));
+        assert!(resolve_first(&doc, "missing").is_err());
+    }
+
+    #[test]
+    fn text_node_test() {
+        let doc = Document::parse("<a>hello<b/>world</a>").unwrap();
+        let locs = eval_str(&doc, "xpointer(/a/text())");
+        assert_eq!(locs.len(), 2);
+    }
+
+    #[test]
+    fn child_equals_predicate() {
+        let doc = Document::parse(
+            "<lib><book><title>AOP</title></book><book><title>XML</title></book></lib>",
+        )
+        .unwrap();
+        let locs = eval_str(&doc, "xpointer(/lib/book[title='XML'])");
+        assert_eq!(locs.len(), 1);
+    }
+
+    #[test]
+    fn relative_path_starts_at_root_element() {
+        let doc = museum();
+        let locs = eval_str(&doc, "xpointer(painter[1])");
+        assert_eq!(doc.attribute(locs[0].node(), "id"), Some("picasso"));
+    }
+}

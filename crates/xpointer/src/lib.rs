@@ -1,0 +1,54 @@
+//! # navsep-xpointer — sub-document addressing
+//!
+//! An XPointer engine for the navsep stack, implementing the three pointer
+//! forms the paper's linkbases need: shorthand IDs, the `element()` scheme,
+//! and an `xpointer()` XPath subset. In the paper's words (§6): *"XLink
+//! determines the document to access and XPointer determines the exact point
+//! in the document."* This crate is the second half of that sentence.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use navsep_xml::Document;
+//! use navsep_xpointer::{parse, evaluate};
+//!
+//! let doc = Document::parse(
+//!     r#"<museum><painting id="guitar" title="Guitar"/></museum>"#,
+//! )?;
+//!
+//! // Shorthand pointer (by ID):
+//! let locs = evaluate(&doc, &parse("guitar")?)?;
+//! assert_eq!(doc.attribute(locs[0].node(), "title"), Some("Guitar"));
+//!
+//! // XPath-subset pointer:
+//! let locs = evaluate(&doc, &parse("xpointer(//painting[@title='Guitar'])")?)?;
+//! assert_eq!(locs.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, ElementScheme, LocationPath, NodeTest, Pointer, Predicate, SchemePart, Step};
+pub use error::{EvalPointerError, ParsePointerError};
+pub use eval::{evaluate, evaluate_from, resolve_first, Location};
+pub use parser::parse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pointer>();
+        assert_send_sync::<Location>();
+        assert_send_sync::<ParsePointerError>();
+        assert_send_sync::<EvalPointerError>();
+    }
+}

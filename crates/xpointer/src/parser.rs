@@ -1,0 +1,600 @@
+//! Parser for XPointer expressions.
+
+use crate::ast::{
+    Axis, ElementScheme, LocationPath, NodeTest, Pointer, Predicate, SchemePart, Step,
+};
+use crate::error::ParsePointerError;
+
+/// Parses a pointer string (the fragment part of an `xlink:href`).
+///
+/// # Errors
+///
+/// Returns [`ParsePointerError`] with a byte offset when the expression is
+/// malformed.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xpointer::{parse, Pointer};
+///
+/// assert!(matches!(parse("guitar")?, Pointer::Shorthand(_)));
+/// let p = parse("element(picasso/1/2)")?;
+/// assert_eq!(p.to_string(), "element(picasso/1/2)");
+/// let x = parse("xpointer(/museum/painting[@id='guitar'])")?;
+/// assert_eq!(x.to_string(), "xpointer(/museum/painting[@id='guitar'])");
+/// # Ok::<(), navsep_xpointer::ParsePointerError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Pointer, ParsePointerError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(ParsePointerError::new("empty pointer", 0));
+    }
+    // Shorthand: a bare NCName (no parentheses, no slash).
+    if !trimmed.contains('(') {
+        if is_ncname(trimmed) {
+            return Ok(Pointer::Shorthand(trimmed.to_string()));
+        }
+        return Err(ParsePointerError::new(
+            format!("{trimmed:?} is not a valid shorthand pointer"),
+            0,
+        ));
+    }
+    let mut parts = Vec::new();
+    let mut cursor = Cursor::new(trimmed);
+    while !cursor.at_end() {
+        cursor.skip_ws();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.take_ncname()?;
+        cursor.expect('(')?;
+        let data = cursor.take_until_balanced_close()?;
+        let part = match name.as_str() {
+            "element" => SchemePart::Element(parse_element_scheme(&data, cursor.base_offset())?),
+            "xpointer" => SchemePart::XPointer(parse_location_path(&data, cursor.base_offset())?),
+            _ => SchemePart::Unknown { name, data },
+        };
+        parts.push(part);
+    }
+    if parts.is_empty() {
+        return Err(ParsePointerError::new("no scheme parts", 0));
+    }
+    Ok(Pointer::Schemes(parts))
+}
+
+/// Parses just the body of an `element()` scheme, e.g. `picasso/1/2` or `/1`.
+pub fn parse_element_scheme(data: &str, offset: usize) -> Result<ElementScheme, ParsePointerError> {
+    let data = data.trim();
+    if data.is_empty() {
+        return Err(ParsePointerError::new("empty element() scheme", offset));
+    }
+    let (start_id, rest) = if let Some(stripped) = data.strip_prefix('/') {
+        (None, format!("/{stripped}"))
+    } else {
+        match data.find('/') {
+            Some(idx) => (
+                Some(data[..idx].to_string()),
+                data[idx..].to_string(),
+            ),
+            None => (Some(data.to_string()), String::new()),
+        }
+    };
+    if let Some(id) = &start_id {
+        if !is_ncname(id) {
+            return Err(ParsePointerError::new(
+                format!("invalid NCName {id:?} in element() scheme"),
+                offset,
+            ));
+        }
+    }
+    let mut child_sequence = Vec::new();
+    if !rest.is_empty() {
+        for seg in rest.trim_start_matches('/').split('/') {
+            let n: usize = seg.parse().map_err(|_| {
+                ParsePointerError::new(
+                    format!("child sequence step {seg:?} is not a positive integer"),
+                    offset,
+                )
+            })?;
+            if n == 0 {
+                return Err(ParsePointerError::new(
+                    "child sequence steps are 1-based; 0 is invalid",
+                    offset,
+                ));
+            }
+            child_sequence.push(n);
+        }
+    }
+    if start_id.is_none() && child_sequence.is_empty() {
+        return Err(ParsePointerError::new("element() selects nothing", offset));
+    }
+    Ok(ElementScheme {
+        start_id,
+        child_sequence,
+    })
+}
+
+/// Parses the body of an `xpointer()` scheme as a location path.
+pub fn parse_location_path(data: &str, offset: usize) -> Result<LocationPath, ParsePointerError> {
+    let mut c = Cursor::with_offset(data.trim(), offset);
+    let path = location_path(&mut c)?;
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(ParsePointerError::new(
+            format!("trailing input {:?} after location path", c.rest()),
+            c.abs_pos(),
+        ));
+    }
+    Ok(path)
+}
+
+fn location_path(c: &mut Cursor<'_>) -> Result<LocationPath, ParsePointerError> {
+    let mut steps = Vec::new();
+    let mut absolute = false;
+    if c.eat_str("//") {
+        absolute = true;
+        steps.push(descendant_or_self_step());
+        steps.push(step(c)?);
+    } else if c.eat('/') {
+        absolute = true;
+        if !c.at_end() {
+            steps.push(step(c)?);
+        }
+    } else {
+        steps.push(step(c)?);
+    }
+    loop {
+        if c.eat_str("//") {
+            steps.push(descendant_or_self_step());
+            steps.push(step(c)?);
+        } else if c.eat('/') {
+            steps.push(step(c)?);
+        } else {
+            break;
+        }
+    }
+    Ok(LocationPath { absolute, steps })
+}
+
+fn descendant_or_self_step() -> Step {
+    Step {
+        axis: Axis::DescendantOrSelf,
+        node_test: NodeTest::AnyNode,
+        predicates: vec![],
+    }
+}
+
+fn step(c: &mut Cursor<'_>) -> Result<Step, ParsePointerError> {
+    c.skip_ws();
+    // Abbreviations first.
+    if c.eat_str("..") {
+        return Ok(Step {
+            axis: Axis::Parent,
+            node_test: NodeTest::AnyNode,
+            predicates: predicates(c)?,
+        });
+    }
+    if c.peek() == Some('.') {
+        c.eat('.');
+        return Ok(Step {
+            axis: Axis::SelfAxis,
+            node_test: NodeTest::AnyNode,
+            predicates: predicates(c)?,
+        });
+    }
+    let axis = if c.eat('@') || c.eat_str("attribute::") {
+        Axis::Attribute
+    } else if c.eat_str("child::") {
+        Axis::Child
+    } else if c.eat_str("descendant-or-self::") {
+        Axis::DescendantOrSelf
+    } else if c.eat_str("self::") {
+        Axis::SelfAxis
+    } else if c.eat_str("parent::") {
+        Axis::Parent
+    } else {
+        Axis::Child
+    };
+    let node_test = node_test(c)?;
+    let predicates = predicates(c)?;
+    Ok(Step {
+        axis,
+        node_test,
+        predicates,
+    })
+}
+
+fn node_test(c: &mut Cursor<'_>) -> Result<NodeTest, ParsePointerError> {
+    if c.eat('*') {
+        return Ok(NodeTest::Wildcard);
+    }
+    if c.eat_str("text()") {
+        return Ok(NodeTest::Text);
+    }
+    if c.eat_str("node()") {
+        return Ok(NodeTest::AnyNode);
+    }
+    let name = c.take_ncname()?;
+    Ok(NodeTest::Name(name))
+}
+
+fn predicates(c: &mut Cursor<'_>) -> Result<Vec<Predicate>, ParsePointerError> {
+    let mut out = Vec::new();
+    while c.eat('[') {
+        c.skip_ws();
+        let p = if c.eat_str("last()") {
+            Predicate::Last
+        } else if c.peek().map(|ch| ch.is_ascii_digit()).unwrap_or(false) {
+            let n = c.take_integer()?;
+            if n == 0 {
+                return Err(ParsePointerError::new(
+                    "positions are 1-based; [0] is invalid",
+                    c.abs_pos(),
+                ));
+            }
+            Predicate::Position(n)
+        } else if c.eat('@') {
+            let name = c.take_ncname()?;
+            c.skip_ws();
+            if c.eat('=') {
+                c.skip_ws();
+                let value = c.take_quoted()?;
+                Predicate::AttributeEquals(name, value)
+            } else {
+                Predicate::HasAttribute(name)
+            }
+        } else {
+            let name = c.take_ncname()?;
+            c.skip_ws();
+            if c.eat('=') {
+                c.skip_ws();
+                let value = c.take_quoted()?;
+                Predicate::ChildEquals(name, value)
+            } else {
+                return Err(ParsePointerError::new(
+                    "expected '=' in child-value predicate",
+                    c.abs_pos(),
+                ));
+            }
+        };
+        c.skip_ws();
+        c.expect(']')?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+// ---- a tiny cursor --------------------------------------------------------
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            offset: 0,
+        }
+    }
+
+    fn with_offset(src: &'a str, offset: usize) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            offset,
+        }
+    }
+
+    fn abs_pos(&self) -> usize {
+        self.offset + self.pos
+    }
+
+    fn base_offset(&self) -> usize {
+        self.offset + self.pos
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParsePointerError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(ParsePointerError::new(
+                format!("expected {c:?}, found {:?}", self.peek()),
+                self.abs_pos(),
+            ))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn take_ncname(&mut self) -> Result<String, ParsePointerError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            other => {
+                return Err(ParsePointerError::new(
+                    format!("expected a name, found {other:?}"),
+                    self.abs_pos(),
+                ))
+            }
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn take_integer(&mut self) -> Result<usize, ParsePointerError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| ParsePointerError::new("expected an integer", self.offset + start))
+    }
+
+    fn take_quoted(&mut self) -> Result<String, ParsePointerError> {
+        let quote = match self.peek() {
+            Some(q @ ('\'' | '"')) => {
+                self.bump();
+                q
+            }
+            other => {
+                return Err(ParsePointerError::new(
+                    format!("expected a quoted string, found {other:?}"),
+                    self.abs_pos(),
+                ))
+            }
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let s = self.src[start..self.pos].to_string();
+                self.bump();
+                return Ok(s);
+            }
+            self.bump();
+        }
+        Err(ParsePointerError::new(
+            "unterminated string literal",
+            self.abs_pos(),
+        ))
+    }
+
+    /// Consumes up to and including the `)` matching the already-consumed
+    /// `(`; respects nested parens and quoted strings.
+    fn take_until_balanced_close(&mut self) -> Result<String, ParsePointerError> {
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let s = self.src[start..self.pos].to_string();
+                        self.bump();
+                        return Ok(s);
+                    }
+                }
+                '\'' | '"' => {
+                    let quote = c;
+                    self.bump();
+                    while let Some(inner) = self.peek() {
+                        self.bump();
+                        if inner == quote {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        Err(ParsePointerError::new(
+            "unbalanced parentheses in scheme data",
+            self.abs_pos(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, NodeTest, Predicate};
+
+    #[test]
+    fn shorthand() {
+        assert_eq!(parse("guitar").unwrap(), Pointer::Shorthand("guitar".into()));
+        assert!(parse("0bad").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn element_scheme_forms() {
+        let p = parse("element(picasso)").unwrap();
+        assert_eq!(p.to_string(), "element(picasso)");
+        let p = parse("element(picasso/1/2)").unwrap();
+        assert_eq!(p.to_string(), "element(picasso/1/2)");
+        let p = parse("element(/1/4/3)").unwrap();
+        assert_eq!(p.to_string(), "element(/1/4/3)");
+        assert!(parse("element()").is_err());
+        assert!(parse("element(/0)").is_err());
+        assert!(parse("element(a/b)").is_err());
+    }
+
+    #[test]
+    fn xpointer_absolute_path() {
+        let p = parse("xpointer(/museum/painter/painting)").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert!(path.absolute);
+        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.steps[0].node_test, NodeTest::Name("museum".into()));
+    }
+
+    #[test]
+    fn xpointer_descendant_shorthand() {
+        let p = parse("xpointer(//painting[@id='guitar'])").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(
+            path.steps[1].predicates[0],
+            Predicate::AttributeEquals("id".into(), "guitar".into())
+        );
+    }
+
+    #[test]
+    fn xpointer_predicates() {
+        let p = parse("xpointer(/a/b[2]/c[last()]/d[@k]/e[f='v'])").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[1].predicates[0], Predicate::Position(2));
+        assert_eq!(path.steps[2].predicates[0], Predicate::Last);
+        assert_eq!(
+            path.steps[3].predicates[0],
+            Predicate::HasAttribute("k".into())
+        );
+        assert_eq!(
+            path.steps[4].predicates[0],
+            Predicate::ChildEquals("f".into(), "v".into())
+        );
+    }
+
+    #[test]
+    fn xpointer_attribute_axis() {
+        let p = parse("xpointer(/painting/@title)").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[1].axis, Axis::Attribute);
+        assert_eq!(path.steps[1].node_test, NodeTest::Name("title".into()));
+    }
+
+    #[test]
+    fn multiple_scheme_parts_fallback() {
+        let p = parse("element(missing) xpointer(/a)").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn unknown_scheme_is_preserved() {
+        let p = parse("xmlns(p=urn:x) xpointer(/a)").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        assert!(matches!(&parts[0], SchemePart::Unknown { name, .. } if name == "xmlns"));
+    }
+
+    #[test]
+    fn nested_parens_in_scheme_data() {
+        let p = parse("xpointer(/a/b[last()])").unwrap();
+        assert_eq!(p.to_string(), "xpointer(/a/b[last()])");
+    }
+
+    #[test]
+    fn quoted_paren_in_predicate_value() {
+        let p = parse("xpointer(/a[@k='(x)'])").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            path.steps[0].predicates[0],
+            Predicate::AttributeEquals("k".into(), "(x)".into())
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("xpointer(/a)b").is_err());
+        assert!(parse("xpointer(/a !)").is_err());
+    }
+
+    #[test]
+    fn relative_path_allowed() {
+        let p = parse("xpointer(painting[2])").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert!(!path.absolute);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = parse("xpointer(child::a/descendant-or-self::node()/self::b/parent::c)").unwrap();
+        let Pointer::Schemes(parts) = p else { panic!() };
+        let SchemePart::XPointer(path) = &parts[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[0].axis, Axis::Child);
+        assert_eq!(path.steps[1].axis, Axis::DescendantOrSelf);
+        assert_eq!(path.steps[2].axis, Axis::SelfAxis);
+        assert_eq!(path.steps[3].axis, Axis::Parent);
+    }
+}

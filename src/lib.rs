@@ -1,0 +1,49 @@
+//! # navsep — Separating the Navigational Aspect
+//!
+//! A full reproduction of *"Separating the Navigational Aspect"*
+//! (A. M. Reina Quintero & J. Torres Valderrama, ICDCS Workshops 2002) as a
+//! Rust workspace. This facade crate re-exports every layer of the stack:
+//!
+//! | layer | crate | role |
+//! |-------|-------|------|
+//! | [`xml`] | `navsep-xml` | XML 1.0 parser, arena DOM, serializer |
+//! | [`xpointer`] | `navsep-xpointer` | shorthand / `element()` / `xpointer()` addressing |
+//! | [`xlink`] | `navsep-xlink` | XLink 1.0: simple/extended links, linkbases |
+//! | [`style`] | `navsep-style` | CSS subset + XSLT-lite transform (presentation) |
+//! | [`hypermodel`] | `navsep-hypermodel` | OOHDM primitives: nodes, links, access structures, contexts |
+//! | [`aspect`] | `navsep-aspect` | join points, pointcuts, advice, weaver |
+//! | [`web`] | `navsep-web` | site store, server pool, XLink-aware user agent, sessions |
+//! | [`core`] | `navsep-core` | the separation pipeline, tangled baseline, change impact |
+//!
+//! ## The paper in one example
+//!
+//! ```
+//! use navsep::core::museum::{museum_navigation, paper_museum};
+//! use navsep::core::{assert_site_equivalent, separated_sources, tangled_site, weave_separated};
+//! use navsep::core::spec::paper_spec;
+//! use navsep::hypermodel::AccessStructureKind;
+//!
+//! let store = paper_museum();
+//! let nav = museum_navigation();
+//! let spec = paper_spec(AccessStructureKind::IndexedGuidedTour);
+//!
+//! // The old way: navigation tangled into every page.
+//! let tangled = tangled_site(&store, &nav, &spec)?;
+//! // The paper's way: data + presentation + links.xml, woven.
+//! let woven = weave_separated(&separated_sources(&store, &nav, &spec)?)?;
+//! // Same site.
+//! assert_site_equivalent(&tangled, &woven.site).map_err(navsep::core::CoreError::Pipeline)?;
+//! # Ok::<(), navsep::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use navsep_aspect as aspect;
+pub use navsep_core as core;
+pub use navsep_hypermodel as hypermodel;
+pub use navsep_style as style;
+pub use navsep_web as web;
+pub use navsep_xlink as xlink;
+pub use navsep_xml as xml;
+pub use navsep_xpointer as xpointer;

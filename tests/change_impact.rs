@@ -1,0 +1,90 @@
+//! Experiment T1 as assertions: the access-structure switch touches every
+//! context page under tangled authoring and exactly one file (the linkbase)
+//! under separated authoring — at every scale.
+
+use navsep::core::museum::{generated_museum, museum_navigation};
+use navsep::core::spec::paper_spec;
+use navsep::core::{separated_sources, tangled_site, FileStatus, ImpactReport};
+use navsep::hypermodel::AccessStructureKind;
+
+fn impact(n: usize, separated: bool) -> ImpactReport {
+    let store = generated_museum(1, n, 2, 99);
+    let nav = museum_navigation();
+    let v1 = paper_spec(AccessStructureKind::Index);
+    let v2 = paper_spec(AccessStructureKind::IndexedGuidedTour);
+    if separated {
+        ImpactReport::between(
+            &separated_sources(&store, &nav, &v1).unwrap().to_file_map(),
+            &separated_sources(&store, &nav, &v2).unwrap().to_file_map(),
+        )
+    } else {
+        ImpactReport::between(
+            &tangled_site(&store, &nav, &v1).unwrap().to_file_map(),
+            &tangled_site(&store, &nav, &v2).unwrap().to_file_map(),
+        )
+    }
+}
+
+#[test]
+fn tangled_touches_every_context_page() {
+    for n in [3usize, 10, 50] {
+        let r = impact(n, false);
+        // All N member pages + the painter page change; CSS does not.
+        assert_eq!(r.files_touched, n + 1, "N={n}");
+        assert!(r.lines_added > 0);
+        assert_eq!(r.lines_removed, 0, "the switch only adds navigation");
+    }
+}
+
+#[test]
+fn separated_touches_only_the_linkbase() {
+    for n in [3usize, 10, 50] {
+        let r = impact(n, true);
+        assert_eq!(r.files_touched, 1, "N={n}");
+        let touched: Vec<&str> = r.touched_files().map(|f| f.path.as_str()).collect();
+        assert_eq!(touched, ["links.xml"], "N={n}");
+        assert!(r
+            .touched_files()
+            .all(|f| f.status == FileStatus::Modified));
+    }
+}
+
+#[test]
+fn tangled_impact_grows_linearly() {
+    let small = impact(10, false);
+    let large = impact(100, false);
+    // 10x the context ⇒ ~10x the files touched (101 vs 11).
+    assert_eq!(small.files_touched, 11);
+    assert_eq!(large.files_touched, 101);
+    // Lines follow the same shape.
+    assert!(large.lines_added > 8 * small.lines_added);
+}
+
+#[test]
+fn separated_file_count_is_scale_invariant() {
+    assert_eq!(impact(3, true).files_touched, impact(100, true).files_touched);
+}
+
+#[test]
+fn data_and_presentation_never_change() {
+    let store = generated_museum(1, 10, 2, 5);
+    let nav = museum_navigation();
+    let v1 = separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+    let v2 = separated_sources(
+        &store,
+        &nav,
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    )
+    .unwrap();
+    let r = ImpactReport::between(&v1.to_file_map(), &v2.to_file_map());
+    for f in r.files.iter() {
+        if f.path != "links.xml" {
+            assert_eq!(
+                f.status,
+                FileStatus::Unchanged,
+                "{} must not change when only navigation changes",
+                f.path
+            );
+        }
+    }
+}

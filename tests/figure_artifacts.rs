@@ -1,0 +1,172 @@
+//! Golden assertions for every figure of the paper (F1–F9 of DESIGN.md §4).
+
+use navsep::core::museum::{museum_navigation, paper_museum, PICASSO_CONTEXT};
+use navsep::core::spec::paper_spec;
+use navsep::core::{diff_lines, separated_sources, tangled_site, weave_separated};
+use navsep::hypermodel::{
+    class_model_delta, index_class_model, indexed_guided_tour_class_model, AccessGraph,
+    AccessStructureKind, Member, NavLinkKind,
+};
+use navsep::web::Site;
+use navsep::xlink::Linkbase;
+
+fn tangled(access: AccessStructureKind) -> Site {
+    tangled_site(&paper_museum(), &museum_navigation(), &paper_spec(access)).unwrap()
+}
+
+fn sources(access: AccessStructureKind) -> Site {
+    separated_sources(&paper_museum(), &museum_navigation(), &paper_spec(access)).unwrap()
+}
+
+fn page(site: &Site, path: &str) -> String {
+    site.get(path).unwrap().document().unwrap().to_pretty_xml()
+}
+
+#[test]
+fn f1_weaver_composes_multiple_concerns() {
+    use navsep::aspect::{AdvicePosition, Aspect, Pointcut, Weaver};
+    use navsep::xml::{Document, ElementBuilder};
+    let base = Document::parse("<html><body><h1>x</h1></body></html>").unwrap();
+    let weaver = Weaver::new()
+        .aspect(Aspect::new("a").with_precedence(1).rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            vec![ElementBuilder::new("concern-a")],
+        ))
+        .aspect(Aspect::new("b").with_precedence(2).rule(
+            Pointcut::parse(r#"element("body")"#).unwrap(),
+            AdvicePosition::Append,
+            vec![ElementBuilder::new("concern-b")],
+        ));
+    let (woven, report) = weaver.weave_page("p.html", &base).unwrap();
+    let xml = woven.to_xml_string();
+    assert!(xml.contains("<concern-a/><concern-b/>"));
+    assert_eq!(report.applications(), 2);
+}
+
+#[test]
+fn f2a_index_structure_topology() {
+    let members: Vec<Member> = PICASSO_CONTEXT
+        .iter()
+        .map(|s| Member::new(*s, s.to_uppercase()))
+        .collect();
+    let g = AccessGraph::build(AccessStructureKind::Index, &members);
+    // N entries from the index + N back-links.
+    assert_eq!(g.outgoing_of_entry().len(), 3);
+    assert!(g
+        .outgoing_of_entry()
+        .iter()
+        .all(|l| l.kind == NavLinkKind::IndexEntry));
+    for m in PICASSO_CONTEXT {
+        assert_eq!(g.outgoing_of_member(m).len(), 1);
+    }
+}
+
+#[test]
+fn f2b_indexed_guided_tour_topology() {
+    let members: Vec<Member> = PICASSO_CONTEXT
+        .iter()
+        .map(|s| Member::new(*s, s.to_uppercase()))
+        .collect();
+    let g = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &members);
+    // Middle member gains Next + Previous on top of the Index links.
+    let out = g.outgoing_of_member("guernica");
+    assert_eq!(out.len(), 3);
+    assert!(out.iter().any(|l| l.kind == NavLinkKind::Next));
+    assert!(out.iter().any(|l| l.kind == NavLinkKind::Previous));
+    assert!(out.iter().any(|l| l.kind == NavLinkKind::UpToIndex));
+}
+
+#[test]
+fn f3_guitar_page_under_index() {
+    let xml = page(&tangled(AccessStructureKind::Index), "guitar.html");
+    assert!(xml.contains("<title>Guitar</title>"));
+    assert!(xml.contains("<h1>Guitar</h1>"));
+    assert!(xml.contains("museum.css"));
+    assert!(xml.contains("rel=\"up\""));
+    assert!(!xml.contains("rel=\"next\""));
+}
+
+#[test]
+fn f4_guitar_page_gains_the_two_lines() {
+    // The paper: the IGT version adds (apparently) two lines of HTML, and
+    // every node of the context changes.
+    let before = tangled(AccessStructureKind::Index);
+    let after = tangled(AccessStructureKind::IndexedGuidedTour);
+    for slug in PICASSO_CONTEXT {
+        let path = format!("{slug}.html");
+        let stats = diff_lines(&page(&before, &path), &page(&after, &path));
+        assert!(
+            stats.total() > 0,
+            "{slug}: every context page must change"
+        );
+        // The added navigation is small — one or two anchors per page.
+        assert!(stats.added <= 3, "{slug}: {stats:?}");
+    }
+}
+
+#[test]
+fn f5_class_models() {
+    let delta = class_model_delta();
+    assert_eq!(delta, vec!["TourStop".to_string()]);
+    assert!(index_class_model().to_text().contains("class Index"));
+    assert!(indexed_guided_tour_class_model()
+        .to_dot()
+        .contains("TourStop"));
+}
+
+#[test]
+fn f6_pipeline_produces_equivalent_site() {
+    let woven = weave_separated(&sources(AccessStructureKind::IndexedGuidedTour)).unwrap();
+    let baseline = tangled(AccessStructureKind::IndexedGuidedTour);
+    navsep::core::assert_site_equivalent(&baseline, &woven.site).unwrap();
+}
+
+#[test]
+fn f7_picasso_xml_is_pure_data() {
+    let s = sources(AccessStructureKind::Index);
+    let doc = s.get("picasso.xml").unwrap().document().unwrap();
+    let xml = doc.to_xml_string();
+    assert!(xml.contains("<name>Pablo Picasso</name>"));
+    assert!(!xml.contains("href"), "data documents must contain no links");
+    assert!(!xml.contains("xlink"));
+}
+
+#[test]
+fn f8_avignon_xml_contents() {
+    let s = sources(AccessStructureKind::Index);
+    let doc = s.get("avignon.xml").unwrap().document().unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.name(root).unwrap().local(), "painting");
+    assert_eq!(doc.attribute(root, "id"), Some("avignon"));
+    assert_eq!(
+        doc.text_content(doc.first_child_named(root, "title").unwrap()),
+        "Les Demoiselles d'Avignon"
+    );
+    assert_eq!(
+        doc.text_content(doc.first_child_named(root, "year").unwrap()),
+        "1907"
+    );
+}
+
+#[test]
+fn f9_links_xml_holds_all_navigation() {
+    let s = sources(AccessStructureKind::IndexedGuidedTour);
+    let doc = s.get("links.xml").unwrap().document().unwrap();
+    let lb = Linkbase::from_document(doc, "links.xml").unwrap();
+    let traversals = lb.traversals().unwrap();
+    // Picasso context (3 members): 3 entries + 3 ups + 1 start + 2 next +
+    // 2 prev = 11; Braque context (1 member): 1 + 1 + 1 = 3.
+    assert_eq!(traversals.len(), 14);
+    // Every arcrole is a navsep navigation role.
+    for t in &traversals {
+        assert!(
+            NavLinkKind::from_arcrole(t.arcrole.as_deref().unwrap()).is_some(),
+            "{t:?}"
+        );
+    }
+    // And the *data* documents referenced are exactly the context pages.
+    let docs = lb.referenced_documents().unwrap();
+    assert!(docs.contains(&"picasso.xml".to_string()));
+    assert!(docs.contains(&"guitar.xml".to_string()));
+}

@@ -1,0 +1,145 @@
+//! Cross-crate property suites: diff algebra, access-structure invariants,
+//! linkbase round-trips, and tangled/woven equivalence over random corpora.
+
+use navsep::core::museum::{generated_museum, museum_navigation};
+use navsep::core::spec::paper_spec;
+use navsep::core::{
+    assert_site_equivalent, diff_lines, myers_distance, separated_sources, tangled_site,
+    weave_separated,
+};
+use navsep::hypermodel::{AccessGraph, AccessStructureKind, Member};
+use navsep::xlink::Linkbase;
+use proptest::prelude::*;
+
+fn lines_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-c]{0,3}", 0..24)
+}
+
+proptest! {
+    /// diff(a, a) = 0.
+    #[test]
+    fn diff_of_identical_is_zero(lines in lines_strategy()) {
+        let text = lines.join("\n");
+        let d = diff_lines(&text, &text);
+        prop_assert!(d.is_unchanged());
+    }
+
+    /// added − removed always equals the length difference.
+    #[test]
+    fn diff_balances_lengths(a in lines_strategy(), b in lines_strategy()) {
+        let ta = a.join("\n");
+        let tb = b.join("\n");
+        let d = diff_lines(&ta, &tb);
+        let la = ta.lines().count() as isize;
+        let lb = tb.lines().count() as isize;
+        prop_assert_eq!(d.added as isize - d.removed as isize, lb - la);
+        // And the edit script never exceeds delete-all + insert-all.
+        prop_assert!(d.total() <= (la + lb) as usize);
+    }
+
+    /// Swapping the inputs swaps adds and removes.
+    #[test]
+    fn diff_is_antisymmetric(a in lines_strategy(), b in lines_strategy()) {
+        let ta = a.join("\n");
+        let tb = b.join("\n");
+        let fwd = diff_lines(&ta, &tb);
+        let rev = diff_lines(&tb, &ta);
+        prop_assert_eq!(fwd.added, rev.removed);
+        prop_assert_eq!(fwd.removed, rev.added);
+    }
+
+    /// Myers distance agrees with a quadratic LCS reference.
+    #[test]
+    fn myers_matches_lcs_reference(a in lines_strategy(), b in lines_strategy()) {
+        let lcs = lcs_len(&a, &b);
+        let expected = (a.len() - lcs) + (b.len() - lcs);
+        prop_assert_eq!(myers_distance(&a, &b), expected);
+    }
+
+    /// Access graph link counts follow closed forms.
+    #[test]
+    fn access_graph_link_counts(n in 0usize..24) {
+        let members: Vec<Member> =
+            (0..n).map(|i| Member::new(format!("m{i}"), format!("M{i}"))).collect();
+        let index = AccessGraph::build(AccessStructureKind::Index, &members);
+        prop_assert_eq!(index.len(), 2 * n);
+        let tour = AccessGraph::build(AccessStructureKind::GuidedTour, &members);
+        let tour_expected = if n == 0 { 0 } else { 1 + 2 * (n - 1) };
+        prop_assert_eq!(tour.len(), tour_expected);
+        let igt = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &members);
+        prop_assert_eq!(igt.len(), index.len() + tour.len());
+    }
+
+    /// Every member's outgoing links are consistent with its position.
+    #[test]
+    fn member_degree_matches_position(n in 1usize..16) {
+        let members: Vec<Member> =
+            (0..n).map(|i| Member::new(format!("m{i}"), format!("M{i}"))).collect();
+        let g = AccessGraph::build(AccessStructureKind::IndexedGuidedTour, &members);
+        for (i, m) in members.iter().enumerate() {
+            let mut expected = 1; // up
+            if i > 0 { expected += 1 } // prev
+            if i + 1 < n { expected += 1 } // next
+            prop_assert_eq!(g.outgoing_of_member(&m.slug).len(), expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline invariant at random scales: tangled ≡ woven.
+    #[test]
+    fn tangled_equals_woven_at_random_scales(
+        painters in 1usize..4,
+        per in 1usize..6,
+        seed in 0u64..1000,
+        access_pick in 0u8..3,
+    ) {
+        let access = match access_pick {
+            0 => AccessStructureKind::Index,
+            1 => AccessStructureKind::GuidedTour,
+            _ => AccessStructureKind::IndexedGuidedTour,
+        };
+        let store = generated_museum(painters, per, 2, seed);
+        let nav = museum_navigation();
+        let spec = paper_spec(access);
+        let tangled = tangled_site(&store, &nav, &spec).unwrap();
+        let woven = weave_separated(&separated_sources(&store, &nav, &spec).unwrap()).unwrap();
+        prop_assert!(assert_site_equivalent(&tangled, &woven.site).is_ok());
+    }
+
+    /// The generated linkbase always reparses to the same traversal count,
+    /// and its traversal count follows the closed form.
+    #[test]
+    fn linkbase_round_trip(per in 1usize..12, seed in 0u64..100) {
+        let store = generated_museum(1, per, 2, seed);
+        let nav = museum_navigation();
+        let sources = separated_sources(
+            &store, &nav, &paper_spec(AccessStructureKind::IndexedGuidedTour)).unwrap();
+        let doc = sources.get("links.xml").unwrap().document().unwrap();
+        let lb = Linkbase::from_document(doc, "links.xml").unwrap();
+        let expected = 2 * per + 1 + 2 * (per - 1); // entries+ups, start, next+prev
+        prop_assert_eq!(lb.traversals().unwrap().len(), expected);
+        // Serialize → reparse → same count.
+        let text = doc.to_xml_string();
+        let reparsed = navsep::xml::Document::parse(&text).unwrap();
+        let lb2 = Linkbase::from_document(&reparsed, "links.xml").unwrap();
+        prop_assert_eq!(lb2.traversals().unwrap().len(), expected);
+    }
+}
+
+/// Quadratic LCS reference implementation for the Myers property.
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[a.len()][b.len()]
+}

@@ -1,0 +1,53 @@
+//! Experiment F6: the woven site is DOM-equivalent to the tangled baseline
+//! for every access structure, on the paper corpus and at scale.
+
+use navsep::core::museum::{generated_museum, museum_navigation, paper_museum};
+use navsep::core::spec::{contextual_spec, paper_spec};
+use navsep::core::{assert_site_equivalent, separated_sources, tangled_site, weave_separated};
+use navsep::hypermodel::AccessStructureKind;
+
+fn check(
+    store: &navsep::hypermodel::InstanceStore,
+    spec: &navsep::core::SiteSpec,
+) {
+    let nav = museum_navigation();
+    let tangled = tangled_site(store, &nav, spec).expect("tangled generation");
+    let sources = separated_sources(store, &nav, spec).expect("separated authoring");
+    let woven = weave_separated(&sources).expect("weaving");
+    if let Err(diff) = assert_site_equivalent(&tangled, &woven.site) {
+        panic!("tangled and woven sites differ: {diff}");
+    }
+}
+
+#[test]
+fn paper_corpus_index() {
+    check(&paper_museum(), &paper_spec(AccessStructureKind::Index));
+}
+
+#[test]
+fn paper_corpus_guided_tour() {
+    check(&paper_museum(), &paper_spec(AccessStructureKind::GuidedTour));
+}
+
+#[test]
+fn paper_corpus_indexed_guided_tour() {
+    check(
+        &paper_museum(),
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    );
+}
+
+#[test]
+fn paper_corpus_two_families() {
+    check(
+        &paper_museum(),
+        &contextual_spec(AccessStructureKind::IndexedGuidedTour),
+    );
+}
+
+#[test]
+fn scaled_museum_equivalence() {
+    let store = generated_museum(5, 8, 3, 7);
+    check(&store, &paper_spec(AccessStructureKind::IndexedGuidedTour));
+    check(&store, &contextual_spec(AccessStructureKind::Index));
+}
