@@ -131,10 +131,7 @@ mod tests {
             doc: &doc,
             element: doc.root_element().unwrap(),
         };
-        let adv = Advice::insert(
-            AdvicePosition::Append,
-            vec![ElementBuilder::new("nav")],
-        );
+        let adv = Advice::insert(AdvicePosition::Append, vec![ElementBuilder::new("nav")]);
         assert!(matches!(adv.content.realize(&jp), Realized::Elements(v) if v.len() == 1));
         let adv = Advice::text(AdvicePosition::Before, "hi");
         assert!(matches!(adv.content.realize(&jp), Realized::Text(t) if t == "hi"));

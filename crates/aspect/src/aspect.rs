@@ -156,8 +156,11 @@ mod tests {
 
     #[test]
     fn dynamic_and_replace_detection() {
-        let a = Aspect::new("y")
-            .generated_rule(Pointcut::Always, AdvicePosition::ReplaceContent, |_| vec![]);
+        let a = Aspect::new("y").generated_rule(
+            Pointcut::Always,
+            AdvicePosition::ReplaceContent,
+            |_| vec![],
+        );
         assert!(a.is_dynamic());
         assert!(a.replaces_content());
     }

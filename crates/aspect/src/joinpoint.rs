@@ -23,10 +23,7 @@ impl<'d> JoinPoint<'d> {
     /// The element's local name, empty for non-elements (never happens for
     /// join points produced by the weaver).
     pub fn element_name(&self) -> &str {
-        self.doc
-            .name(self.element)
-            .map(|q| q.local())
-            .unwrap_or("")
+        self.doc.name(self.element).map(|q| q.local()).unwrap_or("")
     }
 
     /// A `/`-separated path of element names from the root to this element,

@@ -50,7 +50,7 @@ pub mod weaver;
 pub mod xmlspec;
 
 pub use advice::{Advice, AdviceContent, AdvicePosition, ContentFn, Realized};
-pub use aspect::{Aspect, AdviceRule};
+pub use aspect::{AdviceRule, Aspect};
 pub use error::{ParsePointcutError, WeaveError};
 pub use joinpoint::{join_points, JoinPoint};
 pub use pointcut::{glob_match, Pointcut};

@@ -325,11 +325,17 @@ mod tests {
         let j = jp(&doc, "painting-guitar.html", "body");
         assert!(Pointcut::parse(r#"element("body")"#).unwrap().matches(&j));
         assert!(!Pointcut::parse(r#"element("div")"#).unwrap().matches(&j));
-        assert!(Pointcut::parse(r#"page("painting-*")"#).unwrap().matches(&j));
+        assert!(Pointcut::parse(r#"page("painting-*")"#)
+            .unwrap()
+            .matches(&j));
         assert!(!Pointcut::parse(r#"page("painter-*")"#).unwrap().matches(&j));
         assert!(Pointcut::parse(r#"attr("data-nav")"#).unwrap().matches(&j));
-        assert!(Pointcut::parse(r#"attr("data-nav", "off")"#).unwrap().matches(&j));
-        assert!(!Pointcut::parse(r#"attr("data-nav", "on")"#).unwrap().matches(&j));
+        assert!(Pointcut::parse(r#"attr("data-nav", "off")"#)
+            .unwrap()
+            .matches(&j));
+        assert!(!Pointcut::parse(r#"attr("data-nav", "on")"#)
+            .unwrap()
+            .matches(&j));
         assert!(Pointcut::parse(r#"class("museum")"#).unwrap().matches(&j));
         assert!(!Pointcut::parse(r#"class("mus")"#).unwrap().matches(&j));
         assert!(Pointcut::parse(r#"id("b1")"#).unwrap().matches(&j));
@@ -350,8 +356,10 @@ mod tests {
     fn boolean_combinators() {
         let doc = body_doc();
         let j = jp(&doc, "painting-guitar.html", "body");
-        let pc = Pointcut::parse(r#"element("body") && !attr("missing") && (page("zzz") || class("page"))"#)
-            .unwrap();
+        let pc = Pointcut::parse(
+            r#"element("body") && !attr("missing") && (page("zzz") || class("page"))"#,
+        )
+        .unwrap();
         assert!(pc.matches(&j));
         let pc = Pointcut::parse(r#"element("body") && attr("missing")"#).unwrap();
         assert!(!pc.matches(&j));

@@ -203,10 +203,9 @@ impl Weaver {
     ) -> Result<(), WeaveError> {
         let element = jp.element;
         let new_nodes: Vec<NodeId> = match realized {
-            Realized::Elements(builders) => builders
-                .iter()
-                .map(|b| b.build_detached(out))
-                .collect(),
+            Realized::Elements(builders) => {
+                builders.iter().map(|b| b.build_detached(out)).collect()
+            }
             Realized::Text(t) => vec![out.create_detached_text(t)],
         };
         match position {

@@ -125,9 +125,9 @@ fn element_to_builder(doc: &Document, el: NodeId) -> ElementBuilder {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parse_aspects(doc: &Document) -> Result<Vec<Aspect>, AspectSpecError> {
-    let root = doc.root_element().ok_or_else(|| {
-        AspectSpecError::InvalidStructure("no root element".to_string())
-    })?;
+    let root = doc
+        .root_element()
+        .ok_or_else(|| AspectSpecError::InvalidStructure("no root element".to_string()))?;
     if doc.name(root).map(|q| q.local()) != Some("aspects") {
         return Err(AspectSpecError::InvalidStructure(
             "root element must be <aspects>".to_string(),
@@ -138,7 +138,9 @@ pub fn parse_aspects(doc: &Document) -> Result<Vec<Aspect>, AspectSpecError> {
         if doc.name(aspect_el).map(|q| q.local()) != Some("aspect") {
             return Err(AspectSpecError::InvalidStructure(format!(
                 "unexpected <{}> under <aspects>",
-                doc.name(aspect_el).map(|q| q.local().to_string()).unwrap_or_default()
+                doc.name(aspect_el)
+                    .map(|q| q.local().to_string())
+                    .unwrap_or_default()
             )));
         }
         let name = doc.attribute(aspect_el, "name").ok_or_else(|| {
@@ -252,11 +254,15 @@ mod tests {
             Err(AspectSpecError::InvalidStructure(_))
         ));
         assert!(matches!(
-            bad(r#"<aspects><aspect name="a"><rule pointcut="element(" position="append"/></aspect></aspects>"#),
+            bad(
+                r#"<aspects><aspect name="a"><rule pointcut="element(" position="append"/></aspect></aspects>"#
+            ),
             Err(AspectSpecError::Pointcut(_))
         ));
         assert!(matches!(
-            bad(r#"<aspects><aspect name="a"><rule pointcut="true" position="sideways"/></aspect></aspects>"#),
+            bad(
+                r#"<aspects><aspect name="a"><rule pointcut="true" position="sideways"/></aspect></aspects>"#
+            ),
             Err(AspectSpecError::InvalidPosition(_))
         ));
         assert!(matches!(

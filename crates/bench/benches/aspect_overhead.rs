@@ -79,7 +79,13 @@ fn bench_static_vs_generated(c: &mut Criterion) {
         vec![ElementBuilder::new("span").text("static")],
     ));
     group.bench_function("static_fragment", |b| {
-        b.iter(|| static_weaver.weave_page("p.html", &page).unwrap().1.applications())
+        b.iter(|| {
+            static_weaver
+                .weave_page("p.html", &page)
+                .unwrap()
+                .1
+                .applications()
+        })
     });
     let generated_weaver = Weaver::new().aspect(Aspect::new("g").generated_rule(
         Pointcut::parse(r#"element("div")"#).unwrap(),

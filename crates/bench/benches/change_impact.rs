@@ -20,9 +20,7 @@ fn bench_impact_report(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(&before, &after),
-            |b, (before, after)| {
-                b.iter(|| ImpactReport::between(before, after).files_touched)
-            },
+            |b, (before, after)| b.iter(|| ImpactReport::between(before, after).files_touched),
         );
     }
     group.finish();
@@ -31,16 +29,16 @@ fn bench_impact_report(c: &mut Criterion) {
 fn bench_impact_separated(c: &mut Criterion) {
     let mut group = c.benchmark_group("change_impact_separated");
     for n in [10usize, 100] {
-        let before = Setup::scaled(n, AccessStructureKind::Index).separated().to_file_map();
+        let before = Setup::scaled(n, AccessStructureKind::Index)
+            .separated()
+            .to_file_map();
         let after = Setup::scaled(n, AccessStructureKind::IndexedGuidedTour)
             .separated()
             .to_file_map();
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(&before, &after),
-            |b, (before, after)| {
-                b.iter(|| ImpactReport::between(before, after).files_touched)
-            },
+            |b, (before, after)| b.iter(|| ImpactReport::between(before, after).files_touched),
         );
     }
     group.finish();

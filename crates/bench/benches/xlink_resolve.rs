@@ -47,14 +47,18 @@ fn bench_full_resolution(c: &mut Criterion) {
         let site = sources(n);
         let doc = site.get("links.xml").unwrap().document().unwrap();
         let lb = Linkbase::from_document(doc, "links.xml").expect("valid");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(&site, &lb), |b, (site, lb)| {
-            b.iter(|| {
-                Resolver::new(*site, "links.xml")
-                    .resolve(lb)
-                    .expect("all endpoints resolve")
-                    .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&site, &lb),
+            |b, (site, lb)| {
+                b.iter(|| {
+                    Resolver::new(*site, "links.xml")
+                        .resolve(lb)
+                        .expect("all endpoints resolve")
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

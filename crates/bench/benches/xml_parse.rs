@@ -41,11 +41,7 @@ fn bench_serialize(c: &mut Criterion) {
             .map(|t| Document::parse(t).expect("well-formed"))
             .collect();
         group.bench_with_input(BenchmarkId::new("pages", n), &docs, |b, docs| {
-            b.iter(|| {
-                docs.iter()
-                    .map(|d| d.to_xml_string().len())
-                    .sum::<usize>()
-            })
+            b.iter(|| docs.iter().map(|d| d.to_xml_string().len()).sum::<usize>())
         });
     }
     group.finish();

@@ -31,16 +31,17 @@ fn bench_pointers(c: &mut Criterion) {
                 "xpointer_attr",
                 format!("xpointer(//painting[@id='painting-{mid}'])"),
             ),
-            ("xpointer_pos", format!("xpointer(/painter/painting[{}])", mid + 1)),
+            (
+                "xpointer_pos",
+                format!("xpointer(/painter/painting[{}])", mid + 1),
+            ),
         ];
         for (name, text) in &pointers {
             let parsed = parse(text).expect("pointer parses");
             group.bench_with_input(
                 BenchmarkId::new(*name, n),
                 &(&doc, &parsed),
-                |b, (doc, ptr)| {
-                    b.iter(|| evaluate(doc, ptr).expect("pointer resolves").len())
-                },
+                |b, (doc, ptr)| b.iter(|| evaluate(doc, ptr).expect("pointer resolves").len()),
             );
         }
     }
@@ -50,8 +51,7 @@ fn bench_pointers(c: &mut Criterion) {
 fn bench_parse_only(c: &mut Criterion) {
     c.bench_function("xpointer_parse", |b| {
         b.iter(|| {
-            parse("xpointer(/museum/painter[2]/painting[@id='guitar']/@title)")
-                .expect("parses")
+            parse("xpointer(/museum/painter[2]/painting[@id='guitar']/@title)").expect("parses")
         })
     });
 }

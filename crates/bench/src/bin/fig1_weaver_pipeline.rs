@@ -31,9 +31,13 @@ fn main() {
     let navigation = Aspect::new("navigation").with_precedence(10).rule(
         Pointcut::parse(r#"element("body")"#).expect("pointcut"),
         AdvicePosition::Append,
-        vec![ElementBuilder::new("div").attr("class", "navigation").child(
-            ElementBuilder::new("a").attr("href", "guernica.html").text("Next"),
-        )],
+        vec![ElementBuilder::new("div")
+            .attr("class", "navigation")
+            .child(
+                ElementBuilder::new("a")
+                    .attr("href", "guernica.html")
+                    .text("Next"),
+            )],
     );
     let audit = Aspect::new("audit").with_precedence(20).rule(
         Pointcut::parse(r#"element("body")"#).expect("pointcut"),
@@ -43,7 +47,9 @@ fn main() {
     let banner_aspect = Aspect::new("banner").with_precedence(0).rule(
         Pointcut::parse(r#"element("body")"#).expect("pointcut"),
         AdvicePosition::Prepend,
-        vec![ElementBuilder::new("div").attr("class", "banner").text("MUSEUM")],
+        vec![ElementBuilder::new("div")
+            .attr("class", "banner")
+            .text("MUSEUM")],
     );
 
     let weaver = Weaver::new()

@@ -12,13 +12,23 @@ fn main() {
     banner("Figure 7 — picasso.xml (data only, no links)");
     println!(
         "{}",
-        sources.get("picasso.xml").unwrap().document().unwrap().to_pretty_xml()
+        sources
+            .get("picasso.xml")
+            .unwrap()
+            .document()
+            .unwrap()
+            .to_pretty_xml()
     );
 
     banner("Figure 8 — avignon.xml");
     println!(
         "{}",
-        sources.get("avignon.xml").unwrap().document().unwrap().to_pretty_xml()
+        sources
+            .get("avignon.xml")
+            .unwrap()
+            .document()
+            .unwrap()
+            .to_pretty_xml()
     );
 
     banner("Figure 9 — links.xml (ALL links, separated, as XLink)");

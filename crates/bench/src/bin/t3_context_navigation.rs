@@ -25,7 +25,10 @@ fn main() {
 
     banner("T3.1 — the same node, two contexts, two different 'Next's");
     let mut rows = Vec::new();
-    for (entry, entry_label) in [("picasso.html", "via the author"), ("cubism.html", "via the movement")] {
+    for (entry, entry_label) in [
+        ("picasso.html", "via the author"),
+        ("cubism.html", "via the movement"),
+    ] {
         let mut session = NavigationSession::new(SiteHandler::new(woven.site.clone()));
         session.visit(entry).expect("entry page");
         session.follow("Guitar").expect("index entry to Guitar");
@@ -82,7 +85,12 @@ fn main() {
     session.follow("More results").expect("scroll");
     let after = session.current_context().map(str::to_string);
     print_table(
-        &["action", "context before", "context after", "moved info space?"],
+        &[
+            "action",
+            "context before",
+            "context after",
+            "moved info space?",
+        ],
         &[vec![
             "follow 'More results'".into(),
             format!("{before:?}"),

@@ -214,9 +214,9 @@ pub fn audit_site(site: &Site, roots: &[&str]) -> AuditReport {
     }
     for page in outgoing.keys() {
         if !reachable.contains(page) {
-            report.findings.push(AuditFinding::OrphanPage {
-                page: page.clone(),
-            });
+            report
+                .findings
+                .push(AuditFinding::OrphanPage { page: page.clone() });
         }
     }
 
@@ -299,9 +299,12 @@ mod tests {
     fn tangled_museum_is_clean_too() {
         let store = paper_museum();
         let nav = museum_navigation();
-        let site =
-            tangled_site(&store, &nav, &paper_spec(AccessStructureKind::IndexedGuidedTour))
-                .unwrap();
+        let site = tangled_site(
+            &store,
+            &nav,
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
         let report = audit_site(&site, &["picasso.html", "braque.html"]);
         assert!(report.is_clean(), "{report}");
     }
@@ -348,10 +351,9 @@ mod tests {
             .unwrap(),
         );
         let report = audit_site(&site, &["a.html"]);
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, AuditFinding::MissingAsset { asset, .. } if asset == "missing.css")));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, AuditFinding::MissingAsset { asset, .. } if asset == "missing.css")
+        ));
     }
 
     #[test]

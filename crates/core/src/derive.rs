@@ -95,12 +95,14 @@ pub fn derive_site(
             fspec.access,
         )?;
         // Group pages.
-        let group_nc = nav.node_class_named(&fspec.group_node_class).ok_or_else(|| {
-            CoreError::Pipeline(format!(
-                "group node class {:?} is not in the navigational schema",
-                fspec.group_node_class
-            ))
-        })?;
+        let group_nc = nav
+            .node_class_named(&fspec.group_node_class)
+            .ok_or_else(|| {
+                CoreError::Pipeline(format!(
+                    "group node class {:?} is not in the navigational schema",
+                    fspec.group_node_class
+                ))
+            })?;
         for node in nav.derive_nodes(&fspec.group_node_class, store)? {
             group_nodes.entry(node.slug.clone()).or_insert(DerivedNode {
                 title_attribute: group_nc.title_attribute.clone(),
@@ -110,19 +112,23 @@ pub fn derive_site(
             });
         }
         // Member pages.
-        let member_nc = nav.node_class_named(&fspec.member_node_class).ok_or_else(|| {
-            CoreError::Pipeline(format!(
-                "member node class {:?} is not in the navigational schema",
-                fspec.member_node_class
-            ))
-        })?;
+        let member_nc = nav
+            .node_class_named(&fspec.member_node_class)
+            .ok_or_else(|| {
+                CoreError::Pipeline(format!(
+                    "member node class {:?} is not in the navigational schema",
+                    fspec.member_node_class
+                ))
+            })?;
         for node in nav.derive_nodes(&fspec.member_node_class, store)? {
-            member_nodes.entry(node.slug.clone()).or_insert(DerivedNode {
-                title_attribute: member_nc.title_attribute.clone(),
-                body_class: member_nc.from_class.to_lowercase(),
-                element_name: member_nc.from_class.to_lowercase(),
-                node,
-            });
+            member_nodes
+                .entry(node.slug.clone())
+                .or_insert(DerivedNode {
+                    title_attribute: member_nc.title_attribute.clone(),
+                    body_class: member_nc.from_class.to_lowercase(),
+                    element_name: member_nc.from_class.to_lowercase(),
+                    node,
+                });
         }
         families.push((fspec.clone(), family));
     }
@@ -177,7 +183,10 @@ mod tests {
         assert_eq!(guitar.element_name, "painting");
         let picasso = &d.group_nodes["picasso"];
         assert_eq!(picasso.body_class, "index");
-        assert_eq!(picasso.facts(), vec![("Born".to_string(), "1881".to_string())]);
+        assert_eq!(
+            picasso.facts(),
+            vec![("Born".to_string(), "1881".to_string())]
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ enum Norm {
 
 fn normalize(doc: &Document, id: NodeId) -> Option<Norm> {
     match doc.kind(id) {
-        NodeKind::Element { name, attributes, .. } => {
+        NodeKind::Element {
+            name, attributes, ..
+        } => {
             let mut attrs: Vec<(String, String)> = attributes
                 .iter()
                 .map(|a| (a.name().as_markup(), a.value().to_string()))
@@ -115,7 +117,9 @@ fn diff_norm(a: &Norm, b: &Norm, path: &str) -> Option<String> {
                 return Some(format!("element name differs at {path}: {an} vs {bn}"));
             }
             if aa != ba {
-                return Some(format!("attributes differ at {path}/{an}: {aa:?} vs {ba:?}"));
+                return Some(format!(
+                    "attributes differ at {path}/{an}: {aa:?} vs {ba:?}"
+                ));
             }
             if ac.len() != bc.len() {
                 return Some(format!(
@@ -145,9 +149,7 @@ pub fn assert_site_equivalent(a: &Site, b: &Site) -> Result<(), String> {
     let a_paths: Vec<&str> = a.paths().collect();
     let b_paths: Vec<&str> = b.paths().collect();
     if a_paths != b_paths {
-        return Err(format!(
-            "path sets differ: {a_paths:?} vs {b_paths:?}"
-        ));
+        return Err(format!("path sets differ: {a_paths:?} vs {b_paths:?}"));
     }
     for (path, res_a) in a.iter() {
         let res_b = b.get(path).expect("paths already compared");

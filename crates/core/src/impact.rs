@@ -262,22 +262,52 @@ mod tests {
     #[test]
     fn pure_insertion_and_deletion() {
         let s = diff_lines("a\nc", "a\nb\nc");
-        assert_eq!(s, DiffStats { added: 1, removed: 0 });
+        assert_eq!(
+            s,
+            DiffStats {
+                added: 1,
+                removed: 0
+            }
+        );
         let s = diff_lines("a\nb\nc", "a\nc");
-        assert_eq!(s, DiffStats { added: 0, removed: 1 });
+        assert_eq!(
+            s,
+            DiffStats {
+                added: 0,
+                removed: 1
+            }
+        );
     }
 
     #[test]
     fn replacement_counts_both() {
         let s = diff_lines("a\nX\nc", "a\nY\nc");
-        assert_eq!(s, DiffStats { added: 1, removed: 1 });
+        assert_eq!(
+            s,
+            DiffStats {
+                added: 1,
+                removed: 1
+            }
+        );
     }
 
     #[test]
     fn empty_inputs() {
         assert_eq!(diff_lines("", ""), DiffStats::default());
-        assert_eq!(diff_lines("", "a\nb"), DiffStats { added: 2, removed: 0 });
-        assert_eq!(diff_lines("a\nb", ""), DiffStats { added: 0, removed: 2 });
+        assert_eq!(
+            diff_lines("", "a\nb"),
+            DiffStats {
+                added: 2,
+                removed: 0
+            }
+        );
+        assert_eq!(
+            diff_lines("a\nb", ""),
+            DiffStats {
+                added: 0,
+                removed: 2
+            }
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub fn museum_schema() -> ConceptualSchema {
 pub fn museum_navigation() -> NavigationalSchema {
     NavigationalSchema::new()
         .node_class("PainterNode", "Painter", "name", &["name", "born"])
-        .node_class("PaintingNode", "Painting", "title", &["title", "year", "technique"])
+        .node_class(
+            "PaintingNode",
+            "Painting",
+            "title",
+            &["title", "year", "technique"],
+        )
         .node_class("MovementNode", "Movement", "name", &["name"])
         .link_class("WorksOf", "painted")
         .link_class("InMovement", "includes")
@@ -44,17 +49,33 @@ pub fn paper_museum() -> InstanceStore {
 
 fn try_paper_museum() -> Result<InstanceStore, ModelError> {
     let mut s = InstanceStore::new(museum_schema());
-    s.create("picasso", "Painter", &[("name", "Pablo Picasso"), ("born", "1881")])?;
-    s.create("braque", "Painter", &[("name", "Georges Braque"), ("born", "1882")])?;
+    s.create(
+        "picasso",
+        "Painter",
+        &[("name", "Pablo Picasso"), ("born", "1881")],
+    )?;
+    s.create(
+        "braque",
+        "Painter",
+        &[("name", "Georges Braque"), ("born", "1882")],
+    )?;
     s.create(
         "guitar",
         "Painting",
-        &[("title", "Guitar"), ("year", "1913"), ("technique", "papier colle")],
+        &[
+            ("title", "Guitar"),
+            ("year", "1913"),
+            ("technique", "papier colle"),
+        ],
     )?;
     s.create(
         "guernica",
         "Painting",
-        &[("title", "Guernica"), ("year", "1937"), ("technique", "oil on canvas")],
+        &[
+            ("title", "Guernica"),
+            ("year", "1937"),
+            ("technique", "oil on canvas"),
+        ],
     )?;
     s.create(
         "avignon",
@@ -68,7 +89,11 @@ fn try_paper_museum() -> Result<InstanceStore, ModelError> {
     s.create(
         "violin",
         "Painting",
-        &[("title", "Violin and Candlestick"), ("year", "1910"), ("technique", "oil on canvas")],
+        &[
+            ("title", "Violin and Candlestick"),
+            ("year", "1910"),
+            ("technique", "oil on canvas"),
+        ],
     )?;
     s.create("cubism", "Movement", &[("name", "Cubism")])?;
     s.create("surrealism", "Movement", &[("name", "Surrealism")])?;
@@ -172,13 +197,25 @@ mod tests {
         let s = paper_museum();
         let nav = museum_navigation();
         let by_painter = ContextFamily::group_by(
-            "by-painter", &s, &nav, "Painter", "name", "painted",
-            "PaintingNode", AccessStructureKind::IndexedGuidedTour,
+            "by-painter",
+            &s,
+            &nav,
+            "Painter",
+            "name",
+            "painted",
+            "PaintingNode",
+            AccessStructureKind::IndexedGuidedTour,
         )
         .unwrap();
         let by_movement = ContextFamily::group_by(
-            "by-movement", &s, &nav, "Movement", "name", "includes",
-            "PaintingNode", AccessStructureKind::IndexedGuidedTour,
+            "by-movement",
+            &s,
+            &nav,
+            "Movement",
+            "name",
+            "includes",
+            "PaintingNode",
+            AccessStructureKind::IndexedGuidedTour,
         )
         .unwrap();
         let author_ctx = by_painter.context_of("picasso").unwrap();

@@ -87,9 +87,7 @@ pub fn navigation_map(linkbase: &Linkbase) -> Result<BTreeMap<String, PageNav>, 
     let mut map: BTreeMap<String, PageNav> = BTreeMap::new();
     for link in linkbase.extended_links() {
         let context = link.role.clone().ok_or_else(|| {
-            CoreError::Pipeline(
-                "extended link missing xlink:role (the context name)".to_string(),
-            )
+            CoreError::Pipeline("extended link missing xlink:role (the context name)".to_string())
         })?;
         for t in link.traversals().map_err(CoreError::XLink)? {
             let from_page = endpoint_page(&t.from, linkbase)?;
@@ -157,11 +155,7 @@ pub fn navigation_aspect(map: BTreeMap<String, PageNav>) -> Aspect {
     Aspect::new("navigation").generated_rule(
         Pointcut::Element("body".to_string()),
         AdvicePosition::Append,
-        move |jp| {
-            map.get(jp.page)
-                .map(PageNav::fragments)
-                .unwrap_or_default()
-        },
+        move |jp| map.get(jp.page).map(PageNav::fragments).unwrap_or_default(),
     )
 }
 
@@ -262,10 +256,7 @@ pub fn weave_separated_with(
 /// # Panics
 ///
 /// Panics if `workers` is zero.
-pub fn weave_separated_parallel(
-    sources: &Site,
-    workers: usize,
-) -> Result<WovenOutput, CoreError> {
+pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenOutput, CoreError> {
     assert!(workers > 0, "need at least one worker");
     let transform_doc = sources
         .get(TRANSFORM_PATH)
@@ -296,29 +287,28 @@ pub fn weave_separated_parallel(
         .collect();
 
     type WovenPage = (String, navsep_xml::Document, WeaveReport);
-    let results: Vec<Result<Vec<WovenPage>, CoreError>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let transform = &transform;
-                let weaver = &weaver;
-                let chunk: Vec<&(String, &navsep_xml::Document)> =
-                    work.iter().skip(w).step_by(workers).collect();
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for (page_path, data_doc) in chunk {
-                        let base = transform.apply(data_doc)?;
-                        let (woven, report) = weaver.weave_page(page_path, &base)?;
-                        out.push((page_path.clone(), woven, report));
-                    }
-                    Ok(out)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("weave worker panicked"))
-                .collect()
-        });
+    let results: Vec<Result<Vec<WovenPage>, CoreError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let transform = &transform;
+            let weaver = &weaver;
+            let chunk: Vec<&(String, &navsep_xml::Document)> =
+                work.iter().skip(w).step_by(workers).collect();
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(chunk.len());
+                for (page_path, data_doc) in chunk {
+                    let base = transform.apply(data_doc)?;
+                    let (woven, report) = weaver.weave_page(page_path, &base)?;
+                    out.push((page_path.clone(), woven, report));
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("weave worker panicked"))
+            .collect()
+    });
 
     let mut pages: BTreeMap<String, (navsep_xml::Document, WeaveReport)> = BTreeMap::new();
     for result in results {
@@ -359,7 +349,12 @@ mod tests {
     }
 
     fn page_xml(out: &WovenOutput, path: &str) -> String {
-        out.site.get(path).unwrap().document().unwrap().to_pretty_xml()
+        out.site
+            .get(path)
+            .unwrap()
+            .document()
+            .unwrap()
+            .to_pretty_xml()
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn data_document(node: &DerivedNode) -> Document {
 }
 
 /// Builds one `<links xlink:type="extended">` element for a context.
-fn extended_link_for_context(ctx: &NavigationalContext, group_slug: &str, group_title: &str) -> ElementBuilder {
+fn extended_link_for_context(
+    ctx: &NavigationalContext,
+    group_slug: &str,
+    group_title: &str,
+) -> ElementBuilder {
     let mut links = ElementBuilder::new("links")
         .attr(xlink("type"), "extended")
         .attr(xlink("role"), ctx.name.clone())
@@ -211,7 +215,11 @@ pub fn separated_sources_with(
     site.put_css(CSS_PATH, css);
     site.put_document(TRANSFORM_PATH, Document::parse(transform_xml)?);
 
-    for dn in derived.member_nodes.values().chain(derived.group_nodes.values()) {
+    for dn in derived
+        .member_nodes
+        .values()
+        .chain(derived.group_nodes.values())
+    {
         site.put_document(data_path(&dn.node.slug), data_document(dn));
     }
 
@@ -285,14 +293,33 @@ mod tests {
         let igt = sources(AccessStructureKind::IndexedGuidedTour);
         // Data documents identical between the two authorings…
         for slug in ["picasso", "guitar", "guernica", "avignon"] {
-            let a = index.get(&data_path(slug)).unwrap().document().unwrap().to_xml_string();
-            let b = igt.get(&data_path(slug)).unwrap().document().unwrap().to_xml_string();
+            let a = index
+                .get(&data_path(slug))
+                .unwrap()
+                .document()
+                .unwrap()
+                .to_xml_string();
+            let b = igt
+                .get(&data_path(slug))
+                .unwrap()
+                .document()
+                .unwrap()
+                .to_xml_string();
             assert_eq!(a, b, "{slug} data must not change");
         }
         // …and the transform identical too.
         assert_eq!(
-            index.get(TRANSFORM_PATH).unwrap().document().unwrap().to_xml_string(),
-            igt.get(TRANSFORM_PATH).unwrap().document().unwrap().to_xml_string()
+            index
+                .get(TRANSFORM_PATH)
+                .unwrap()
+                .document()
+                .unwrap()
+                .to_xml_string(),
+            igt.get(TRANSFORM_PATH)
+                .unwrap()
+                .document()
+                .unwrap()
+                .to_xml_string()
         );
         // Only links.xml differs.
         let a = index.get(LINKBASE_PATH).unwrap().document().unwrap();

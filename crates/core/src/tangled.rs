@@ -116,7 +116,10 @@ pub fn tangled_site(
                 }
             }
         }
-        site.put_page(page_path(slug), page_skeleton(&dn.node.title, &dn.body_class, body));
+        site.put_page(
+            page_path(slug),
+            page_skeleton(&dn.node.title, &dn.body_class, body),
+        );
     }
 
     // Group pages: content + index list and/or tour entry per own context.
@@ -133,7 +136,10 @@ pub fn tangled_site(
                 }
             }
         }
-        site.put_page(page_path(slug), page_skeleton(&dn.node.title, &dn.body_class, body));
+        site.put_page(
+            page_path(slug),
+            page_skeleton(&dn.node.title, &dn.body_class, body),
+        );
     }
     Ok(site)
 }

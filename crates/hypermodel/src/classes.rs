@@ -147,7 +147,10 @@ impl ClassModel {
     /// Renders the diagram as Graphviz DOT.
     pub fn to_dot(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("digraph \"{}\" {{\n  node [shape=record];\n", self.title));
+        out.push_str(&format!(
+            "digraph \"{}\" {{\n  node [shape=record];\n",
+            self.title
+        ));
         for c in &self.classes {
             let attrs: Vec<String> = c
                 .attributes

@@ -191,7 +191,9 @@ impl ConceptualObject {
 
     /// All attributes, sorted by name.
     pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
     }
 }
 
@@ -305,11 +307,7 @@ impl InstanceStore {
         if from_obj.class() != rel.source {
             return Err(ModelError::BadLink {
                 relationship: rel.name.clone(),
-                reason: format!(
-                    "source must be {}, got {}",
-                    rel.source,
-                    from_obj.class()
-                ),
+                reason: format!("source must be {}, got {}", rel.source, from_obj.class()),
             });
         }
         if to_obj.class() != rel.target {
@@ -428,11 +426,16 @@ mod tests {
         let mut s = InstanceStore::new(schema());
         s.create("picasso", "Painter", &[("name", "Pablo Picasso")])
             .unwrap();
-        s.create("guitar", "Painting", &[("title", "Guitar"), ("year", "1913")])
-            .unwrap();
+        s.create(
+            "guitar",
+            "Painting",
+            &[("title", "Guitar"), ("year", "1913")],
+        )
+        .unwrap();
         s.create("guernica", "Painting", &[("title", "Guernica")])
             .unwrap();
-        s.create("cubism", "Movement", &[("name", "Cubism")]).unwrap();
+        s.create("cubism", "Movement", &[("name", "Cubism")])
+            .unwrap();
         s.link("painted", "picasso", "guitar").unwrap();
         s.link("painted", "picasso", "guernica").unwrap();
         s.link("belongs_to", "guitar", "cubism").unwrap();

@@ -65,7 +65,10 @@ impl NavigationalContext {
 
     /// 1-based position of `slug` among the members.
     pub fn position(&self, slug: &str) -> Option<usize> {
-        self.members.iter().position(|m| m.slug == slug).map(|p| p + 1)
+        self.members
+            .iter()
+            .position(|m| m.slug == slug)
+            .map(|p| p + 1)
     }
 
     /// The member after `slug` *in this context's order* — the paper's
@@ -186,13 +189,24 @@ mod tests {
             .relationship("painted", "Painter", "Painting", Cardinality::Many)
             .relationship("includes", "Movement", "Painting", Cardinality::Many);
         let mut s = InstanceStore::new(schema);
-        s.create("picasso", "Painter", &[("name", "Pablo Picasso")]).unwrap();
-        s.create("braque", "Painter", &[("name", "Georges Braque")]).unwrap();
-        s.create("cubism", "Movement", &[("name", "Cubism")]).unwrap();
-        s.create("guitar", "Painting", &[("title", "Guitar"), ("year", "1913")])
+        s.create("picasso", "Painter", &[("name", "Pablo Picasso")])
             .unwrap();
-        s.create("guernica", "Painting", &[("title", "Guernica"), ("year", "1937")])
+        s.create("braque", "Painter", &[("name", "Georges Braque")])
             .unwrap();
+        s.create("cubism", "Movement", &[("name", "Cubism")])
+            .unwrap();
+        s.create(
+            "guitar",
+            "Painting",
+            &[("title", "Guitar"), ("year", "1913")],
+        )
+        .unwrap();
+        s.create(
+            "guernica",
+            "Painting",
+            &[("title", "Guernica"), ("year", "1937")],
+        )
+        .unwrap();
         s.create(
             "violin",
             "Painting",

@@ -153,10 +153,7 @@ impl NavNode {
             attributes: nc
                 .shown_attributes
                 .iter()
-                .filter_map(|a| {
-                    obj.attribute(a)
-                        .map(|v| (a.clone(), v.to_string()))
-                })
+                .filter_map(|a| obj.attribute(a).map(|v| (a.clone(), v.to_string())))
                 .collect(),
         }
     }
@@ -181,16 +178,24 @@ mod tests {
             .class("Painting", &["title", "year", "technique"])
             .relationship("painted", "Painter", "Painting", Cardinality::Many);
         let mut s = InstanceStore::new(schema);
-        s.create("picasso", "Painter", &[("name", "Pablo Picasso"), ("born", "1881")])
-            .unwrap();
+        s.create(
+            "picasso",
+            "Painter",
+            &[("name", "Pablo Picasso"), ("born", "1881")],
+        )
+        .unwrap();
         s.create(
             "guitar",
             "Painting",
             &[("title", "Guitar"), ("year", "1913"), ("technique", "oil")],
         )
         .unwrap();
-        s.create("guernica", "Painting", &[("title", "Guernica"), ("year", "1937")])
-            .unwrap();
+        s.create(
+            "guernica",
+            "Painting",
+            &[("title", "Guernica"), ("year", "1937")],
+        )
+        .unwrap();
         s.link("painted", "picasso", "guitar").unwrap();
         s.link("painted", "picasso", "guernica").unwrap();
         s

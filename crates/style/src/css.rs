@@ -459,7 +459,10 @@ fn parse_selector(text: &str, offset: usize) -> Result<Selector, ParseCssError> 
         }
     }
     if compounds.is_empty() || expect_compound {
-        return Err(ParseCssError::new("selector ends with a combinator", offset));
+        return Err(ParseCssError::new(
+            "selector ends with a combinator",
+            offset,
+        ));
     }
     Ok(Selector {
         compounds,
@@ -474,9 +477,7 @@ fn parse_compound(tok: &str, offset: usize) -> Result<CompoundSelector, ParseCss
     if let Some(stripped) = rest.strip_prefix('*') {
         rest = stripped;
     } else {
-        let end = rest
-            .find(['#', '.', '['])
-            .unwrap_or(rest.len());
+        let end = rest.find(['#', '.', '[']).unwrap_or(rest.len());
         if end > 0 {
             out.element = Some(rest[..end].to_string());
             rest = &rest[end..];
@@ -524,8 +525,7 @@ fn parse_compound(tok: &str, offset: usize) -> Result<CompoundSelector, ParseCss
             ));
         }
     }
-    if out.element.is_none() && out.id.is_none() && out.classes.is_empty() && out.attrs.is_empty()
-    {
+    if out.element.is_none() && out.id.is_none() && out.classes.is_empty() && out.attrs.is_empty() {
         return Err(ParseCssError::new("empty compound selector", offset));
     }
     Ok(out)
@@ -552,7 +552,9 @@ mod tests {
 
     #[test]
     fn parses_rules_and_declarations() {
-        let css: CssStylesheet = "a { color: blue; text-decoration: underline }".parse().unwrap();
+        let css: CssStylesheet = "a { color: blue; text-decoration: underline }"
+            .parse()
+            .unwrap();
         assert_eq!(css.rules().len(), 1);
         assert_eq!(css.rules()[0].declarations.len(), 2);
     }
@@ -643,7 +645,9 @@ mod tests {
 
     #[test]
     fn selector_group_uses_best_specificity() {
-        let css: CssStylesheet = "p, #nav { color: black } div { color: white }".parse().unwrap();
+        let css: CssStylesheet = "p, #nav { color: black } div { color: white }"
+            .parse()
+            .unwrap();
         let d = doc();
         let nav = find(&d, "div");
         // #nav (in the group) has higher specificity than div.

@@ -21,8 +21,8 @@
 //! ```
 
 use navsep_xml::{Document, NodeId, NodeKind, QName};
-use navsep_xpointer::{evaluate_from, parser::parse_location_path, LocationPath};
 use navsep_xpointer::Location;
+use navsep_xpointer::{evaluate_from, parser::parse_location_path, LocationPath};
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -111,12 +111,7 @@ impl Pattern {
                 let mut cur = Some(node);
                 for seg in segs.iter().rev() {
                     match cur {
-                        Some(n)
-                            if doc
-                                .name(n)
-                                .map(|q| q.local() == seg)
-                                .unwrap_or(false) =>
-                        {
+                        Some(n) if doc.name(n).map(|q| q.local() == seg).unwrap_or(false) => {
                             cur = doc.parent(n);
                         }
                         _ => return false,
@@ -235,7 +230,9 @@ impl Transform {
             if doc.name(tpl).map(|q| q.local()) != Some("template") {
                 return Err(TemplateError::InvalidTransform(format!(
                     "unexpected <{}> under <transform>",
-                    doc.name(tpl).map(|q| q.local().to_string()).unwrap_or_default()
+                    doc.name(tpl)
+                        .map(|q| q.local().to_string())
+                        .unwrap_or_default()
                 )));
             }
             let pattern_text = doc.attribute(tpl, "match").ok_or_else(|| {
@@ -262,8 +259,8 @@ impl Transform {
     /// XML parse errors are reported as [`TemplateError::InvalidTransform`];
     /// see [`Transform::from_document`] for the rest.
     pub fn parse_str(text: &str) -> Result<Self, TemplateError> {
-        let doc = Document::parse(text)
-            .map_err(|e| TemplateError::InvalidTransform(e.to_string()))?;
+        let doc =
+            Document::parse(text).map_err(|e| TemplateError::InvalidTransform(e.to_string()))?;
         Self::from_document(&doc)
     }
 
@@ -465,13 +462,12 @@ fn parse_attr_template(text: &str) -> Result<AttrTemplate, TemplateError> {
         if !rest[..open].is_empty() {
             parts.push(AttrPart::Literal(rest[..open].to_string()));
         }
-        let close = rest[open..]
-            .find('}')
-            .map(|i| open + i)
-            .ok_or_else(|| TemplateError::InvalidExpression {
+        let close = rest[open..].find('}').map(|i| open + i).ok_or_else(|| {
+            TemplateError::InvalidExpression {
                 expression: text.to_string(),
                 reason: "unclosed '{' in attribute template".into(),
-            })?;
+            }
+        })?;
         parts.push(AttrPart::Expr(parse_select(&rest[open + 1..close])?));
         rest = &rest[close + 1..];
     }
@@ -485,10 +481,9 @@ fn parse_body(doc: &Document, parent: NodeId) -> Result<Vec<Instruction>, Templa
     let mut out = Vec::new();
     for &child in doc.children(parent) {
         match doc.kind(child) {
-            NodeKind::Text(t)
-                if !t.trim().is_empty() => {
-                    out.push(Instruction::Text(t.clone()));
-                }
+            NodeKind::Text(t) if !t.trim().is_empty() => {
+                out.push(Instruction::Text(t.clone()));
+            }
             NodeKind::Element { name, .. } => {
                 let local = name.local().to_string();
                 match local.as_str() {
@@ -541,9 +536,7 @@ fn parse_body(doc: &Document, parent: NodeId) -> Result<Vec<Instruction>, Templa
                         let attrs = doc
                             .attributes(child)
                             .iter()
-                            .map(|a| {
-                                Ok((a.name().clone(), parse_attr_template(a.value())?))
-                            })
+                            .map(|a| Ok((a.name().clone(), parse_attr_template(a.value())?)))
                             .collect::<Result<Vec<_>, TemplateError>>()?;
                         out.push(Instruction::Literal {
                             name: name.clone(),
@@ -603,7 +596,10 @@ mod tests {
         .unwrap();
         let out = t.apply(&museum_data()).unwrap();
         let xml = out.to_xml_string();
-        assert!(xml.contains("<ul><li>Guitar</li><li>Guernica</li></ul>"), "{xml}");
+        assert!(
+            xml.contains("<ul><li>Guitar</li><li>Guernica</li></ul>"),
+            "{xml}"
+        );
     }
 
     #[test]
@@ -667,7 +663,9 @@ mod tests {
         )
         .unwrap();
         let out = t.apply(&museum_data()).unwrap();
-        assert!(out.to_xml_string().contains("<div data-id=\"picasso\">x</div>"));
+        assert!(out
+            .to_xml_string()
+            .contains("<div data-id=\"picasso\">x</div>"));
     }
 
     #[test]
@@ -719,10 +717,10 @@ mod tests {
     fn invalid_transforms_rejected() {
         assert!(Transform::parse_str("<notatransform/>").is_err());
         assert!(Transform::parse_str("<transform><template/></transform>").is_err());
-        assert!(
-            Transform::parse_str("<transform><template match=\"a\"><value-of/></template></transform>")
-                .is_err()
-        );
+        assert!(Transform::parse_str(
+            "<transform><template match=\"a\"><value-of/></template></transform>"
+        )
+        .is_err());
         assert!(Transform::parse_str("<transform><x match=\"a\"/></transform>").is_err());
     }
 

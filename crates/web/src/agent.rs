@@ -399,7 +399,10 @@ mod tests {
         .unwrap();
         let root = doc.root_element().unwrap();
         let nav = doc.first_child_named(root, "nav").unwrap();
-        assert_eq!(anchors_under(&doc, nav), vec![("x".to_string(), "X".to_string())]);
+        assert_eq!(
+            anchors_under(&doc, nav),
+            vec![("x".to_string(), "X".to_string())]
+        );
     }
 }
 
@@ -423,7 +426,10 @@ mod activation_tests {
             ))
             .unwrap(),
         );
-        site.put_document("widget.xml", Document::parse("<widget>hello</widget>").unwrap());
+        site.put_document(
+            "widget.xml",
+            Document::parse("<widget>hello</widget>").unwrap(),
+        );
         site.put_page(
             "redirecting.html",
             Document::parse(&format!(

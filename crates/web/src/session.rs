@@ -325,8 +325,10 @@ mod tests {
         );
         site.put_page(
             "guernica.html",
-            Document::parse(r#"<html><body><a href="guitar.html" rel="prev">Previous</a></body></html>"#)
-                .unwrap(),
+            Document::parse(
+                r#"<html><body><a href="guitar.html" rel="prev">Previous</a></body></html>"#,
+            )
+            .unwrap(),
         );
         SiteHandler::new(site)
     }

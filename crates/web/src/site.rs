@@ -75,9 +75,7 @@ impl Resource {
     /// The resource's media type.
     pub fn media_type(&self) -> MediaType {
         match self {
-            Resource::Document { media_type, .. } | Resource::Raw { media_type, .. } => {
-                *media_type
-            }
+            Resource::Document { media_type, .. } | Resource::Raw { media_type, .. } => *media_type,
         }
     }
 
@@ -206,9 +204,7 @@ impl Site {
             .map(|(path, res)| {
                 let text = match res {
                     Resource::Document { doc, .. } => doc.to_pretty_xml(),
-                    Resource::Raw { body, .. } => {
-                        String::from_utf8_lossy(body).into_owned()
-                    }
+                    Resource::Raw { body, .. } => String::from_utf8_lossy(body).into_owned(),
                 };
                 (path.clone(), text)
             })

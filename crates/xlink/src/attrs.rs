@@ -190,7 +190,10 @@ impl XLinkAttrs {
     /// Returns an error when `type`, `show` or `actuate` carry values outside
     /// the recommendation's enumerations.
     pub fn read(doc: &Document, element: NodeId) -> Result<Self, XLinkError> {
-        let get = |local: &str| doc.attribute_ns(element, XLINK_NS, local).map(str::to_string);
+        let get = |local: &str| {
+            doc.attribute_ns(element, XLINK_NS, local)
+                .map(str::to_string)
+        };
         let link_type = match get("type") {
             Some(v) => Some(LinkType::from_value(&v)?),
             None => None,

@@ -282,10 +282,7 @@ impl ExtendedLink {
                                 arcrole: arc.arcrole.clone(),
                                 show: arc.show,
                                 actuate: arc.actuate,
-                                title: arc
-                                    .title
-                                    .clone()
-                                    .or_else(|| to_title.map(str::to_string)),
+                                title: arc.title.clone().or_else(|| to_title.map(str::to_string)),
                             });
                         }
                     }
@@ -399,10 +396,7 @@ mod tests {
             .filter(|t| t.arcrole.as_deref() == Some("urn:nav:entry"))
             .collect();
         assert_eq!(entry.len(), 2);
-        assert_eq!(
-            entry[0].to.href().unwrap().document(),
-            "guitar.xml"
-        );
+        assert_eq!(entry[0].to.href().unwrap().document(), "guitar.xml");
         // Title falls back to the ending locator's title.
         assert_eq!(entry[0].title.as_deref(), Some("Guitar"));
     }

@@ -91,14 +91,12 @@ impl<'p, P: DocumentProvider + ?Sized> Resolver<'p, P> {
                     .document(&doc_path)
                     .ok_or_else(|| XLinkError::UnknownDocument(doc_path.clone()))?;
                 let node = match href.fragment() {
-                    Some(frag) => {
-                        navsep_xpointer::resolve_first(doc, frag).map_err(|e| {
-                            XLinkError::PointerFailed {
-                                href: href.to_string(),
-                                reason: e.to_string(),
-                            }
-                        })?
-                    }
+                    Some(frag) => navsep_xpointer::resolve_first(doc, frag).map_err(|e| {
+                        XLinkError::PointerFailed {
+                            href: href.to_string(),
+                            reason: e.to_string(),
+                        }
+                    })?,
                     None => doc.require_root().map_err(|e| XLinkError::PointerFailed {
                         href: href.to_string(),
                         reason: e.to_string(),

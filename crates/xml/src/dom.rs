@@ -430,7 +430,10 @@ impl Document {
     /// Panics if `index > children(parent).len()` after detachment, or when
     /// `child` is the document node.
     pub fn insert_child_at(&mut self, parent: NodeId, index: usize, child: NodeId) {
-        assert!(child != self.document_node(), "cannot re-parent the document node");
+        assert!(
+            child != self.document_node(),
+            "cannot re-parent the document node"
+        );
         self.detach(child);
         self.nodes[child.index()].parent = Some(parent);
         self.nodes[parent.index()].children.insert(index, child);

@@ -82,7 +82,10 @@ pub fn predefined_entity(name: &str) -> Option<char> {
 /// forbidden in XML documents.
 pub fn parse_char_ref(body: &str) -> Option<char> {
     let digits = body.strip_prefix('#')?;
-    let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+    let code = if let Some(hex) = digits
+        .strip_prefix('x')
+        .or_else(|| digits.strip_prefix('X'))
+    {
         u32::from_str_radix(hex, 16).ok()?
     } else {
         digits.parse::<u32>().ok()?
@@ -117,7 +120,10 @@ mod tests {
 
     #[test]
     fn attr_escaping_handles_quotes_and_whitespace() {
-        assert_eq!(escape_attr("he said \"hi\"\n"), "he said &quot;hi&quot;&#10;");
+        assert_eq!(
+            escape_attr("he said \"hi\"\n"),
+            "he said &quot;hi&quot;&#10;"
+        );
     }
 
     #[test]

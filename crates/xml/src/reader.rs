@@ -115,8 +115,8 @@ impl<'a> Parser<'a> {
 
     fn parse(&mut self) -> Result<Document, ParseXmlError> {
         self.eat("\u{FEFF}"); // byte-order mark
-        // An XML declaration is "<?xml" followed by whitespace — not a PI
-        // whose target merely starts with "xml" (e.g. <?xml-stylesheet?>).
+                              // An XML declaration is "<?xml" followed by whitespace — not a PI
+                              // whose target merely starts with "xml" (e.g. <?xml-stylesheet?>).
         if ["<?xml ", "<?xml\t", "<?xml\n", "<?xml\r", "<?xml?"]
             .iter()
             .any(|p| self.starts_with(p))
@@ -302,8 +302,9 @@ impl<'a> Parser<'a> {
                         }
                         decls.push((rest.to_string(), value));
                     } else {
-                        let (ap, al) = QName::split_lexical(&attr_name)
-                            .ok_or_else(|| self.err(XmlErrorKind::InvalidName(attr_name.clone())))?;
+                        let (ap, al) = QName::split_lexical(&attr_name).ok_or_else(|| {
+                            self.err(XmlErrorKind::InvalidName(attr_name.clone()))
+                        })?;
                         raw_attrs.push((ap.to_string(), al.to_string(), value));
                     }
                 }
@@ -551,10 +552,9 @@ mod tests {
 
     #[test]
     fn resolves_namespaces() {
-        let doc = Document::parse(
-            "<r xmlns=\"urn:d\" xmlns:x=\"urn:x\"><x:a y=\"1\" x:z=\"2\"/></r>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse("<r xmlns=\"urn:d\" xmlns:x=\"urn:x\"><x:a y=\"1\" x:z=\"2\"/></r>")
+                .unwrap();
         let root = doc.root_element().unwrap();
         assert_eq!(doc.name(root).unwrap().namespace(), Some("urn:d"));
         let a = doc.child_elements(root).next().unwrap();
@@ -604,7 +604,11 @@ mod tests {
     fn comments_and_pis_preserved() {
         let doc = Document::parse("<a><!-- note --><?php echo ?></a>").unwrap();
         let root = doc.root_element().unwrap();
-        let kinds: Vec<_> = doc.children(root).iter().map(|&c| doc.kind(c).clone()).collect();
+        let kinds: Vec<_> = doc
+            .children(root)
+            .iter()
+            .map(|&c| doc.kind(c).clone())
+            .collect();
         assert!(matches!(&kinds[0], NodeKind::Comment(c) if c == " note "));
         assert!(
             matches!(&kinds[1], NodeKind::ProcessingInstruction { target, data } if target == "php" && data == "echo ")
@@ -626,17 +630,18 @@ mod tests {
     #[test]
     fn duplicate_attribute_by_namespace_rejected() {
         // Same expanded name through two prefixes.
-        let err = Document::parse(
-            "<a xmlns:p=\"urn:x\" xmlns:q=\"urn:x\" p:k=\"1\" q:k=\"2\"/>",
-        )
-        .unwrap_err();
+        let err = Document::parse("<a xmlns:p=\"urn:x\" xmlns:q=\"urn:x\" p:k=\"1\" q:k=\"2\"/>")
+            .unwrap_err();
         assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
     }
 
     #[test]
     fn content_after_root_rejected() {
         let err = Document::parse("<a/><b/>").unwrap_err();
-        assert!(matches!(err.kind(), XmlErrorKind::InvalidDocumentStructure(_)));
+        assert!(matches!(
+            err.kind(),
+            XmlErrorKind::InvalidDocumentStructure(_)
+        ));
     }
 
     #[test]

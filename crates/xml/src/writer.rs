@@ -257,7 +257,8 @@ mod tests {
     fn pretty_indents_element_content() {
         let doc = Document::parse("<a><b><c/></b></a>").unwrap();
         let out = doc.to_pretty_xml();
-        let expected = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a>\n  <b>\n    <c/>\n  </b>\n</a>\n";
+        let expected =
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a>\n  <b>\n    <c/>\n  </b>\n</a>\n";
         assert_eq!(out, expected);
     }
 

@@ -80,10 +80,8 @@ fn many_siblings() {
 
 #[test]
 fn namespace_shadowing_and_undeclaration() {
-    let doc = Document::parse(
-        r#"<a xmlns:p="urn:one"><b xmlns:p="urn:two"><p:x/></b><p:y/></a>"#,
-    )
-    .unwrap();
+    let doc = Document::parse(r#"<a xmlns:p="urn:one"><b xmlns:p="urn:two"><p:x/></b><p:y/></a>"#)
+        .unwrap();
     let names: Vec<(String, Option<String>)> = doc
         .descendants(doc.document_node())
         .filter_map(|n| doc.name(n))
@@ -111,7 +109,7 @@ fn utf8_content_everywhere() {
 fn entity_in_attribute_survives() {
     let out = roundtrip("<a k=\"&lt;&amp;&gt;\"/>");
     assert_eq!(out, "<a k=\"&lt;&amp;>\"/>"); // '>' needs no escaping in attrs
-    // Reparse gives the same value.
+                                              // Reparse gives the same value.
     let doc = Document::parse(&out).unwrap();
     assert_eq!(doc.attribute(doc.root_element().unwrap(), "k"), Some("<&>"));
 }
@@ -178,7 +176,8 @@ fn large_attribute_values() {
     let big = "x".repeat(100_000);
     let doc = Document::parse(&format!("<a k=\"{big}\"/>")).unwrap();
     assert_eq!(
-        doc.attribute(doc.root_element().unwrap(), "k").map(str::len),
+        doc.attribute(doc.root_element().unwrap(), "k")
+            .map(str::len),
         Some(100_000)
     );
 }

@@ -33,7 +33,11 @@ impl ParsePointerError {
 
 impl fmt::Display for ParsePointerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid xpointer at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "invalid xpointer at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

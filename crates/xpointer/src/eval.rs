@@ -243,10 +243,7 @@ fn apply_axis(doc: &Document, ctx: NodeId, axis: Axis, test: &NodeTest) -> Vec<L
 
 fn node_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
     match test {
-        NodeTest::Name(n) => doc
-            .name(node)
-            .map(|q| q.local() == n)
-            .unwrap_or(false),
+        NodeTest::Name(n) => doc.name(node).map(|q| q.local() == n).unwrap_or(false),
         NodeTest::Wildcard => doc.is_element(node),
         NodeTest::Text => matches!(doc.kind(node), NodeKind::Text(_)),
         // node() matches every node, including the document node, so that
@@ -423,7 +420,10 @@ mod tests {
     #[test]
     fn fallback_across_scheme_parts() {
         let doc = museum();
-        let locs = eval_str(&doc, "element(nonexistent) xpointer(//painting[@id='guitar'])");
+        let locs = eval_str(
+            &doc,
+            "element(nonexistent) xpointer(//painting[@id='guitar'])",
+        );
         assert_eq!(doc.attribute(locs[0].node(), "id"), Some("guitar"));
     }
 

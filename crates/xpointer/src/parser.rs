@@ -72,10 +72,7 @@ pub fn parse_element_scheme(data: &str, offset: usize) -> Result<ElementScheme, 
         (None, format!("/{stripped}"))
     } else {
         match data.find('/') {
-            Some(idx) => (
-                Some(data[..idx].to_string()),
-                data[idx..].to_string(),
-            ),
+            Some(idx) => (Some(data[..idx].to_string()), data[idx..].to_string()),
             None => (Some(data.to_string()), String::new()),
         }
     };
@@ -462,7 +459,10 @@ mod tests {
 
     #[test]
     fn shorthand() {
-        assert_eq!(parse("guitar").unwrap(), Pointer::Shorthand("guitar".into()));
+        assert_eq!(
+            parse("guitar").unwrap(),
+            Pointer::Shorthand("guitar".into())
+        );
         assert!(parse("0bad").is_err());
         assert!(parse("").is_err());
     }

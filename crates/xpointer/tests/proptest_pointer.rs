@@ -17,9 +17,8 @@ fn name_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = ElementBuilder> {
     let leaf = name_strategy().prop_map(|n| ElementBuilder::new(n.as_str()));
     leaf.prop_recursive(4, 32, 5, |inner| {
-        (name_strategy(), proptest::collection::vec(inner, 0..5)).prop_map(|(name, children)| {
-            ElementBuilder::new(name.as_str()).children(children)
-        })
+        (name_strategy(), proptest::collection::vec(inner, 0..5))
+            .prop_map(|(name, children)| ElementBuilder::new(name.as_str()).children(children))
     })
 }
 

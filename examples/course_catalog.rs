@@ -68,9 +68,21 @@ fn catalog() -> Result<(InstanceStore, NavigationalSchema), Box<dyn Error>> {
     let mut store = InstanceStore::new(schema);
     store.create("rust-101", "Course", &[("name", "Rust 101")])?;
     store.create("easy", "Level", &[("name", "Beginner friendly")])?;
-    store.create("ownership", "Lesson", &[("title", "Ownership"), ("minutes", "25")])?;
-    store.create("borrowing", "Lesson", &[("title", "Borrowing"), ("minutes", "30")])?;
-    store.create("lifetimes", "Lesson", &[("title", "Lifetimes"), ("minutes", "40")])?;
+    store.create(
+        "ownership",
+        "Lesson",
+        &[("title", "Ownership"), ("minutes", "25")],
+    )?;
+    store.create(
+        "borrowing",
+        "Lesson",
+        &[("title", "Borrowing"), ("minutes", "30")],
+    )?;
+    store.create(
+        "lifetimes",
+        "Lesson",
+        &[("title", "Lifetimes"), ("minutes", "40")],
+    )?;
     store.link("teaches", "rust-101", "ownership")?;
     store.link("teaches", "rust-101", "borrowing")?;
     store.link("teaches", "rust-101", "lifetimes")?;
@@ -135,7 +147,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let page = session.current_page().unwrap();
     println!(
         "\nlevel index lists: {:?}",
-        page.links.iter().map(|l| l.text.as_str()).collect::<Vec<_>>()
+        page.links
+            .iter()
+            .map(|l| l.text.as_str())
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

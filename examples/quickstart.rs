@@ -44,7 +44,10 @@ fn main() -> Result<(), CoreError> {
         .get("guitar.html")
         .and_then(|r| r.document())
         .expect("woven page exists");
-    println!("\n--- guitar.html (rendered) ---\n{}", to_display_text(guitar));
+    println!(
+        "\n--- guitar.html (rendered) ---\n{}",
+        to_display_text(guitar)
+    );
 
     // 4. Same site as the tangled baseline?
     let tangled = tangled_site(&store, &nav, &spec)?;

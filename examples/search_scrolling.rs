@@ -45,16 +45,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     site.put_page(
         "guitar.html",
-        Document::parse(r#"<html><head><title>Guitar</title></head><body><h1>Guitar</h1></body></html>"#)?,
+        Document::parse(
+            r#"<html><head><title>Guitar</title></head><body><h1>Guitar</h1></body></html>"#,
+        )?,
     );
     site.put_page(
         "guernica.html",
-        Document::parse(r#"<html><head><title>Guernica</title></head><body><h1>Guernica</h1></body></html>"#)?,
+        Document::parse(
+            r#"<html><head><title>Guernica</title></head><body><h1>Guernica</h1></body></html>"#,
+        )?,
     );
 
     let mut session = NavigationSession::new(SiteHandler::new(site));
     session.visit("results-1.html")?;
-    println!("on {:?}, context = {:?}", session.current_path(), session.current_context());
+    println!(
+        "on {:?}, context = {:?}",
+        session.current_path(),
+        session.current_context()
+    );
 
     session.follow("More results")?;
     println!(

@@ -43,9 +43,7 @@ fn separated_touches_only_the_linkbase() {
         assert_eq!(r.files_touched, 1, "N={n}");
         let touched: Vec<&str> = r.touched_files().map(|f| f.path.as_str()).collect();
         assert_eq!(touched, ["links.xml"], "N={n}");
-        assert!(r
-            .touched_files()
-            .all(|f| f.status == FileStatus::Modified));
+        assert!(r.touched_files().all(|f| f.status == FileStatus::Modified));
     }
 }
 
@@ -62,7 +60,10 @@ fn tangled_impact_grows_linearly() {
 
 #[test]
 fn separated_file_count_is_scale_invariant() {
-    assert_eq!(impact(3, true).files_touched, impact(100, true).files_touched);
+    assert_eq!(
+        impact(3, true).files_touched,
+        impact(100, true).files_touched
+    );
 }
 
 #[test]

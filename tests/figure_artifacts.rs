@@ -96,10 +96,7 @@ fn f4_guitar_page_gains_the_two_lines() {
     for slug in PICASSO_CONTEXT {
         let path = format!("{slug}.html");
         let stats = diff_lines(&page(&before, &path), &page(&after, &path));
-        assert!(
-            stats.total() > 0,
-            "{slug}: every context page must change"
-        );
+        assert!(stats.total() > 0, "{slug}: every context page must change");
         // The added navigation is small — one or two anchors per page.
         assert!(stats.added <= 3, "{slug}: {stats:?}");
     }
@@ -128,7 +125,10 @@ fn f7_picasso_xml_is_pure_data() {
     let doc = s.get("picasso.xml").unwrap().document().unwrap();
     let xml = doc.to_xml_string();
     assert!(xml.contains("<name>Pablo Picasso</name>"));
-    assert!(!xml.contains("href"), "data documents must contain no links");
+    assert!(
+        !xml.contains("href"),
+        "data documents must contain no links"
+    );
     assert!(!xml.contains("xlink"));
 }
 

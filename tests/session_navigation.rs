@@ -111,7 +111,10 @@ fn concurrent_sessions_share_one_pool() {
         }));
     }
     for _ in 0..32 {
-        assert!(pool.request_sync(Request::get("guitar.html")).status().is_success());
+        assert!(pool
+            .request_sync(Request::get("guitar.html"))
+            .status()
+            .is_success());
     }
     for t in threads {
         assert_eq!(t.join().unwrap(), "guernica.html");
@@ -132,8 +135,12 @@ fn republish_switches_access_structure_live() {
     .unwrap()
     .site;
     let v2 = weave_separated(
-        &separated_sources(&store, &nav, &paper_spec(AccessStructureKind::IndexedGuidedTour))
-            .unwrap(),
+        &separated_sources(
+            &store,
+            &nav,
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap(),
     )
     .unwrap()
     .site;

@@ -6,10 +6,7 @@ use navsep::core::spec::{contextual_spec, paper_spec};
 use navsep::core::{assert_site_equivalent, separated_sources, tangled_site, weave_separated};
 use navsep::hypermodel::AccessStructureKind;
 
-fn check(
-    store: &navsep::hypermodel::InstanceStore,
-    spec: &navsep::core::SiteSpec,
-) {
+fn check(store: &navsep::hypermodel::InstanceStore, spec: &navsep::core::SiteSpec) {
     let nav = museum_navigation();
     let tangled = tangled_site(store, &nav, spec).expect("tangled generation");
     let sources = separated_sources(store, &nav, spec).expect("separated authoring");
@@ -26,7 +23,10 @@ fn paper_corpus_index() {
 
 #[test]
 fn paper_corpus_guided_tour() {
-    check(&paper_museum(), &paper_spec(AccessStructureKind::GuidedTour));
+    check(
+        &paper_museum(),
+        &paper_spec(AccessStructureKind::GuidedTour),
+    );
 }
 
 #[test]

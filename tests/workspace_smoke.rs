@@ -1,0 +1,29 @@
+//! Fast workspace smoke test: the paper's headline invariant on the fixed
+//! museum fixture, in one cheap assertion. The full per-access-structure
+//! and scaled-corpus equivalence coverage lives in `weave_equivalence.rs`;
+//! this file exists so refactors get an immediate signal even when only a
+//! subset of the suite is run.
+
+use navsep::core::museum::{museum_navigation, paper_museum};
+use navsep::core::spec::paper_spec;
+use navsep::core::{assert_site_equivalent, separated_sources, tangled_site, weave_separated};
+use navsep::hypermodel::AccessStructureKind;
+
+/// `tangled_site` ≡ `weave_separated` on `paper_museum()`, and the woven
+/// site is non-trivial.
+#[test]
+fn tangled_equals_woven_on_paper_museum() {
+    let store = paper_museum();
+    let nav = museum_navigation();
+    let spec = paper_spec(AccessStructureKind::IndexedGuidedTour);
+    let tangled = tangled_site(&store, &nav, &spec).expect("tangled generation succeeds");
+    let woven = weave_separated(&separated_sources(&store, &nav, &spec).expect("authoring"))
+        .expect("weaving succeeds");
+    assert_site_equivalent(&tangled, &woven.site)
+        .unwrap_or_else(|e| panic!("tangled and woven sites diverge: {e}"));
+    assert!(
+        woven.site.len() > 1,
+        "woven site should hold more than a single page, got {}",
+        woven.site.len()
+    );
+}

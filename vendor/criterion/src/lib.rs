@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in the build environment, so this shim keeps
+//! the workspace's `harness = false` benches compiling and runnable. Each
+//! bench body executes a small fixed number of iterations and reports the
+//! mean wall-clock time per iteration — a smoke measurement, not a
+//! statistically rigorous one.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Iterations each bench closure runs (after one warm-up call).
+const ITERATIONS: u32 = 8;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Records the throughput denominator for subsequent benches (printed
+    /// only; the shim does not compute rates).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count (accepted for compatibility, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { nanos: 0, iters: 0 };
+    f(&mut bencher);
+    let mean = if bencher.iters == 0 {
+        0
+    } else {
+        bencher.nanos / u128::from(bencher.iters)
+    };
+    println!("bench {label}: {mean} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, accumulating elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(f());
+        }
+        self.nanos += start.elapsed().as_nanos();
+        self.iters += ITERATIONS;
+    }
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Throughput denominators accepted by [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point for `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

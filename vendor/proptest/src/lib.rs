@@ -1,0 +1,182 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! suites use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, regex-literal string strategies (a small pattern
+//! subset), integer-range and tuple strategies, `collection::vec`,
+//! `option::of`, weighted `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*!` macros.
+//!
+//! Cases are generated from a deterministic per-test SplitMix64 stream, so
+//! failures reproduce across runs. There is **no shrinking**: a failing
+//! case reports its case index and message as-is.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+mod regex_gen;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{Config, TestCaseError, TestRng};
+
+/// The names `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Builds a [`Union`] strategy from alternatives, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::BoxedStrategy::from_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::BoxedStrategy::from_strategy($strat))),+
+        ])
+    };
+}
+
+#[doc(hidden)]
+pub fn __run_case_loop<A>(
+    test_name: &str,
+    config: &Config,
+    mut generate: impl FnMut(&mut TestRng) -> A,
+    mut run: impl FnMut(A) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::new(test_runner::seed_for(test_name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let args = generate(&mut rng);
+        match run(args) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.cases * 16 + 256 {
+                    panic!(
+                        "proptest `{test_name}`: too many rejected cases \
+                         ({rejected} rejections for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {accepted} \
+                     (deterministic seed, re-run reproduces):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::__run_case_loop(
+                stringify!($name),
+                &config,
+                |rng| ($($crate::Strategy::generate(&($strat), rng),)+),
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

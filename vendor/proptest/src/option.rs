@@ -1,0 +1,27 @@
+//! Option strategies: `of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>`: `None` half the time, otherwise `Some` of the
+/// inner strategy's value.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(1, 2) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

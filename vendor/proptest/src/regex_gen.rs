@@ -1,0 +1,340 @@
+//! Random string generation from a regex-like pattern subset.
+//!
+//! Supported syntax (everything the workspace's property suites use):
+//!
+//! - literal characters, with `\` escaping the next char
+//! - `[...]` character classes with `a-z` ranges and escaped members
+//! - `(...)` groups
+//! - `\PC` — "printable char": anything that is not a control character
+//! - quantifiers `*`, `?`, `{n}`, `{n,m}` after any atom
+//!
+//! Unsupported syntax panics with the offending pattern, which turns a
+//! silent generation bug into a loud test failure.
+
+use crate::test_runner::TestRng;
+
+/// Default repetition cap for `*`.
+const STAR_MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Closed char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Printable,
+    Group(Vec<Piece>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    emit(&pieces, rng, &mut out);
+    out
+}
+
+fn emit(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.range_usize(piece.min, piece.max + 1)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                Atom::Printable => out.push(printable_char(rng)),
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for (lo, hi) in ranges {
+        let span = (*hi as u64) - (*lo as u64) + 1;
+        if pick < span {
+            return char::from_u32(*lo as u32 + pick as u32).expect("class range spans a gap");
+        }
+        pick -= span;
+    }
+    unreachable!("class pick out of range")
+}
+
+/// A printable char: mostly ASCII, sometimes wider Unicode so escaping and
+/// multi-byte handling get exercised.
+fn printable_char(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        0 => *['é', 'ñ', 'ß', 'Ω', '中', '😀']
+            .get(rng.below(6) as usize)
+            .unwrap(),
+        1 => *['<', '>', '&', '"', '\'']
+            .get(rng.below(5) as usize)
+            .unwrap(),
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let pieces = parse_sequence(pattern, &chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at {pos}"
+    );
+    pieces
+}
+
+fn parse_sequence(pattern: &str, chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ')' {
+            assert!(in_group, "unsupported regex pattern {pattern:?}: stray ')'");
+            return pieces;
+        }
+        let atom = match c {
+            '[' => {
+                *pos += 1;
+                Atom::Class(parse_class(pattern, chars, pos))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_sequence(pattern, chars, pos, true);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unsupported regex pattern {pattern:?}: unclosed group"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '\\' => {
+                *pos += 1;
+                assert!(
+                    *pos < chars.len(),
+                    "unsupported regex pattern {pattern:?}: dangling backslash"
+                );
+                let escaped = chars[*pos];
+                *pos += 1;
+                if escaped == 'P' {
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == 'C',
+                        "unsupported regex pattern {pattern:?}: only \\PC is supported"
+                    );
+                    *pos += 1;
+                    Atom::Printable
+                } else {
+                    Atom::Literal(escape_char(escaped))
+                }
+            }
+            '*' | '?' | '{' | '}' | ']' => {
+                panic!("unsupported regex pattern {pattern:?}: unexpected {c:?} at {pos}")
+            }
+            _ => {
+                *pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        // `[` / `(` / `\` arms advance pos themselves; literal arm did too.
+        let (min, max) = parse_quantifier(pattern, chars, pos);
+        pieces.push(Piece { atom, min, max });
+    }
+    assert!(
+        !in_group,
+        "unsupported regex pattern {pattern:?}: unclosed group"
+    );
+    pieces
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize) -> (usize, usize) {
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            (0, STAR_MAX)
+        }
+        '+' => {
+            *pos += 1;
+            (1, STAR_MAX)
+        }
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min_text
+                .parse()
+                .unwrap_or_else(|_| panic!("unsupported regex pattern {pattern:?}: bad {{n}}"));
+            let max = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut max_text = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    max_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max_text.parse().unwrap_or_else(|_| {
+                    panic!("unsupported regex pattern {pattern:?}: bad {{n,m}}")
+                })
+            } else {
+                min
+            };
+            assert!(
+                *pos < chars.len() && chars[*pos] == '}',
+                "unsupported regex pattern {pattern:?}: unclosed quantifier"
+            );
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        assert!(
+            *pos < chars.len(),
+            "unsupported regex pattern {pattern:?}: unclosed class"
+        );
+        let c = chars[*pos];
+        match c {
+            ']' => {
+                *pos += 1;
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "unsupported regex pattern {pattern:?}: empty class"
+                );
+                return ranges;
+            }
+            '-' if pending.is_some() && *pos + 1 < chars.len() && chars[*pos + 1] != ']' => {
+                let lo = pending.take().unwrap();
+                *pos += 1;
+                let mut hi = chars[*pos];
+                if hi == '\\' {
+                    *pos += 1;
+                    hi = escape_char(chars[*pos]);
+                }
+                *pos += 1;
+                assert!(
+                    lo <= hi,
+                    "unsupported regex pattern {pattern:?}: inverted range"
+                );
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                *pos += 1;
+                assert!(
+                    *pos < chars.len(),
+                    "unsupported regex pattern {pattern:?}: dangling backslash in class"
+                );
+                if let Some(p) = pending.replace(escape_char(chars[*pos])) {
+                    ranges.push((p, p));
+                }
+                *pos += 1;
+            }
+            _ => {
+                if let Some(p) = pending.replace(c) {
+                    ranges.push((p, p));
+                }
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        _ => c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = rng();
+        for _ in 0..64 {
+            let s = generate("[a-z][a-z0-9]{0,7}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let mut rng = rng();
+        let mut saw_plain = false;
+        let mut saw_ext = false;
+        for _ in 0..128 {
+            let s = generate("[a-z]{1,8}(\\.xml)?", &mut rng);
+            if s.ends_with(".xml") {
+                saw_ext = true;
+            } else {
+                saw_plain = true;
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+        assert!(saw_plain && saw_ext);
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = rng();
+        for _ in 0..64 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut rng = rng();
+        for _ in 0..64 {
+            let s = generate("[<>&;\"'a-z/=! \\-\\[\\]]{0,64}", &mut rng);
+            for c in s.chars() {
+                assert!(
+                    "<>&;\"'/=! -[]".contains(c) || c.is_ascii_lowercase(),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+}

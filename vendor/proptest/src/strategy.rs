@@ -1,0 +1,296 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::regex_gen;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking; `generate`
+/// produces one concrete value per call from the supplied RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Keeps only values for which `pred` holds, regenerating otherwise.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// lifts a strategy for subtrees into a strategy for branches. `depth`
+    /// bounds recursion; the size hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            depth,
+            leaf: BoxedStrategy::from_strategy(self),
+            recurse: Rc::new(move |inner| BoxedStrategy::from_strategy(recurse(inner))),
+        }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_strategy(self)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V> {
+    generate: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: self.generate.clone(),
+        }
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Erases `strategy`.
+    pub fn from_strategy<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| strategy.generate(rng)),
+        }
+    }
+
+    /// Builds directly from a generation closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+        BoxedStrategy {
+            generate: Rc::new(f),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.generate)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    depth: u32,
+    leaf: BoxedStrategy<V>,
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        generate_recursive(&self.leaf, &self.recurse, self.depth, rng)
+    }
+}
+
+fn generate_recursive<V: 'static>(
+    leaf: &BoxedStrategy<V>,
+    recurse: &Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+    rng: &mut TestRng,
+) -> V {
+    // Stop early sometimes so trees vary in height, always at depth 0.
+    if depth == 0 || rng.chance(1, 4) {
+        return leaf.generate(rng);
+    }
+    let leaf2 = leaf.clone();
+    let recurse2 = recurse.clone();
+    let inner = BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+        generate_recursive(&leaf2, &recurse2, depth - 1, rng)
+    });
+    (recurse)(inner).generate(rng)
+}
+
+/// Weighted choice between boxed alternatives; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return option.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// String strategies from regex-like patterns (supported subset: literal
+/// chars, `[...]` classes with ranges and escapes, `(...)` groups, `\PC`
+/// printable-char class, and the `*` / `?` / `{n}` / `{n,m}` quantifiers).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
