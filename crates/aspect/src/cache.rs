@@ -1,0 +1,281 @@
+//! Compiled-spec caching: parse an aspect (or any spec document) once,
+//! reuse the compiled form across weaves.
+//!
+//! Weaving is meant to be cheap to repeat — the paper's promise is that
+//! navigation can be rewoven without touching content — but compiling the
+//! specs (pointcut parsing, template compilation, linkbase expansion) is
+//! pure overhead when the spec text has not changed between weaves. A
+//! [`SpecCache`] memoizes any compiled artifact keyed by a stable content
+//! hash ([`spec_hash`]), and [`AspectCache`] specializes it for
+//! `aspects.xml` documents.
+//!
+//! Values are shared as `Arc<T>`, so a cache hit costs one hash of the
+//! source text plus one pointer clone — no re-parse, no re-compile.
+
+use crate::aspect::Aspect;
+use crate::xmlspec::{parse_aspects, AspectSpecError};
+use navsep_xml::Document;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Stable 64-bit hash of a spec's source bytes
+/// ([`navsep_xml::fnv1a64`]).
+///
+/// Deterministic across processes and platforms, so cache keys (and any
+/// logs naming them) are reproducible.
+pub fn spec_hash(bytes: &[u8]) -> u64 {
+    navsep_xml::fnv1a64(bytes)
+}
+
+/// A memoizing cache of compiled specs, keyed by [`spec_hash`].
+///
+/// `T` is whatever the compilation step produces: a parsed aspect list, a
+/// compiled transform, an expanded navigation map. The cache never evicts —
+/// spec sets are small (one per site concern), and callers that churn specs
+/// can [`clear`](SpecCache::clear).
+///
+/// # Examples
+///
+/// ```
+/// use navsep_aspect::cache::{spec_hash, SpecCache};
+///
+/// let cache: SpecCache<usize> = SpecCache::new();
+/// let key = spec_hash(b"element(\"body\")");
+/// let a = cache.get_or_try_insert(key, || Ok::<_, ()>("body".len())).unwrap();
+/// let b = cache.get_or_try_insert(key, || Err(())).unwrap(); // hit: closure unused
+/// assert_eq!(*a, *b);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct SpecCache<T> {
+    slots: Mutex<HashMap<u64, Arc<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for SpecCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SpecCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SpecCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `compile`, caches its
+    /// output, and returns it. Compilation errors are not cached — the next
+    /// call retries.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compile` returns.
+    pub fn get_or_try_insert<E>(
+        &self,
+        key: u64,
+        compile: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        if let Some(found) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        // Compile outside the lock: a slow compile must not block readers
+        // of other keys. Racing compiles of the same key are both correct;
+        // the first to insert wins and the loser's work is dropped.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile()?);
+        let mut slots = self.lock();
+        let entry = slots.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Cache lookups that found a compiled value.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct compiled specs held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every cached value (counters are kept).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<T>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A [`SpecCache`] for parsed `aspects.xml` documents: the compiled form of
+/// the paper's "navigation as just another separated document".
+///
+/// # Examples
+///
+/// ```
+/// use navsep_aspect::AspectCache;
+/// use navsep_xml::Document;
+///
+/// let doc = Document::parse(r#"<aspects>
+///   <aspect name="banner">
+///     <rule pointcut='element("body")' position="prepend" text="hi"/>
+///   </aspect>
+/// </aspects>"#)?;
+///
+/// let cache = AspectCache::new();
+/// let first = cache.get_or_parse(&doc)?;
+/// let again = cache.get_or_parse(&doc)?;     // hit: no re-parse
+/// assert_eq!(first.len(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AspectCache {
+    inner: SpecCache<Vec<Aspect>>,
+}
+
+impl AspectCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AspectCache {
+            inner: SpecCache::new(),
+        }
+    }
+
+    /// Parses `doc` as an aspects document, or returns the compiled aspects
+    /// cached for identical spec text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AspectSpecError`] from parsing; errors are not cached.
+    pub fn get_or_parse(&self, doc: &Document) -> Result<Arc<Vec<Aspect>>, AspectSpecError> {
+        let key = spec_hash(doc.to_xml_string().as_bytes());
+        self.inner.get_or_try_insert(key, || parse_aspects(doc))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Cache misses (compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Distinct aspect documents compiled.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops every cached aspect list.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"<aspects>
+  <aspect name="banner" precedence="2">
+    <rule pointcut='element("body")' position="prepend" text="B"/>
+  </aspect>
+</aspects>"#;
+
+    #[test]
+    fn hash_is_content_keyed() {
+        assert_eq!(spec_hash(b"abc"), spec_hash(b"abc"));
+        assert_ne!(spec_hash(b"abc"), spec_hash(b"abd"));
+        assert_ne!(spec_hash(b""), spec_hash(b"\0"));
+    }
+
+    #[test]
+    fn parse_once_then_hit() {
+        let doc = Document::parse(SPEC).unwrap();
+        let cache = AspectCache::new();
+        let a = cache.get_or_parse(&doc).unwrap();
+        let b = cache.get_or_parse(&doc).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the compiled value");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(a[0].name(), "banner");
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_slots() {
+        let cache = AspectCache::new();
+        let a = Document::parse(SPEC).unwrap();
+        let b = Document::parse(&SPEC.replace("banner", "footer")).unwrap();
+        cache.get_or_parse(&a).unwrap();
+        cache.get_or_parse(&b).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: SpecCache<u32> = SpecCache::new();
+        let r: Result<_, &str> = cache.get_or_try_insert(1, || Err("boom"));
+        assert!(r.is_err());
+        // A later compile of the same key runs (and can succeed).
+        let ok = cache.get_or_try_insert(1, || Ok::<_, &str>(7)).unwrap();
+        assert_eq!(*ok, 7);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn clear_drops_values_keeps_counters() {
+        let doc = Document::parse(SPEC).unwrap();
+        let cache = AspectCache::new();
+        cache.get_or_parse(&doc).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_parse(&doc).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(AspectCache::new());
+        let doc = Document::parse(SPEC).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let doc = doc.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(cache.get_or_parse(&doc).unwrap().len(), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

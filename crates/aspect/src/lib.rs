@@ -43,6 +43,7 @@
 
 pub mod advice;
 pub mod aspect;
+pub mod cache;
 pub mod error;
 pub mod joinpoint;
 pub mod pointcut;
@@ -51,6 +52,7 @@ pub mod xmlspec;
 
 pub use advice::{Advice, AdviceContent, AdvicePosition, ContentFn, Realized};
 pub use aspect::{AdviceRule, Aspect};
+pub use cache::{spec_hash, AspectCache, SpecCache};
 pub use error::{ParsePointcutError, WeaveError};
 pub use joinpoint::{join_points, JoinPoint};
 pub use pointcut::{glob_match, Pointcut};

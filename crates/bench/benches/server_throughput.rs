@@ -1,0 +1,173 @@
+//! T5: serving throughput — the sharded, epoch-published site store versus
+//! the single-`RwLock` baseline, under concurrent readers and under
+//! publish churn.
+//!
+//! The ROADMAP's north star is heavy traffic with cheap reweaves. The
+//! numbers here substantiate the two design moves of `navsep-web`'s store:
+//! sharding (readers of different pages touch different locks) and epoch
+//! publishing (a publish swaps `Arc` pointers instead of write-locking the
+//! whole site for the duration of the copy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use navsep_bench::Setup;
+use navsep_core::weave_separated;
+use navsep_hypermodel::AccessStructureKind;
+use navsep_web::{Handler, Request, ShardedSiteHandler, ShardedSiteStore, Site, SiteHandler};
+use std::sync::Arc;
+
+const READERS: usize = 4;
+const GETS_PER_READER: usize = 256;
+
+fn woven_site(pages: usize) -> Site {
+    let setup = Setup::scaled(pages, AccessStructureKind::IndexedGuidedTour);
+    weave_separated(&setup.separated()).expect("pipeline").site
+}
+
+fn page_paths(site: &Site) -> Vec<String> {
+    site.paths().map(str::to_string).collect()
+}
+
+/// `READERS` threads each issue `GETS_PER_READER` requests, striped over
+/// `paths`; returns the number of successful responses.
+fn hammer<H: Handler>(handler: &H, paths: &[String]) -> usize {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..READERS)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut ok = 0;
+                    for i in 0..GETS_PER_READER {
+                        let path = &paths[(r + i) % paths.len()];
+                        if handler.handle(&Request::get(path)).status().is_success() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    })
+}
+
+fn bench_concurrent_readers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_get_concurrent");
+    for pages in [16usize, 64] {
+        let site = woven_site(pages);
+        let paths = page_paths(&site);
+        group.throughput(Throughput::Elements((READERS * GETS_PER_READER) as u64));
+
+        let single = SiteHandler::new(site.clone());
+        group.bench_with_input(
+            BenchmarkId::new("single_lock", pages),
+            &paths,
+            |b, paths| {
+                b.iter(|| {
+                    assert_eq!(hammer(&single, paths), READERS * GETS_PER_READER);
+                })
+            },
+        );
+
+        let sharded = ShardedSiteHandler::new(Arc::new(ShardedSiteStore::from_site(16, &site)));
+        group.bench_with_input(BenchmarkId::new("sharded", pages), &paths, |b, paths| {
+            b.iter(|| {
+                assert_eq!(hammer(&sharded, paths), READERS * GETS_PER_READER);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Publishes racing the read workload in the during-publish group. Fixed,
+/// so both handler variants do identical total work per iteration; read
+/// work dominates (as in production), so the group measures reader
+/// throughput under churn rather than publish cost (the `publish` group
+/// isolates that).
+const PUBLISHES: usize = 8;
+const CHURN_ROUNDS: usize = 8;
+
+fn bench_readers_under_publish_churn(c: &mut Criterion) {
+    // Same read workload, but a writer concurrently republishes the site
+    // PUBLISHES times; epoch swaps keep readers off the write path where
+    // the single lock stalls every reader for each whole-site replacement.
+    let mut group = c.benchmark_group("server_get_during_publish");
+    let site = woven_site(32);
+    let paths = page_paths(&site);
+    group.throughput(Throughput::Elements(
+        (CHURN_ROUNDS * READERS * GETS_PER_READER) as u64,
+    ));
+
+    let single = Arc::new(SiteHandler::new(site.clone()));
+    group.bench_with_input(
+        BenchmarkId::new("single_lock", 32usize),
+        &paths,
+        |b, paths| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    {
+                        let single = Arc::clone(&single);
+                        let site = site.clone();
+                        scope.spawn(move || {
+                            for _ in 0..PUBLISHES {
+                                single.publish(site.clone());
+                            }
+                        });
+                    }
+                    for _ in 0..CHURN_ROUNDS {
+                        assert_eq!(hammer(&*single, paths), READERS * GETS_PER_READER);
+                    }
+                })
+            })
+        },
+    );
+
+    let store = Arc::new(ShardedSiteStore::from_site(16, &site));
+    let sharded = ShardedSiteHandler::new(Arc::clone(&store));
+    group.bench_with_input(BenchmarkId::new("sharded", 32usize), &paths, |b, paths| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                {
+                    let store = Arc::clone(&store);
+                    let site = site.clone();
+                    scope.spawn(move || {
+                        for _ in 0..PUBLISHES {
+                            store.publish(&site);
+                        }
+                    });
+                }
+                for _ in 0..CHURN_ROUNDS {
+                    assert_eq!(hammer(&sharded, paths), READERS * GETS_PER_READER);
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_publish_cost(c: &mut Criterion) {
+    // The publish itself: single-lock copies under the write lock; the
+    // sharded store builds epochs off-lock and swaps pointers.
+    let mut group = c.benchmark_group("publish");
+    for pages in [16usize, 64] {
+        let site = woven_site(pages);
+        group.throughput(Throughput::Elements(site.len() as u64));
+
+        let single = SiteHandler::new(site.clone());
+        group.bench_with_input(BenchmarkId::new("single_lock", pages), &site, |b, site| {
+            b.iter(|| single.publish(site.clone()))
+        });
+
+        let store = ShardedSiteStore::from_site(16, &site);
+        group.bench_with_input(BenchmarkId::new("sharded", pages), &site, |b, site| {
+            b.iter(|| store.publish(site))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_concurrent_readers,
+    bench_readers_under_publish_churn,
+    bench_publish_cost
+);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use navsep_bench::Setup;
-use navsep_core::{tangled_site, weave_separated};
+use navsep_core::{tangled_site, weave_separated, weave_separated_cached, WeaveCache};
 use navsep_hypermodel::AccessStructureKind;
 
 fn bench_weave_pipeline(c: &mut Criterion) {
@@ -20,6 +20,31 @@ fn bench_weave_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pages", n), &sources, |b, sources| {
             b.iter(|| weave_separated(sources).expect("pipeline").site.len())
         });
+    }
+    group.finish();
+}
+
+fn bench_weave_pipeline_cached(c: &mut Criterion) {
+    // Steady state: transform, linkbase, navigation map, and aspects are
+    // compiled once (outside the measurement) and reused, so the loop
+    // measures transform-apply + weave only — the reweave cost the paper's
+    // "change only links.xml" story actually pays.
+    let mut group = c.benchmark_group("weave_pipeline_cached");
+    for n in [10usize, 50, 200] {
+        let setup = Setup::scaled(n, AccessStructureKind::IndexedGuidedTour);
+        let sources = setup.separated();
+        let cache = WeaveCache::new();
+        weave_separated_cached(&sources, &cache).expect("warm-up weave");
+        group.throughput(Throughput::Elements(n as u64 + 1));
+        group.bench_with_input(BenchmarkId::new("pages", n), &sources, |b, sources| {
+            b.iter(|| {
+                weave_separated_cached(sources, &cache)
+                    .expect("pipeline")
+                    .site
+                    .len()
+            })
+        });
+        assert_eq!(cache.misses(), 3, "steady state must not recompile");
     }
     group.finish();
 }
@@ -55,6 +80,7 @@ fn bench_authoring_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_weave_pipeline,
+    bench_weave_pipeline_cached,
     bench_tangled_baseline,
     bench_authoring_generation
 );

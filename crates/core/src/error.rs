@@ -25,6 +25,8 @@ pub enum CoreError {
     Weave(WeaveError),
     /// A structural expectation of the pipeline was violated.
     Pipeline(String),
+    /// An audit-gated publish found problems and refused to go live.
+    Audit(crate::audit::AuditReport),
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::Template(e) => write!(f, "template error: {e}"),
             CoreError::Weave(e) => write!(f, "weave error: {e}"),
             CoreError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            CoreError::Audit(report) => write!(f, "audit rejected publish: {report}"),
         }
     }
 }
@@ -48,7 +51,7 @@ impl StdError for CoreError {
             CoreError::XLink(e) => Some(e),
             CoreError::Template(e) => Some(e),
             CoreError::Weave(e) => Some(e),
-            CoreError::Pipeline(_) => None,
+            CoreError::Pipeline(_) | CoreError::Audit(_) => None,
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod impact;
 pub mod layout;
 pub mod museum;
 pub mod pipeline;
+pub mod publish;
 pub mod separated;
 pub mod spec;
 pub mod tangled;
@@ -58,9 +59,11 @@ pub use equiv::{assert_site_equivalent, dom_equivalent, explain_difference};
 pub use error::CoreError;
 pub use impact::{diff_lines, myers_distance, DiffStats, FileImpact, FileStatus, ImpactReport};
 pub use pipeline::{
-    navigation_aspect, navigation_map, weave_separated, weave_separated_parallel,
-    weave_separated_with, PageNav, WovenOutput,
+    navigation_aspect, navigation_aspect_shared, navigation_map, weave_separated,
+    weave_separated_cached, weave_separated_cached_with, weave_separated_parallel,
+    weave_separated_with, PageNav, WeaveCache, WovenOutput,
 };
+pub use publish::{PublishOutcome, SitePublisher, SourceEdit};
 pub use separated::{data_document, separated_sources, separated_sources_with, MUSEUM_TRANSFORM};
 pub use spec::{by_movement, by_painter, contextual_spec, paper_spec, FamilySpec, SiteSpec};
 pub use tangled::{page_skeleton, tangled_site};

@@ -18,7 +18,9 @@
 use crate::error::CoreError;
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
 use crate::layout::{data_to_page, ASPECTS_PATH, CSS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
-use navsep_aspect::{AdvicePosition, Aspect, Pointcut, WeaveReport, Weaver};
+use navsep_aspect::{
+    spec_hash, AdvicePosition, Aspect, AspectCache, Pointcut, SpecCache, WeaveReport, Weaver,
+};
 use navsep_hypermodel::NavLinkKind;
 use navsep_style::Transform;
 use navsep_web::{Resource, Site};
@@ -151,12 +153,169 @@ fn endpoint_page(ep: &Endpoint, linkbase: &Linkbase) -> Result<String, CoreError
 /// One aspect, one rule: at every page `<body>`, append that page's
 /// navigation fragments. This *is* the paper's navigational aspect.
 pub fn navigation_aspect(map: BTreeMap<String, PageNav>) -> Aspect {
-    let map = Arc::new(map);
+    navigation_aspect_shared(Arc::new(map))
+}
+
+/// Like [`navigation_aspect`], but over a shared (e.g. cached) map, so a
+/// reweave does not re-expand the linkbase.
+pub fn navigation_aspect_shared(map: Arc<BTreeMap<String, PageNav>>) -> Aspect {
     Aspect::new("navigation").generated_rule(
         Pointcut::Element("body".to_string()),
         AdvicePosition::Append,
         move |jp| map.get(jp.page).map(PageNav::fragments).unwrap_or_default(),
     )
+}
+
+/// Caches the compiled form of every spec the pipeline consumes, keyed by
+/// spec content hash, so repeated weaves of unchanged specs skip parsing
+/// and compilation entirely:
+///
+/// * `transform.xml` → a compiled [`Transform`];
+/// * `links.xml` → the parsed [`Linkbase`] *and* the expanded per-page
+///   navigation map;
+/// * `aspects.xml` → parsed [`Aspect`]s (via [`AspectCache`]).
+///
+/// Locator resolution against the data set is deliberately **not** cached:
+/// it depends on the data documents, which may change between weaves even
+/// when the linkbase does not.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_core::museum::{museum_navigation, paper_museum};
+/// use navsep_core::pipeline::{weave_separated_cached, WeaveCache};
+/// use navsep_core::separated::separated_sources;
+/// use navsep_core::spec::paper_spec;
+/// use navsep_hypermodel::AccessStructureKind;
+///
+/// let sources = separated_sources(
+///     &paper_museum(),
+///     &museum_navigation(),
+///     &paper_spec(AccessStructureKind::Index),
+/// )?;
+/// let cache = WeaveCache::new();
+/// let first = weave_separated_cached(&sources, &cache)?;   // compiles specs
+/// let again = weave_separated_cached(&sources, &cache)?;   // pure cache hits
+/// assert_eq!(first.site.len(), again.site.len());
+/// assert!(cache.hits() >= 3); // transform + linkbase + navigation map
+/// # Ok::<(), navsep_core::CoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct WeaveCache {
+    transforms: SpecCache<Transform>,
+    linkbases: SpecCache<Linkbase>,
+    navigation: SpecCache<BTreeMap<String, PageNav>>,
+    aspects: AspectCache,
+}
+
+impl WeaveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total lookups that found a compiled spec.
+    pub fn hits(&self) -> u64 {
+        self.transforms.hits()
+            + self.linkbases.hits()
+            + self.navigation.hits()
+            + self.aspects.hits()
+    }
+
+    /// Total lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.transforms.misses()
+            + self.linkbases.misses()
+            + self.navigation.misses()
+            + self.aspects.misses()
+    }
+
+    /// Total compiled specs currently held, across all kinds. The cache
+    /// never evicts on its own, so long-lived spec churners should watch
+    /// this (or [`clear`](Self::clear) when a spec changes, as
+    /// [`crate::publish::SitePublisher`] does).
+    pub fn entries(&self) -> usize {
+        self.transforms.len() + self.linkbases.len() + self.navigation.len() + self.aspects.len()
+    }
+
+    /// Drops all cached compilations (counters are kept).
+    pub fn clear(&self) {
+        self.transforms.clear();
+        self.linkbases.clear();
+        self.navigation.clear();
+        self.aspects.clear();
+    }
+}
+
+/// The compiled specs one weave runs with — either freshly compiled or
+/// pulled from a [`WeaveCache`].
+struct CompiledSpecs {
+    transform: Arc<Transform>,
+    nav_map: Arc<BTreeMap<String, PageNav>>,
+    site_aspects: Arc<Vec<Aspect>>,
+}
+
+/// Compiles (or fetches) every spec in `sources`, then validates locator
+/// resolution against the current data set.
+fn compile_specs(sources: &Site, cache: Option<&WeaveCache>) -> Result<CompiledSpecs, CoreError> {
+    let transform_doc = sources
+        .get(TRANSFORM_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {TRANSFORM_PATH}")))?;
+    let links_doc = sources
+        .get(LINKBASE_PATH)
+        .and_then(Resource::document)
+        .ok_or_else(|| CoreError::Pipeline(format!("missing {LINKBASE_PATH}")))?;
+
+    let (transform, linkbase, nav_map) = match cache {
+        Some(cache) => {
+            let transform_key = spec_hash(transform_doc.to_xml_string().as_bytes());
+            let transform = cache.transforms.get_or_try_insert(transform_key, || {
+                Transform::from_document(transform_doc).map_err(CoreError::Template)
+            })?;
+            let links_key = spec_hash(links_doc.to_xml_string().as_bytes());
+            let linkbase = cache.linkbases.get_or_try_insert(links_key, || {
+                Linkbase::from_document(links_doc, LINKBASE_PATH).map_err(CoreError::XLink)
+            })?;
+            let nav_map = cache
+                .navigation
+                .get_or_try_insert(links_key, || navigation_map(&linkbase))?;
+            (transform, linkbase, nav_map)
+        }
+        None => {
+            let transform = Arc::new(Transform::from_document(transform_doc)?);
+            let linkbase = Arc::new(Linkbase::from_document(links_doc, LINKBASE_PATH)?);
+            let nav_map = Arc::new(navigation_map(&linkbase)?);
+            (transform, linkbase, nav_map)
+        }
+    };
+
+    // Validate every locator resolves against the *current* data set before
+    // weaving — never cached; the data may have changed under a cached
+    // linkbase.
+    Resolver::new(sources, LINKBASE_PATH).resolve(&linkbase)?;
+
+    // Site-defined aspects (paper §7 future work): aspects.xml, if present,
+    // contributes further concerns to the weave.
+    let site_aspects = match sources.get(ASPECTS_PATH).and_then(Resource::document) {
+        Some(doc) => match cache {
+            Some(cache) => cache
+                .aspects
+                .get_or_parse(doc)
+                .map_err(|e| CoreError::Pipeline(format!("bad {ASPECTS_PATH}: {e}")))?,
+            None => Arc::new(
+                navsep_aspect::parse_aspects(doc)
+                    .map_err(|e| CoreError::Pipeline(format!("bad {ASPECTS_PATH}: {e}")))?,
+            ),
+        },
+        None => Arc::new(Vec::new()),
+    };
+
+    Ok(CompiledSpecs {
+        transform,
+        nav_map,
+        site_aspects,
+    })
 }
 
 /// Runs the full pipeline: separated sources in, woven site out.
@@ -180,28 +339,45 @@ pub fn weave_separated_with(
     sources: &Site,
     extra_aspects: &[Aspect],
 ) -> Result<WovenOutput, CoreError> {
-    let transform_doc = sources
-        .get(TRANSFORM_PATH)
-        .and_then(Resource::document)
-        .ok_or_else(|| CoreError::Pipeline(format!("missing {TRANSFORM_PATH}")))?;
-    let transform = Transform::from_document(transform_doc)?;
+    weave_impl(sources, extra_aspects, None)
+}
 
-    let links_doc = sources
-        .get(LINKBASE_PATH)
-        .and_then(Resource::document)
-        .ok_or_else(|| CoreError::Pipeline(format!("missing {LINKBASE_PATH}")))?;
-    let linkbase = Linkbase::from_document(links_doc, LINKBASE_PATH)?;
+/// Like [`weave_separated`], but compiled specs (transform, linkbase,
+/// navigation map, aspects) are fetched from — and on first use stored
+/// into — `cache`, so a reweave of unchanged specs skips every parse.
+///
+/// The output is identical to [`weave_separated`] (asserted by tests);
+/// only the constant factor changes.
+///
+/// # Errors
+///
+/// See [`weave_separated`].
+pub fn weave_separated_cached(
+    sources: &Site,
+    cache: &WeaveCache,
+) -> Result<WovenOutput, CoreError> {
+    weave_impl(sources, &[], Some(cache))
+}
 
-    // Validate every locator resolves against the data set before weaving.
-    Resolver::new(sources, LINKBASE_PATH).resolve(&linkbase)?;
+/// Cached variant of [`weave_separated_with`].
+///
+/// # Errors
+///
+/// See [`weave_separated`].
+pub fn weave_separated_cached_with(
+    sources: &Site,
+    extra_aspects: &[Aspect],
+    cache: &WeaveCache,
+) -> Result<WovenOutput, CoreError> {
+    weave_impl(sources, extra_aspects, Some(cache))
+}
 
-    // Site-defined aspects (paper §7 future work): aspects.xml, if present,
-    // contributes further concerns to the weave.
-    let mut site_aspects: Vec<Aspect> = Vec::new();
-    if let Some(doc) = sources.get(ASPECTS_PATH).and_then(Resource::document) {
-        site_aspects = navsep_aspect::parse_aspects(doc)
-            .map_err(|e| CoreError::Pipeline(format!("bad {ASPECTS_PATH}: {e}")))?;
-    }
+fn weave_impl(
+    sources: &Site,
+    extra_aspects: &[Aspect],
+    cache: Option<&WeaveCache>,
+) -> Result<WovenOutput, CoreError> {
+    let specs = compile_specs(sources, cache)?;
 
     // Stage 1 — presentation: transform each data document into a base page.
     let mut pages: BTreeMap<String, navsep_xml::Document> = BTreeMap::new();
@@ -213,14 +389,13 @@ pub fn weave_separated_with(
         let Some(page_path) = data_to_page(path) else {
             continue;
         };
-        pages.insert(page_path, transform.apply(doc)?);
+        pages.insert(page_path, specs.transform.apply(doc)?);
     }
 
     // Stage 2 — navigation: linkbase → per-page fragments → one aspect.
-    let nav_map = navigation_map(&linkbase)?;
-    let mut weaver = Weaver::new().aspect(navigation_aspect(nav_map));
-    for a in site_aspects {
-        weaver.add_aspect(a);
+    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
+    for a in specs.site_aspects.iter() {
+        weaver.add_aspect(a.clone());
     }
     for a in extra_aspects {
         weaver.add_aspect(a.clone());
@@ -258,20 +433,13 @@ pub fn weave_separated_with(
 /// Panics if `workers` is zero.
 pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenOutput, CoreError> {
     assert!(workers > 0, "need at least one worker");
-    let transform_doc = sources
-        .get(TRANSFORM_PATH)
-        .and_then(Resource::document)
-        .ok_or_else(|| CoreError::Pipeline(format!("missing {TRANSFORM_PATH}")))?;
-    let transform = Transform::from_document(transform_doc)?;
-    let links_doc = sources
-        .get(LINKBASE_PATH)
-        .and_then(Resource::document)
-        .ok_or_else(|| CoreError::Pipeline(format!("missing {LINKBASE_PATH}")))?;
-    let linkbase = Linkbase::from_document(links_doc, LINKBASE_PATH)?;
-    Resolver::new(sources, LINKBASE_PATH).resolve(&linkbase)?;
-
-    let nav_map = navigation_map(&linkbase)?;
-    let weaver = Weaver::new().aspect(navigation_aspect(nav_map));
+    let specs = compile_specs(sources, None)?;
+    let transform = &specs.transform;
+    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
+    for a in specs.site_aspects.iter() {
+        weaver.add_aspect(a.clone());
+    }
+    let weaver = weaver;
 
     // Partition the data documents round-robin across workers; each worker
     // transforms and weaves its slice independently (pages are independent).
@@ -446,6 +614,88 @@ mod tests {
         let banner_pos = xml.find("banner").unwrap();
         let nav_pos = xml.find("navigation").unwrap();
         assert!(banner_pos < nav_pos);
+    }
+
+    #[test]
+    fn cached_weave_equals_uncached() {
+        let sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
+        let cache = WeaveCache::new();
+        let uncached = weave_separated(&sources).unwrap();
+        let first = weave_separated_cached(&sources, &cache).unwrap();
+        let again = weave_separated_cached(&sources, &cache).unwrap();
+        crate::equiv::assert_site_equivalent(&uncached.site, &first.site).unwrap();
+        crate::equiv::assert_site_equivalent(&uncached.site, &again.site).unwrap();
+        // First cached run compiles (transform + linkbase + nav map), the
+        // second is pure hits.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn cache_distinguishes_linkbases() {
+        let store = paper_museum();
+        let nav = museum_navigation();
+        let cache = WeaveCache::new();
+        let index =
+            separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
+        let igt = separated_sources(
+            &store,
+            &nav,
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
+        let a = weave_separated_cached(&index, &cache).unwrap();
+        let b = weave_separated_cached(&igt, &cache).unwrap();
+        // Same transform (1 hit on the second weave); different linkbase
+        // (fresh linkbase + nav-map compilations, no poisoned reuse).
+        assert!(!crate::equiv::dom_equivalent(
+            a.site.get("guitar.html").unwrap().document().unwrap(),
+            b.site.get("guitar.html").unwrap().document().unwrap(),
+        ));
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cached_weave_still_validates_data_set() {
+        // A cached linkbase must not skip locator validation: remove a data
+        // document after priming the cache and the reweave must fail.
+        let mut sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        let cache = WeaveCache::new();
+        weave_separated_cached(&sources, &cache).unwrap();
+        sources.remove("guitar.xml");
+        assert!(matches!(
+            weave_separated_cached(&sources, &cache),
+            Err(CoreError::XLink(_))
+        ));
+    }
+
+    #[test]
+    fn cached_weave_composes_extra_aspects() {
+        let sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::Index),
+        )
+        .unwrap();
+        let banner = Aspect::new("banner").with_precedence(-1).rule(
+            Pointcut::Element("body".into()),
+            AdvicePosition::Prepend,
+            vec![ElementBuilder::new("div").attr("class", "banner").text("B")],
+        );
+        let cache = WeaveCache::new();
+        let out = weave_separated_cached_with(&sources, &[banner], &cache).unwrap();
+        assert!(page_xml(&out, "guitar.html").contains("class=\"banner\""));
     }
 
     #[test]

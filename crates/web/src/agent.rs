@@ -104,6 +104,10 @@ pub struct LoadedPage {
     pub links: Vec<UiLink>,
     /// Links with `actuate="onLoad"`, already separated out.
     pub auto_traversals: Vec<UiLink>,
+    /// The store generation that served the page, when the handler exposes
+    /// one (the sharded store's `x-navsep-generation` header). Lets a
+    /// session observe that a reweave happened mid-browse.
+    pub generation: Option<u64>,
 }
 
 impl LoadedPage {
@@ -153,6 +157,9 @@ impl<H: Handler> UserAgent<H> {
                 code: response.status().code(),
             });
         }
+        let generation = response
+            .header_value(crate::store::GENERATION_HEADER)
+            .and_then(|v| v.parse().ok());
         let doc = Document::parse(&response.body_text())?;
         let links = extract_links(&doc)?;
         let (auto, user): (Vec<UiLink>, Vec<UiLink>) = links
@@ -163,6 +170,7 @@ impl<H: Handler> UserAgent<H> {
             doc,
             links: user,
             auto_traversals: auto,
+            generation,
         })
     }
 

@@ -156,6 +156,14 @@ impl Response {
         }
     }
 
+    /// Adds a header (builder style). Later values of a repeated header do
+    /// not shadow earlier ones; [`header_value`](Response::header_value)
+    /// returns the first.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
     /// The status.
     pub fn status(&self) -> Status {
         self.status
@@ -220,6 +228,14 @@ mod tests {
         assert_eq!(r.body_text(), "a{}");
         let head = r.without_body();
         assert!(head.body().is_empty());
+    }
+
+    #[test]
+    fn with_header_appends() {
+        let r = Response::ok("text/plain", Bytes::from("x")).with_header("x-generation", "7");
+        assert_eq!(r.header_value("X-Generation"), Some("7"));
+        // content-type from the constructor is still the first match.
+        assert_eq!(r.content_type(), Some("text/plain"));
     }
 
     #[test]

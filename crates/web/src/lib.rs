@@ -10,6 +10,9 @@
 //!   evaluation is about document structure, not wire protocols);
 //! * [`SiteHandler`]/[`ServerPool`] — a concurrent worker-pool server with
 //!   atomic re-publish (for re-weaving under load);
+//! * [`ShardedSiteStore`]/[`ShardedSiteHandler`] — the scale path: pages
+//!   partitioned across per-shard locks, whole-site publishes swapped in as
+//!   immutable generation-stamped epochs so readers never block on a weave;
 //! * [`UserAgent`] — the XLink-aware browser: HTML anchors *and* XLink
 //!   simple links, `actuate="onLoad"` auto-traversals;
 //! * [`NavigationSession`] — history plus the **current navigational
@@ -42,6 +45,7 @@ pub mod http;
 pub mod server;
 pub mod session;
 pub mod site;
+pub mod store;
 
 pub use agent::{
     anchors_under, links_of, resolve_href, ActivatedPage, AgentError, LoadedPage, UiLink,
@@ -51,6 +55,9 @@ pub use http::{Method, Request, Response, Status};
 pub use server::{Handler, ServerPool, SiteHandler};
 pub use session::{History, NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};
+pub use store::{
+    page_shard_hash, ResourceRead, ShardedSiteHandler, ShardedSiteStore, GENERATION_HEADER,
+};
 
 #[cfg(test)]
 mod tests {
@@ -61,6 +68,8 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Site>();
         assert_send_sync::<SiteHandler>();
+        assert_send_sync::<ShardedSiteStore>();
+        assert_send_sync::<ShardedSiteHandler>();
         assert_send_sync::<Request>();
         assert_send_sync::<Response>();
         assert_send_sync::<SessionError>();

@@ -104,6 +104,9 @@ pub struct Visit {
     pub path: String,
     /// The context active when the page was entered.
     pub context: Option<String>,
+    /// The store generation that served the page (sharded store only);
+    /// a change between visits means the site was rewoven mid-session.
+    pub generation: Option<u64>,
 }
 
 /// A browsing session over a served site.
@@ -162,6 +165,7 @@ impl<H: Handler> NavigationSession<H> {
         self.trace.push(Visit {
             path: page.path.clone(),
             context: self.context.clone(),
+            generation: page.generation,
         });
         self.current = Some(page);
         Ok(self.current.as_ref().expect("just set"))
@@ -234,6 +238,7 @@ impl<H: Handler> NavigationSession<H> {
         self.trace.push(Visit {
             path: page.path.clone(),
             context: self.context.clone(),
+            generation: page.generation,
         });
         self.current = Some(page);
         Ok(self.current.as_ref().expect("just set"))
@@ -254,6 +259,7 @@ impl<H: Handler> NavigationSession<H> {
         self.trace.push(Visit {
             path: page.path.clone(),
             context: self.context.clone(),
+            generation: page.generation,
         });
         self.current = Some(page);
         Ok(self.current.as_ref().expect("just set"))
@@ -272,6 +278,13 @@ impl<H: Handler> NavigationSession<H> {
     /// The active navigational context, if the user entered one.
     pub fn current_context(&self) -> Option<&str> {
         self.context.as_deref()
+    }
+
+    /// The store generation that served the current page, when the handler
+    /// exposes one (see [`crate::ShardedSiteHandler`]). Comparing it across
+    /// visits detects a mid-session reweave.
+    pub fn current_generation(&self) -> Option<u64> {
+        self.current.as_ref().and_then(|p| p.generation)
     }
 
     /// Explicitly enters a navigational context (e.g. from an index page).
@@ -408,6 +421,37 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].context, None);
         assert_eq!(trace[1].context.as_deref(), Some("by-painter:picasso"));
+    }
+
+    #[test]
+    fn sharded_store_generation_is_observable() {
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body><a href="b.html">b</a></body></html>"#).unwrap(),
+        );
+        site.put_page("b.html", Document::parse("<html><body/></html>").unwrap());
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site));
+        let mut s = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        s.visit("a.html").unwrap();
+        assert_eq!(s.current_generation(), Some(1));
+        // A reweave lands between two follows; the session sees it.
+        store.publish(&site);
+        s.follow("b").unwrap();
+        assert_eq!(s.current_generation(), Some(2));
+        let gens: Vec<Option<u64>> = s.trace().iter().map(|v| v.generation).collect();
+        assert_eq!(gens, [Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn single_lock_handler_has_no_generation() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        assert_eq!(s.current_generation(), None);
+        assert_eq!(s.trace()[0].generation, None);
     }
 
     #[test]

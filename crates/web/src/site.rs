@@ -166,6 +166,11 @@ impl Site {
         );
     }
 
+    /// Stores an already-built [`Resource`] under `path` as-is.
+    pub fn put_resource(&mut self, path: impl Into<String>, resource: Resource) {
+        self.resources.insert(path.into(), resource);
+    }
+
     /// Looks up a resource.
     pub fn get(&self, path: &str) -> Option<&Resource> {
         self.resources.get(path.trim_start_matches('/'))

@@ -1,0 +1,448 @@
+//! The sharded, epoch-published site store — the scale path past one lock.
+//!
+//! [`SiteHandler`](crate::SiteHandler) guards the whole [`Site`] behind a
+//! single `RwLock`, so a publish (re-weave) write-locks every reader out at
+//! once and every read contends on one lock word. [`ShardedSiteStore`]
+//! removes both bottlenecks:
+//!
+//! * **Sharding** — resources are partitioned across N shards by a stable
+//!   hash of the page id (the path), so concurrent readers of different
+//!   pages touch different locks;
+//! * **Epoch publishing** — each shard holds an `Arc<Shard>` snapshot
+//!   stamped with the *generation* that published it. A publish builds the
+//!   new shards entirely off-lock (while reads proceed), then swaps the N
+//!   `Arc` pointers under a brief write lock each. Readers never wait on a
+//!   weave — only on a pointer swap.
+//!
+//! A read clones the shard's `Arc` and then works lock-free on the
+//! immutable snapshot, so every response is served from exactly one
+//! generation: the data and its generation stamp travel in the same
+//! snapshot and cannot tear. The concurrent test
+//! `crates/web/tests/concurrent_store.rs` hammers this invariant.
+//!
+//! Immutability buys a second win: response bodies are **serialized once
+//! at publish time** and served as refcounted [`bytes::Bytes`] clones, so
+//! a `GET` allocates nothing — where the single-lock handler re-serializes
+//! the document on every request. `cargo bench -p navsep-bench --bench
+//! server_throughput` quantifies both effects.
+
+use crate::http::{Method, Request, Response};
+use crate::server::Handler;
+use crate::site::{Resource, Site};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Response header carrying the generation that served a request.
+pub const GENERATION_HEADER: &str = "x-navsep-generation";
+
+/// Stable 64-bit hash ([`navsep_xml::fnv1a64`]) of the slash-normalized
+/// path, used to assign page ids to shards.
+///
+/// Deterministic across processes (unlike `std`'s `RandomState`), so shard
+/// assignment is reproducible in tests and figures.
+pub fn page_shard_hash(path: &str) -> u64 {
+    navsep_xml::fnv1a64(path.trim_start_matches('/').as_bytes())
+}
+
+/// One resource as published into an epoch: the parsed form plus its
+/// serialization, rendered **once** at publish time.
+///
+/// Epoch snapshots are immutable, so the transmitted bytes of a resource
+/// cannot change until the next publish — serializing per `GET` (what
+/// [`SiteHandler`](crate::SiteHandler) must do over its mutable [`Site`])
+/// would redo identical work on every request.
+#[derive(Debug)]
+struct Published {
+    resource: Resource,
+    body: bytes::Bytes,
+}
+
+/// One immutable shard snapshot: the resources it owns plus the generation
+/// that published them. Never mutated after publish — readers share it via
+/// `Arc`.
+#[derive(Debug)]
+struct Shard {
+    generation: u64,
+    resources: std::collections::BTreeMap<String, Arc<Published>>,
+}
+
+impl Shard {
+    fn empty() -> Self {
+        Shard {
+            generation: 0,
+            resources: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+/// A resource read out of the store: the resource plus the generation of
+/// the snapshot that served it.
+///
+/// Everything comes from one shard snapshot, so `generation` is exactly
+/// the generation that published `resource` — they cannot disagree.
+#[derive(Debug, Clone)]
+pub struct ResourceRead {
+    generation: u64,
+    published: Arc<Published>,
+}
+
+impl ResourceRead {
+    /// The generation of the snapshot this read came from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The resource itself (parsed form).
+    pub fn resource(&self) -> &Resource {
+        &self.published.resource
+    }
+
+    /// The transmitted bytes, pre-serialized at publish time. Cloning
+    /// `Bytes` is a reference-count bump, so serving a response allocates
+    /// nothing.
+    pub fn body(&self) -> bytes::Bytes {
+        self.published.body.clone()
+    }
+}
+
+/// A sharded site store with atomic epoch publishing.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_web::{ShardedSiteStore, Site};
+/// use navsep_xml::Document;
+///
+/// let mut site = Site::new();
+/// site.put_document("a.xml", Document::parse("<a>one</a>")?);
+/// site.put_document("b.xml", Document::parse("<b>two</b>")?);
+///
+/// let store = ShardedSiteStore::new(4);
+/// assert_eq!(store.generation(), 0);
+/// let generation = store.publish(&site);
+/// assert_eq!(generation, 1);
+///
+/// let read = store.get("a.xml").expect("published");
+/// assert_eq!(read.generation(), 1);
+/// // Bodies are pre-serialized at publish time; this clone is refcounted.
+/// assert!(read.body().starts_with(b"<?xml"));
+/// # Ok::<(), navsep_xml::ParseXmlError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSiteStore {
+    shards: Vec<RwLock<Arc<Shard>>>,
+    /// Highest generation ever published (monotone).
+    generation: AtomicU64,
+    /// Serializes the swap phase of concurrent publishes so shard
+    /// generations stay monotone in publish order.
+    publish_lock: Mutex<()>,
+}
+
+impl ShardedSiteStore {
+    /// An empty store with `shards` partitions, at generation 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded store needs at least one shard");
+        ShardedSiteStore {
+            shards: (0..shards)
+                .map(|_| RwLock::new(Arc::new(Shard::empty())))
+                .collect(),
+            generation: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    /// A store seeded with `site` as generation 1.
+    pub fn from_site(shards: usize, site: &Site) -> Self {
+        let store = Self::new(shards);
+        store.publish(site);
+        store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a path maps to.
+    pub fn shard_of(&self, path: &str) -> usize {
+        (page_shard_hash(path) % self.shards.len() as u64) as usize
+    }
+
+    /// The latest *fully published* generation (0 before the first
+    /// publish): every shard has been swapped to it before it is reported
+    /// here, so a `get` after reading this can never observe an older
+    /// epoch. (During a swap, individual reads may briefly run *ahead* of
+    /// this value — never behind.)
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publishes `site` as the next generation, returning that generation.
+    ///
+    /// The new shard snapshots are built *before* any lock is taken;
+    /// readers keep being served from the previous epoch for the whole
+    /// build. The swap itself write-locks each shard just long enough to
+    /// replace one `Arc` pointer. Concurrent publishes are serialized, so
+    /// per-shard generations are monotone.
+    pub fn publish(&self, site: &Site) -> u64 {
+        let n = self.shards.len();
+        let mut partitions: Vec<std::collections::BTreeMap<String, Arc<Published>>> =
+            (0..n).map(|_| std::collections::BTreeMap::new()).collect();
+        for (path, res) in site.iter() {
+            // Render once here so every GET of this epoch is allocation-free.
+            let published = Published {
+                body: res.to_bytes(),
+                resource: res.clone(),
+            };
+            partitions[self.shard_of(path)].insert(path.to_string(), Arc::new(published));
+        }
+        let _swap_guard = self.publish_lock.lock();
+        // The publish lock serializes publishers, so load+store is race-free
+        // here; the counter is advanced only AFTER every shard serves the
+        // new epoch, keeping `generation()`'s contract (see its doc).
+        let generation = self.generation.load(Ordering::Acquire) + 1;
+        for (shard, resources) in self.shards.iter().zip(partitions) {
+            *shard.write() = Arc::new(Shard {
+                generation,
+                resources,
+            });
+        }
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+
+    /// Looks up `path`, returning the resource together with the generation
+    /// of the snapshot that served it.
+    pub fn get(&self, path: &str) -> Option<ResourceRead> {
+        let key = path.trim_start_matches('/');
+        let snapshot = Arc::clone(&self.shards[self.shard_of(path)].read());
+        snapshot.resources.get(key).map(|published| ResourceRead {
+            generation: snapshot.generation,
+            published: Arc::clone(published),
+        })
+    }
+
+    /// Total resources across all shards.
+    ///
+    /// Counted shard by shard; concurrent publishes may be observed between
+    /// shards (use [`generation`](Self::generation) to detect).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().resources.len()).sum()
+    }
+
+    /// `true` when no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All stored paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().resources.keys().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Reassembles the stored resources into a [`Site`] (e.g. for
+    /// auditing). Clones every resource; not a hot-path operation.
+    pub fn to_site(&self) -> Site {
+        let mut site = Site::new();
+        for shard in &self.shards {
+            let snapshot = Arc::clone(&shard.read());
+            for (path, published) in &snapshot.resources {
+                site.put_resource(path.clone(), published.resource.clone());
+            }
+        }
+        site
+    }
+}
+
+/// Serves a [`ShardedSiteStore`], stamping each response with the
+/// generation that produced it (header [`GENERATION_HEADER`]).
+///
+/// # Examples
+///
+/// ```
+/// use navsep_web::{Request, ShardedSiteHandler, ShardedSiteStore, Site};
+/// use navsep_web::store::GENERATION_HEADER;
+/// use navsep_web::Handler;
+/// use navsep_xml::Document;
+/// use std::sync::Arc;
+///
+/// let mut site = Site::new();
+/// site.put_document("a.xml", Document::parse("<a/>")?);
+/// let store = Arc::new(ShardedSiteStore::from_site(8, &site));
+/// let handler = ShardedSiteHandler::new(Arc::clone(&store));
+///
+/// let response = handler.handle(&Request::get("a.xml"));
+/// assert!(response.status().is_success());
+/// assert_eq!(response.header_value(GENERATION_HEADER), Some("1"));
+/// # Ok::<(), navsep_xml::ParseXmlError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSiteHandler {
+    store: Arc<ShardedSiteStore>,
+    served: AtomicU64,
+}
+
+impl ShardedSiteHandler {
+    /// Creates a handler over `store`.
+    pub fn new(store: Arc<ShardedSiteStore>) -> Self {
+        ShardedSiteHandler {
+            store,
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store (e.g. to publish new generations).
+    pub fn store(&self) -> &Arc<ShardedSiteStore> {
+        &self.store
+    }
+
+    /// Total requests handled since construction.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl Handler for ShardedSiteHandler {
+    fn handle(&self, request: &Request) -> Response {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match self.store.get(request.path()) {
+            Some(read) => {
+                let response = Response::ok(read.resource().media_type().as_str(), read.body())
+                    .with_header(GENERATION_HEADER, read.generation().to_string());
+                match request.method() {
+                    Method::Get => response,
+                    Method::Head => response.without_body(),
+                }
+            }
+            None => Response::not_found(request.path()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navsep_xml::Document;
+
+    fn site(stamp: &str) -> Site {
+        let mut s = Site::new();
+        s.put_document(
+            "a.xml",
+            Document::parse(&format!("<a>{stamp}</a>")).unwrap(),
+        );
+        s.put_document(
+            "b.xml",
+            Document::parse(&format!("<b>{stamp}</b>")).unwrap(),
+        );
+        s.put_css("style.css", format!("/* {stamp} */"));
+        s
+    }
+
+    #[test]
+    fn publish_bumps_generation_and_serves() {
+        let store = ShardedSiteStore::new(4);
+        assert_eq!(store.generation(), 0);
+        assert!(store.get("a.xml").is_none());
+        assert_eq!(store.publish(&site("v1")), 1);
+        assert_eq!(store.publish(&site("v2")), 2);
+        let read = store.get("a.xml").unwrap();
+        assert_eq!(read.generation(), 2);
+        assert!(String::from_utf8_lossy(&read.resource().to_bytes()).contains("v2"));
+    }
+
+    #[test]
+    fn lookup_normalizes_leading_slash() {
+        let store = ShardedSiteStore::from_site(3, &site("x"));
+        assert!(store.get("/a.xml").is_some());
+        assert_eq!(store.shard_of("/a.xml"), store.shard_of("a.xml"));
+    }
+
+    #[test]
+    fn shards_partition_all_paths() {
+        let mut s = Site::new();
+        for i in 0..50 {
+            s.put_text(format!("p{i}.txt"), format!("{i}"));
+        }
+        let store = ShardedSiteStore::from_site(8, &s);
+        assert_eq!(store.len(), 50);
+        assert_eq!(store.paths().len(), 50);
+        for i in 0..50 {
+            assert!(store.get(&format!("p{i}.txt")).is_some(), "p{i}");
+        }
+        // With 50 paths over 8 shards, more than one shard must be in use.
+        let used: std::collections::BTreeSet<usize> = (0..50)
+            .map(|i| store.shard_of(&format!("p{i}.txt")))
+            .collect();
+        assert!(used.len() > 1);
+    }
+
+    #[test]
+    fn round_trips_through_site() {
+        let original = site("rt");
+        let store = ShardedSiteStore::from_site(5, &original);
+        let rebuilt = store.to_site();
+        assert_eq!(rebuilt.len(), original.len());
+        assert_eq!(
+            rebuilt.get("a.xml").unwrap().to_bytes(),
+            original.get("a.xml").unwrap().to_bytes()
+        );
+    }
+
+    #[test]
+    fn handler_stamps_generation_header() {
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site("h")));
+        let handler = ShardedSiteHandler::new(Arc::clone(&store));
+        let r = handler.handle(&Request::get("a.xml"));
+        assert_eq!(r.header_value(GENERATION_HEADER), Some("1"));
+        store.publish(&site("h2"));
+        let r = handler.handle(&Request::get("a.xml"));
+        assert_eq!(r.header_value(GENERATION_HEADER), Some("2"));
+        assert!(r.body_text().contains("h2"));
+        assert_eq!(handler.requests_served(), 2);
+        let head = handler.handle(&Request::head("b.xml"));
+        assert!(head.body().is_empty());
+        assert_eq!(head.header_value(GENERATION_HEADER), Some("2"));
+    }
+
+    #[test]
+    fn missing_resource_is_404() {
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site("x")));
+        let handler = ShardedSiteHandler::new(store);
+        assert_eq!(
+            handler.handle(&Request::get("ghost.xml")).status().code(),
+            404
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSiteStore::new(0);
+    }
+
+    #[test]
+    fn body_matches_resource_serialization() {
+        let store = ShardedSiteStore::from_site(4, &site("pre"));
+        let read = store.get("a.xml").unwrap();
+        assert_eq!(read.body(), read.resource().to_bytes());
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Shard assignment must not drift between runs or platforms.
+        assert_eq!(page_shard_hash("a.xml"), page_shard_hash("a.xml"));
+        assert_eq!(page_shard_hash("/a.xml"), page_shard_hash("a.xml"));
+        assert_ne!(page_shard_hash("a.xml"), page_shard_hash("b.xml"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Concurrency suite for [`ShardedSiteStore`]: reader threads hammer `GET`
+//! while a writer republishes rewoven sites, asserting that no response is
+//! ever torn across generations.
+//!
+//! Every resource body in generation `g` embeds the marker `gen=<g>`, so a
+//! torn read (content from one epoch served with another epoch's stamp, or
+//! a body mixing epochs) is directly observable.
+
+use navsep_web::{Handler, Request, ShardedSiteHandler, ShardedSiteStore, Site, GENERATION_HEADER};
+use navsep_xml::Document;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const PAGES: usize = 24;
+
+/// A site whose every resource body names the generation that wrote it.
+fn stamped_site(generation: u64) -> Site {
+    let mut site = Site::new();
+    for i in 0..PAGES {
+        site.put_document(
+            format!("page-{i}.xml"),
+            Document::parse(&format!("<page n=\"{i}\">gen={generation}</page>")).unwrap(),
+        );
+    }
+    site.put_css("style.css", format!("/* gen={generation} */"));
+    site
+}
+
+/// Extracts the single `gen=<n>` marker from a body, failing if the body
+/// carries zero or several distinct markers (a torn read).
+fn body_generation(body: &str) -> u64 {
+    let markers: Vec<u64> = body
+        .match_indices("gen=")
+        .map(|(at, _)| {
+            let digits: String = body[at + 4..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().expect("gen marker is numeric")
+        })
+        .collect();
+    assert_eq!(markers.len(), 1, "body mixes generations: {body}");
+    markers[0]
+}
+
+#[test]
+fn readers_never_observe_torn_generations() {
+    let store = Arc::new(ShardedSiteStore::new(8));
+    store.publish(&stamped_site(1));
+    let handler = Arc::new(ShardedSiteHandler::new(Arc::clone(&store)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Writer: republish a freshly stamped site as fast as possible.
+        {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let next = store.generation() + 1;
+                    store.publish(&stamped_site(next));
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Readers: every response must be internally consistent — the body's
+        // embedded generation equals the response's generation header — and
+        // generations must be monotone per (reader, path), since a path
+        // always lives in the same shard.
+        let mut readers = Vec::new();
+        for r in 0..4 {
+            let handler = Arc::clone(&handler);
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let mut seen: Vec<u64> = vec![0; PAGES];
+                let mut responses = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for i in 0..PAGES {
+                        let path = format!("page-{}.xml", (i + r) % PAGES);
+                        let response = handler.handle(&Request::get(&path));
+                        assert!(response.status().is_success(), "{path} missing");
+                        let stamped: u64 = response
+                            .header_value(GENERATION_HEADER)
+                            .expect("store responses carry a generation")
+                            .parse()
+                            .unwrap();
+                        let embedded = body_generation(&response.body_text());
+                        assert_eq!(
+                            stamped, embedded,
+                            "torn read: header gen {stamped}, body gen {embedded}"
+                        );
+                        let slot = (i + r) % PAGES;
+                        assert!(
+                            embedded >= seen[slot],
+                            "generation went backwards on {path}: {} then {embedded}",
+                            seen[slot]
+                        );
+                        seen[slot] = embedded;
+                        responses += 1;
+                    }
+                }
+                responses
+            }));
+        }
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "readers made no progress");
+    });
+
+    assert_eq!(store.generation(), 201);
+}
+
+#[test]
+fn direct_store_reads_are_single_generation() {
+    // Same invariant through the raw store API (no handler): the
+    // ResourceRead's generation always matches the resource it carries.
+    let store = Arc::new(ShardedSiteStore::new(4));
+    store.publish(&stamped_site(1));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let next = store.generation() + 1;
+                    store.publish(&stamped_site(next));
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    for i in 0..PAGES {
+                        // generation() only reports fully-swapped epochs, so
+                        // a read taken after it can never be older.
+                        let floor = store.generation();
+                        let read = store.get(&format!("page-{i}.xml")).expect("present");
+                        assert!(
+                            read.generation() >= floor,
+                            "read gen {} behind published gen {floor}",
+                            read.generation()
+                        );
+                        let body =
+                            String::from_utf8_lossy(&read.resource().to_bytes()).into_owned();
+                        assert_eq!(read.generation(), body_generation(&body));
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(store.generation(), 101);
+}
+
+#[test]
+fn concurrent_publishers_stay_monotone() {
+    // Several writers race; generations handed out must be unique and the
+    // final state must be one coherent epoch per shard.
+    let store = Arc::new(ShardedSiteStore::new(8));
+    let mut all: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    (0..25)
+                        .map(|_| {
+                            let next = store.generation() + 1;
+                            store.publish(&stamped_site(next))
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), 100, "generations must be unique");
+    assert_eq!(store.generation(), 100);
+    // After the dust settles every read reports the same single generation.
+    let final_gen: Vec<u64> = (0..PAGES)
+        .map(|i| store.get(&format!("page-{i}.xml")).unwrap().generation())
+        .collect();
+    assert!(
+        final_gen.iter().all(|&g| g == final_gen[0]),
+        "{final_gen:?}"
+    );
+}

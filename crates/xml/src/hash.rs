@@ -1,0 +1,48 @@
+//! Stable content hashing for the stack.
+//!
+//! Several layers above the XML substrate need a hash of document text
+//! that is deterministic across processes and platforms — unlike `std`'s
+//! `RandomState` — so that spec-cache keys, shard assignments, and any
+//! logs naming them are reproducible: `navsep-aspect` keys compiled specs
+//! by it, `navsep-web` assigns page ids to store shards with it. One
+//! implementation lives here so the layers cannot drift apart.
+
+/// 64-bit FNV-1a over `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b"links.xml"), fnv1a64(b"links.xml"));
+/// assert_ne!(fnv1a64(b"links.xml"), fnv1a64(b"transform.xml"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_ne!(fnv1a64(b"x"), fnv1a64(b"x\0"));
+    }
+}

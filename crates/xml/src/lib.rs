@@ -40,6 +40,7 @@ pub mod builder;
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod hash;
 pub mod name;
 pub mod reader;
 pub mod writer;
@@ -47,6 +48,7 @@ pub mod writer;
 pub use builder::ElementBuilder;
 pub use dom::{Attribute, Descendants, Document, NodeId, NodeKind};
 pub use error::{ParseXmlError, TextPos, XmlErrorKind};
+pub use hash::fnv1a64;
 pub use name::{NamespaceDecl, NamespaceStack, QName, XMLNS_NS, XML_NS};
 pub use reader::MAX_DEPTH;
 pub use writer::{fragment_to_string, WriteOptions, Writer};
