@@ -165,11 +165,14 @@ impl AspectCache {
     /// Parses `doc` as an aspects document, or returns the compiled aspects
     /// cached for identical spec text.
     ///
+    /// Keys by [`Document::content_hash`], which the document memoizes — so
+    /// on the steady-state hit path nothing is re-serialized or re-hashed.
+    ///
     /// # Errors
     ///
     /// Propagates [`AspectSpecError`] from parsing; errors are not cached.
     pub fn get_or_parse(&self, doc: &Document) -> Result<Arc<Vec<Aspect>>, AspectSpecError> {
-        let key = spec_hash(doc.to_xml_string().as_bytes());
+        let key = doc.content_hash();
         self.inner.get_or_try_insert(key, || parse_aspects(doc))
     }
 
@@ -225,6 +228,32 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hit must share the compiled value");
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
         assert_eq!(a[0].name(), "banner");
+    }
+
+    #[test]
+    fn memoized_key_preserves_hit_path_semantics() {
+        // Switching the key to the document's memoized content hash must
+        // not change observable cache behavior: same text (even parsed
+        // separately, so no shared memo) hits, mutated text misses, and the
+        // key still equals the hash of the serialized spec.
+        let cache = AspectCache::new();
+        let doc = Document::parse(SPEC).unwrap();
+        assert_eq!(
+            doc.content_hash(),
+            spec_hash(doc.to_xml_string().as_bytes())
+        );
+        cache.get_or_parse(&doc).unwrap();
+
+        let reparsed = Document::parse(SPEC).unwrap();
+        cache.get_or_parse(&reparsed).unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (1, 1), "same text hits");
+
+        let mut mutated = Document::parse(SPEC).unwrap();
+        let root = mutated.root_element().unwrap();
+        mutated.set_attribute(root, "version", "2");
+        cache.get_or_parse(&mutated).unwrap();
+        assert_eq!(cache.misses(), 2, "mutated spec must miss");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

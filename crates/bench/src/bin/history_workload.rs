@@ -1,0 +1,242 @@
+//! History workload: N concurrent sessions random-walk the woven museum
+//! while a live [`SitePublisher`] reweaves it, measuring traversal
+//! throughput and how many history entries the reweaves left stale.
+//!
+//! This is the scenario the ROADMAP's navigation-history item asks for:
+//! the serving side stamps every response with its generation, each
+//! session's history records the generation per entry (Brewster–Jeffrey
+//! model, `navsep_web::history`), and a commit landing mid-walk makes the
+//! already-recorded entries classify stale — observable both offline
+//! (`stale_entries`) and via the conditional-navigation HTTP check
+//! (`revalidate`).
+//!
+//! Phases alternate deterministically: every session walks a chunk of
+//! steps, all meet at a barrier, the publisher commits one reweave, and
+//! the next chunk begins. With P publishes the final generation is P+1,
+//! so every entry recorded before the last commit is stale by the end.
+//!
+//! Usage: `cargo run --release --bin history_workload [-- --smoke]`
+//! (`--smoke`, or `HISTORY_WORKLOAD_SMOKE=1`, shrinks the step count for
+//! CI; sessions and publishes stay at full scale so the acceptance
+//! invariants hold in both modes).
+
+use navsep_bench::{banner, print_table};
+use navsep_core::museum::{museum_navigation, paper_museum};
+use navsep_core::publish::{SitePublisher, SourceEdit};
+use navsep_core::separated_sources;
+use navsep_core::spec::paper_spec;
+use navsep_hypermodel::AccessStructureKind;
+use navsep_web::{
+    Freshness, HistoryClock, JointHistory, NavigationSession, SessionHistory, ShardedSiteHandler,
+    ShardedSiteStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const SESSIONS: usize = 8;
+const PUBLISHES: usize = 4;
+const ENTRY_PAGE: &str = "picasso.html";
+
+/// What one session hands back after the walk.
+struct SessionReport {
+    traversals: u64,
+    revalidations_stale: u64,
+    history: SessionHistory,
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("HISTORY_WORKLOAD_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// One random navigation action; returns `true` when a page was loaded.
+fn act<H: navsep_web::Handler>(session: &mut NavigationSession<H>, rng: &mut StdRng) -> bool {
+    match rng.gen_range(0u32..100) {
+        // Mostly: follow a random link off the current page. Clone only
+        // the chosen link — this loop is the measured hot path.
+        0..=54 => {
+            let link = match session.current_page() {
+                Some(page) if !page.links.is_empty() => {
+                    page.links[rng.gen_range(0usize..page.links.len())].clone()
+                }
+                _ => return session.visit(ENTRY_PAGE).is_ok(),
+            };
+            match session.follow_link(&link) {
+                Ok(_) => true,
+                // Dead ends (fragment self-links etc.) restart the tour.
+                Err(_) => session.visit(ENTRY_PAGE).is_ok(),
+            }
+        }
+        55..=69 => session.back().is_ok(),
+        70..=79 => session.forward().is_ok(),
+        // The model's traverse(δ), clamped at the bounds.
+        80..=89 => {
+            let delta = rng.gen_range(0i64..7) as isize - 3;
+            matches!(session.traverse(delta), Ok(moved) if moved != 0)
+        }
+        // Occasionally run the conditional-navigation check.
+        _ => {
+            matches!(session.revalidate(), Ok(Freshness::Stale { .. }))
+                && session.current_page().is_some()
+        }
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let steps_per_phase: usize = if smoke { 40 } else { 300 };
+
+    let sources = separated_sources(
+        &paper_museum(),
+        &museum_navigation(),
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    )
+    .expect("museum authoring is valid");
+    let store = Arc::new(ShardedSiteStore::new(16));
+    let mut publisher = SitePublisher::new(sources, Arc::clone(&store));
+    publisher.commit().expect("initial weave");
+
+    banner(&format!(
+        "history_workload — {SESSIONS} sessions × {} phases × {steps_per_phase} steps, \
+         {PUBLISHES} interleaved publishes{}",
+        PUBLISHES + 1,
+        if smoke { " (smoke)" } else { "" }
+    ));
+
+    let clock = HistoryClock::new();
+    // Every session plus the publisher meet between chunk and commit.
+    let chunk_done = Arc::new(Barrier::new(SESSIONS + 1));
+    let commit_done = Arc::new(Barrier::new(SESSIONS + 1));
+    let started = Instant::now();
+
+    let reports: Vec<SessionReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let clock = clock.clone();
+                let chunk_done = Arc::clone(&chunk_done);
+                let commit_done = Arc::clone(&commit_done);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ i as u64);
+                    let mut session = NavigationSession::with_clock(
+                        ShardedSiteHandler::new(Arc::clone(&store)),
+                        clock,
+                    );
+                    session.visit(ENTRY_PAGE).expect("entry page exists");
+                    let mut traversals = 1u64;
+                    let mut revalidations_stale = 0u64;
+                    for phase in 0..=PUBLISHES {
+                        if phase > 0 {
+                            // A reweave just landed: the conditional check
+                            // on the pre-commit entry must catch it.
+                            if let Ok(Freshness::Stale { .. }) = session.revalidate() {
+                                revalidations_stale += 1;
+                            }
+                        }
+                        for _ in 0..steps_per_phase {
+                            if act(&mut session, &mut rng) {
+                                traversals += 1;
+                            }
+                        }
+                        chunk_done.wait();
+                        commit_done.wait();
+                    }
+                    SessionReport {
+                        traversals,
+                        revalidations_stale,
+                        history: session.history().clone(),
+                    }
+                })
+            })
+            .collect();
+
+        // Publisher: one reweave between chunks (none after the last).
+        for publish in 0..=PUBLISHES {
+            chunk_done.wait();
+            if publish < PUBLISHES {
+                publisher.stage(SourceEdit::put_raw(
+                    "museum.css",
+                    format!("/* reweave {publish} */"),
+                ));
+                publisher.commit().expect("css reweave cannot fail");
+            }
+            commit_done.wait();
+        }
+
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = started.elapsed();
+    let final_generation = store.generation();
+    assert_eq!(final_generation, PUBLISHES as u64 + 1);
+
+    let mut rows = Vec::new();
+    let mut total_traversals = 0u64;
+    let mut total_stale = 0usize;
+    let mut total_stale_revalidations = 0u64;
+    for (i, report) in reports.iter().enumerate() {
+        let stale = report.history.stale_entries(final_generation);
+        total_traversals += report.traversals;
+        total_stale += stale;
+        total_stale_revalidations += report.revalidations_stale;
+        rows.push(vec![
+            format!("session {i}"),
+            report.traversals.to_string(),
+            report.history.len().to_string(),
+            stale.to_string(),
+            report.revalidations_stale.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "session",
+            "traversals",
+            "history entries",
+            "stale entries",
+            "stale revalidations",
+        ],
+        &rows,
+    );
+
+    let histories: Vec<&SessionHistory> = reports.iter().map(|r| &r.history).collect();
+    let joint = JointHistory::of(&histories);
+    let throughput = total_traversals as f64 / elapsed.as_secs_f64();
+    println!();
+    println!(
+        "final generation    : {final_generation} ({PUBLISHES} publishes interleaved with walks)"
+    );
+    println!(
+        "traversal throughput: {throughput:.0} traversals/s \
+         ({total_traversals} traversals in {:.2?}, {SESSIONS} sessions)",
+        elapsed
+    );
+    println!(
+        "joint history       : {} entries across all sessions",
+        joint.len()
+    );
+    println!(
+        "stale detections    : {total_stale} stale history entries; \
+         {total_stale_revalidations} caught live by conditional revalidation"
+    );
+
+    // The acceptance invariants this bin exists to demonstrate.
+    assert!(SESSIONS >= 8, "must drive at least 8 concurrent sessions");
+    assert!(PUBLISHES >= 3, "must interleave at least 3 publishes");
+    assert!(
+        total_stale >= 1,
+        "a reweave mid-walk must leave at least one stale history entry"
+    );
+    let mut last_seq = 0;
+    for entry in joint.entries() {
+        assert!(entry.entry.seq >= last_seq, "joint order sorted");
+        last_seq = entry.entry.seq;
+        let generation = entry.entry.generation.expect("sharded store stamps all");
+        assert!(
+            (1..=final_generation).contains(&generation),
+            "entry names unpublished generation {generation}"
+        );
+    }
+    println!("\nOK — history model, staleness policy, and joint ordering all held under load.");
+}

@@ -19,6 +19,11 @@
 //!
 //! Criterion benches (`cargo bench -p navsep-bench`) cover T2 (weaving
 //! throughput) and T4 (substrate costs).
+//!
+//! Beyond the paper's artifacts, `history_workload` drives concurrent
+//! navigation sessions through random traversals while a `SitePublisher`
+//! reweaves the site, measuring traversal throughput and stale-entry
+//! detection (`--smoke` for the CI-sized run).
 
 use navsep_core::museum::{generated_museum, museum_navigation, paper_museum};
 use navsep_core::spec::paper_spec;

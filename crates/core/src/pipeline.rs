@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
 use crate::layout::{data_to_page, ASPECTS_PATH, CSS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
 use navsep_aspect::{
-    spec_hash, AdvicePosition, Aspect, AspectCache, Pointcut, SpecCache, WeaveReport, Weaver,
+    AdvicePosition, Aspect, AspectCache, Pointcut, SpecCache, WeaveReport, Weaver,
 };
 use navsep_hypermodel::NavLinkKind;
 use navsep_style::Transform;
@@ -269,11 +269,14 @@ fn compile_specs(sources: &Site, cache: Option<&WeaveCache>) -> Result<CompiledS
 
     let (transform, linkbase, nav_map) = match cache {
         Some(cache) => {
-            let transform_key = spec_hash(transform_doc.to_xml_string().as_bytes());
+            // `content_hash` is memoized on the documents themselves, so a
+            // steady-state reweave looks both keys up without serializing
+            // (let alone re-hashing) either spec.
+            let transform_key = transform_doc.content_hash();
             let transform = cache.transforms.get_or_try_insert(transform_key, || {
                 Transform::from_document(transform_doc).map_err(CoreError::Template)
             })?;
-            let links_key = spec_hash(links_doc.to_xml_string().as_bytes());
+            let links_key = links_doc.content_hash();
             let linkbase = cache.linkbases.get_or_try_insert(links_key, || {
                 Linkbase::from_document(links_doc, LINKBASE_PATH).map_err(CoreError::XLink)
             })?;

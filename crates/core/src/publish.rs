@@ -367,6 +367,41 @@ mod tests {
     }
 
     #[test]
+    fn commits_make_session_history_stale_until_revalidated() {
+        // The reweave-awareness policy end to end: a session's history
+        // entry records the generation that served it; a publisher commit
+        // supersedes it; the conditional-navigation check detects and
+        // repairs it.
+        use navsep_web::{Freshness, NavigationSession, ShardedSiteHandler};
+
+        let (mut p, store) = publisher(AccessStructureKind::Index);
+        p.commit().unwrap();
+        let mut session = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        session.visit("picasso.html").unwrap();
+        session.follow("Guitar").unwrap();
+        assert_eq!(session.history().stale_entries(store.generation()), 0);
+        assert_eq!(session.revalidate().unwrap(), Freshness::Fresh);
+
+        p.stage(SourceEdit::put_raw("museum.css", "/* restyle */"));
+        p.commit().unwrap();
+        assert_eq!(
+            session.history().stale_entries(store.generation()),
+            2,
+            "both recorded entries predate the reweave"
+        );
+        assert_eq!(
+            session.revalidate().unwrap(),
+            Freshness::Stale {
+                recorded: 1,
+                current: 2
+            }
+        );
+        // Revalidation refreshed the active entry (the other stays stale).
+        assert_eq!(session.history().stale_entries(store.generation()), 1);
+        assert_eq!(session.current_generation(), Some(2));
+    }
+
+    #[test]
     fn cache_is_reused_across_commits() {
         let (mut p, _store) = publisher(AccessStructureKind::Index);
         p.commit().unwrap();

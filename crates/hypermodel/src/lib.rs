@@ -12,6 +12,8 @@
 //! * [`navigational`] — node/link classes as views over the conceptual model;
 //! * [`access`] — the three access structures and their derived link graphs;
 //! * [`context`] — navigational contexts and group-by families;
+//! * [`route`] — route-style specifications (NautiLOD-inspired) compiled
+//!   over contexts into allowed next-hop sets;
 //! * [`classes`] — the implementation-class diagrams of the paper's Fig. 5.
 //!
 //! ## Quick start
@@ -53,6 +55,7 @@ pub mod conceptual;
 pub mod context;
 pub mod error;
 pub mod navigational;
+pub mod route;
 
 pub use access::{AccessGraph, AccessStructureKind, Member, NavLink, NavLinkKind, NodeRef};
 pub use classes::{
@@ -66,6 +69,7 @@ pub use conceptual::{
 pub use context::{ContextFamily, NavigationalContext};
 pub use error::ModelError;
 pub use navigational::{LinkClass, NavNode, NavigationalSchema, NodeClass};
+pub use route::{CompiledRoute, RouteError, RouteSpec, RouteState, RouteStep};
 
 #[cfg(test)]
 mod tests {

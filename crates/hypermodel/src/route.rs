@@ -1,0 +1,639 @@
+//! Route-style specifications over navigational contexts.
+//!
+//! "Semantic Navigation on the Web of Data" (Fionda et al.) specifies
+//! navigation declaratively: a *route expression* names which traversals
+//! are legitimate, and an engine evaluates it against the link graph. This
+//! module brings that idea to the paper's navigational layer: a
+//! [`RouteSpec`] is a small regular expression over traversal steps
+//! (`next`, `prev`, `first`, `last`, `any`, or a member slug), compiled
+//! against a [`NavigationalContext`] into a [`CompiledRoute`] — an
+//! automaton whose states answer, at every point of a session, *which
+//! next hops are allowed*.
+//!
+//! The navigation-history subsystem (`navsep-web`'s `history` module)
+//! checks each link traversal against a compiled route, making route
+//! conformance an observable session property rather than documentation.
+//!
+//! # Grammar
+//!
+//! ```text
+//! route := seq ("|" seq)*          alternation
+//! seq   := step ("/" step)*        sequencing
+//! step  := atom ("*" | "+" | "?")? quantifiers
+//! atom  := "next" | "prev" | "first" | "last" | "any"
+//!        | "(" route ")" | slug    a literal member slug
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use navsep_hypermodel::{AccessStructureKind, Member, NavigationalContext, RouteSpec};
+//!
+//! let ctx = NavigationalContext::new(
+//!     "by-painter:picasso",
+//!     "Pablo Picasso",
+//!     vec![
+//!         Member::new("guitar", "Guitar"),
+//!         Member::new("guernica", "Guernica"),
+//!         Member::new("avignon", "Les Demoiselles d'Avignon"),
+//!     ],
+//!     AccessStructureKind::GuidedTour,
+//! )?;
+//!
+//! // A guided tour: start anywhere, then only `next` hops.
+//! let route = RouteSpec::parse("any/next*")?.compile(&ctx);
+//! let mut state = route.start();
+//! state = route.step(&state, "guitar", "guernica").expect("next is allowed");
+//! assert!(route.step(&state, "guernica", "guitar").is_none(), "going back violates the route");
+//! assert_eq!(
+//!     route.allowed_next(&state, "guernica").into_iter().collect::<Vec<_>>(),
+//!     ["avignon"]
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::context::NavigationalContext;
+use std::collections::BTreeSet;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A malformed route expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The expression (or a parenthesized group) was empty.
+    Empty,
+    /// A token that cannot start or continue an expression at this point.
+    Unexpected(String),
+    /// A `(` without its `)`.
+    UnbalancedParen,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Empty => f.write_str("empty route expression"),
+            RouteError::Unexpected(t) => write!(f, "unexpected token {t:?} in route expression"),
+            RouteError::UnbalancedParen => {
+                f.write_str("unbalanced parenthesis in route expression")
+            }
+        }
+    }
+}
+
+impl StdError for RouteError {}
+
+/// One traversal step of a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteStep {
+    /// The context successor of the current member.
+    Next,
+    /// The context predecessor of the current member.
+    Prev,
+    /// The first member of the context (allowed from anywhere).
+    First,
+    /// The last member of the context (allowed from anywhere).
+    Last,
+    /// Any member of the context (allowed from anywhere).
+    Any,
+    /// A specific member, by slug (allowed from anywhere).
+    To(String),
+}
+
+/// Parsed route AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ast {
+    Step(RouteStep),
+    Seq(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Slash,
+    Pipe,
+    Open,
+    Close,
+    Star,
+    Plus,
+    Question,
+}
+
+fn lex(text: &str) -> Result<Vec<Token>, RouteError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                out.push(Token::Slash);
+            }
+            '|' => {
+                chars.next();
+                out.push(Token::Pipe);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::Open);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::Close);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '?' => {
+                chars.next();
+                out.push(Token::Question);
+            }
+            c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(ident));
+            }
+            other => return Err(RouteError::Unexpected(other.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.at).cloned();
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    /// route := seq ("|" seq)*
+    fn route(&mut self) -> Result<Ast, RouteError> {
+        let mut alts = vec![self.seq()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.bump();
+            alts.push(self.seq()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one alternative")
+        } else {
+            Ast::Alt(alts)
+        })
+    }
+
+    /// seq := step ("/" step)*
+    fn seq(&mut self) -> Result<Ast, RouteError> {
+        let mut steps = vec![self.step()?];
+        while self.peek() == Some(&Token::Slash) {
+            self.bump();
+            steps.push(self.step()?);
+        }
+        Ok(if steps.len() == 1 {
+            steps.pop().expect("one step")
+        } else {
+            Ast::Seq(steps)
+        })
+    }
+
+    /// step := atom quantifier?
+    fn step(&mut self) -> Result<Ast, RouteError> {
+        let atom = self.atom()?;
+        Ok(match self.peek() {
+            Some(Token::Star) => {
+                self.bump();
+                Ast::Star(Box::new(atom))
+            }
+            Some(Token::Plus) => {
+                self.bump();
+                Ast::Plus(Box::new(atom))
+            }
+            Some(Token::Question) => {
+                self.bump();
+                Ast::Opt(Box::new(atom))
+            }
+            _ => atom,
+        })
+    }
+
+    fn atom(&mut self) -> Result<Ast, RouteError> {
+        match self.bump() {
+            Some(Token::Ident(word)) => Ok(Ast::Step(match word.as_str() {
+                "next" => RouteStep::Next,
+                "prev" => RouteStep::Prev,
+                "first" => RouteStep::First,
+                "last" => RouteStep::Last,
+                "any" => RouteStep::Any,
+                _ => RouteStep::To(word),
+            })),
+            Some(Token::Open) => {
+                let inner = self.route()?;
+                match self.bump() {
+                    Some(Token::Close) => Ok(inner),
+                    _ => Err(RouteError::UnbalancedParen),
+                }
+            }
+            Some(other) => Err(RouteError::Unexpected(format!("{other:?}"))),
+            None => Err(RouteError::Empty),
+        }
+    }
+}
+
+/// A parsed route expression, ready to compile against any context.
+///
+/// Parsing and compilation are separated so one spec can guard many
+/// contexts (the same "guided tour" route applies to every `by-painter`
+/// context, say).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSpec {
+    ast: Ast,
+    source: String,
+}
+
+impl RouteSpec {
+    /// Parses `text` (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError`] on empty input, stray tokens, or unbalanced parens.
+    pub fn parse(text: &str) -> Result<Self, RouteError> {
+        let tokens = lex(text)?;
+        if tokens.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        let mut parser = Parser { tokens, at: 0 };
+        let ast = parser.route()?;
+        if let Some(extra) = parser.peek() {
+            return Err(RouteError::Unexpected(format!("{extra:?}")));
+        }
+        Ok(RouteSpec {
+            ast,
+            source: text.to_string(),
+        })
+    }
+
+    /// The original expression text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Compiles the spec against `ctx` into an automaton over its member
+    /// order (Thompson construction; states track which part of the route
+    /// the session is in).
+    pub fn compile(&self, ctx: &NavigationalContext) -> CompiledRoute {
+        let mut nfa = Nfa::new();
+        let start = nfa.state();
+        let accept = nfa.state();
+        nfa.build(&self.ast, start, accept);
+        CompiledRoute {
+            members: ctx.members.iter().map(|m| m.slug.clone()).collect(),
+            nfa,
+            start,
+            accept,
+        }
+    }
+}
+
+/// Thompson-construction NFA: epsilon edges plus step-labelled edges.
+#[derive(Debug, Clone)]
+struct Nfa {
+    eps: Vec<Vec<usize>>,
+    steps: Vec<Vec<(RouteStep, usize)>>,
+}
+
+impl Nfa {
+    fn new() -> Self {
+        Nfa {
+            eps: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    fn state(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.steps.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    /// Wires `ast` as a fragment from `from` to `to`.
+    fn build(&mut self, ast: &Ast, from: usize, to: usize) {
+        match ast {
+            Ast::Step(step) => self.steps[from].push((step.clone(), to)),
+            Ast::Seq(parts) => {
+                let mut at = from;
+                for (i, part) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.state()
+                    };
+                    self.build(part, at, next);
+                    at = next;
+                }
+            }
+            Ast::Alt(alts) => {
+                for alt in alts {
+                    self.build(alt, from, to);
+                }
+            }
+            Ast::Star(inner) => {
+                let hub = self.state();
+                self.eps[from].push(hub);
+                self.eps[hub].push(to);
+                self.build(inner, hub, hub);
+            }
+            Ast::Plus(inner) => {
+                let hub = self.state();
+                self.build(inner, from, hub);
+                self.eps[hub].push(to);
+                self.build(inner, hub, hub);
+            }
+            Ast::Opt(inner) => {
+                self.eps[from].push(to);
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    fn closure(&self, seed: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        let mut set: BTreeSet<usize> = seed.into_iter().collect();
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &e in &self.eps[s] {
+                if set.insert(e) {
+                    stack.push(e);
+                }
+            }
+        }
+        set
+    }
+}
+
+/// Where a session currently is inside a route: the set of live automaton
+/// states (epsilon-closed).
+pub type RouteState = BTreeSet<usize>;
+
+/// A [`RouteSpec`] compiled against one context: answers which next hops
+/// are allowed from a page, and advances as the session traverses.
+#[derive(Debug, Clone)]
+pub struct CompiledRoute {
+    members: Vec<String>,
+    nfa: Nfa,
+    start: usize,
+    accept: usize,
+}
+
+impl CompiledRoute {
+    /// The initial route state (before any hop).
+    pub fn start(&self) -> RouteState {
+        self.nfa.closure([self.start])
+    }
+
+    /// `true` when the route accepts ending here.
+    pub fn is_accepting(&self, state: &RouteState) -> bool {
+        state.contains(&self.accept)
+    }
+
+    /// The member slugs of the compiled context, in context order.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// The targets `step` permits when standing on `from`.
+    fn targets_of(&self, step: &RouteStep, from: &str) -> Vec<&str> {
+        let position = self.members.iter().position(|m| m == from);
+        match step {
+            RouteStep::Next => position
+                .and_then(|p| self.members.get(p + 1))
+                .map(|m| vec![m.as_str()])
+                .unwrap_or_default(),
+            RouteStep::Prev => position
+                .and_then(|p| p.checked_sub(1))
+                .and_then(|p| self.members.get(p))
+                .map(|m| vec![m.as_str()])
+                .unwrap_or_default(),
+            RouteStep::First => self
+                .members
+                .first()
+                .map(|m| vec![m.as_str()])
+                .unwrap_or_default(),
+            RouteStep::Last => self
+                .members
+                .last()
+                .map(|m| vec![m.as_str()])
+                .unwrap_or_default(),
+            RouteStep::Any => self.members.iter().map(String::as_str).collect(),
+            RouteStep::To(slug) => self
+                .members
+                .iter()
+                .filter(|m| *m == slug)
+                .map(String::as_str)
+                .collect(),
+        }
+    }
+
+    /// The **allowed next-hop set** from `from` in `state`: every member
+    /// some live route step permits as the next traversal target.
+    pub fn allowed_next(&self, state: &RouteState, from: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for &s in state {
+            for (step, _) in &self.nfa.steps[s] {
+                for target in self.targets_of(step, from) {
+                    out.insert(target.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances the route over a hop `from → to`. Returns the successor
+    /// state, or `None` when no live step permits that hop (a route
+    /// violation — the state is unchanged and can be retried).
+    pub fn step(&self, state: &RouteState, from: &str, to: &str) -> Option<RouteState> {
+        let mut seed = Vec::new();
+        for &s in state {
+            for (step, target_state) in &self.nfa.steps[s] {
+                if self.targets_of(step, from).contains(&to) {
+                    seed.push(*target_state);
+                }
+            }
+        }
+        if seed.is_empty() {
+            None
+        } else {
+            Some(self.nfa.closure(seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessStructureKind, Member};
+
+    fn tour() -> NavigationalContext {
+        NavigationalContext::new(
+            "by-painter:picasso",
+            "Pablo Picasso",
+            vec![
+                Member::new("guitar", "Guitar"),
+                Member::new("guernica", "Guernica"),
+                Member::new("avignon", "Les Demoiselles d'Avignon"),
+            ],
+            AccessStructureKind::GuidedTour,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(RouteSpec::parse(""), Err(RouteError::Empty));
+        assert_eq!(RouteSpec::parse("   "), Err(RouteError::Empty));
+        assert!(matches!(
+            RouteSpec::parse("(next"),
+            Err(RouteError::UnbalancedParen)
+        ));
+        assert!(matches!(
+            RouteSpec::parse("next//prev"),
+            Err(RouteError::Unexpected(_))
+        ));
+        assert!(matches!(
+            RouteSpec::parse("next)"),
+            Err(RouteError::Unexpected(_))
+        ));
+        assert!(matches!(
+            RouteSpec::parse("next%"),
+            Err(RouteError::Unexpected(_))
+        ));
+    }
+
+    #[test]
+    fn guided_tour_route_allows_only_successors() {
+        let route = RouteSpec::parse("any/next*").unwrap().compile(&tour());
+        let state = route.start();
+        // First hop: `any` admits every member.
+        assert_eq!(route.allowed_next(&state, "outside").len(), 3);
+        let state = route.step(&state, "outside", "guitar").unwrap();
+        // From then on, only the context successor.
+        assert_eq!(
+            route.allowed_next(&state, "guitar"),
+            BTreeSet::from(["guernica".to_string()])
+        );
+        assert!(route.step(&state, "guitar", "avignon").is_none());
+        let state = route.step(&state, "guitar", "guernica").unwrap();
+        let state = route.step(&state, "guernica", "avignon").unwrap();
+        // Last member: nothing further is allowed.
+        assert!(route.allowed_next(&state, "avignon").is_empty());
+        assert!(route.is_accepting(&state));
+    }
+
+    #[test]
+    fn alternation_and_literals() {
+        let route = RouteSpec::parse("first/(next|prev)*|guernica")
+            .unwrap()
+            .compile(&tour());
+        let state = route.start();
+        // Both alternatives are live: jump straight to guernica…
+        assert!(route.allowed_next(&state, "anywhere").contains("guernica"));
+        let jumped = route.step(&state, "anywhere", "guernica").unwrap();
+        assert!(route.is_accepting(&jumped));
+        // …or take `first` and wander with next/prev.
+        let state = route.step(&state, "anywhere", "guitar").unwrap();
+        let state = route.step(&state, "guitar", "guernica").unwrap();
+        let state = route.step(&state, "guernica", "guitar").unwrap();
+        assert!(route.is_accepting(&state));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one_hop() {
+        let route = RouteSpec::parse("first/next+").unwrap().compile(&tour());
+        let state = route.start();
+        let state = route.step(&state, "x", "guitar").unwrap();
+        assert!(!route.is_accepting(&state), "next+ needs one hop");
+        let state = route.step(&state, "guitar", "guernica").unwrap();
+        assert!(route.is_accepting(&state));
+        let state = route.step(&state, "guernica", "avignon").unwrap();
+        assert!(route.is_accepting(&state));
+    }
+
+    #[test]
+    fn optional_step() {
+        let route = RouteSpec::parse("first/next?/last")
+            .unwrap()
+            .compile(&tour());
+        let state = route.start();
+        let state = route.step(&state, "x", "guitar").unwrap();
+        // Skip the optional next and go straight to last.
+        assert!(route.allowed_next(&state, "guitar").contains("avignon"));
+        // Or take it.
+        let state = route.step(&state, "guitar", "guernica").unwrap();
+        let state = route.step(&state, "guernica", "avignon").unwrap();
+        assert!(route.is_accepting(&state));
+    }
+
+    #[test]
+    fn prev_at_first_member_is_dead() {
+        let route = RouteSpec::parse("any/prev").unwrap().compile(&tour());
+        let state = route.start();
+        let state = route.step(&state, "x", "guitar").unwrap();
+        assert!(route.allowed_next(&state, "guitar").is_empty());
+        assert!(route.step(&state, "guitar", "guernica").is_none());
+    }
+
+    #[test]
+    fn literal_outside_context_never_matches() {
+        let route = RouteSpec::parse("any/matisse").unwrap().compile(&tour());
+        let state = route.start();
+        let state = route.step(&state, "x", "guitar").unwrap();
+        assert!(route.allowed_next(&state, "guitar").is_empty());
+    }
+
+    #[test]
+    fn spec_reuse_across_contexts() {
+        let spec = RouteSpec::parse("first/next*").unwrap();
+        assert_eq!(spec.source(), "first/next*");
+        let small = NavigationalContext::new(
+            "by-painter:braque",
+            "Georges Braque",
+            vec![Member::new("violin", "Violin and Candlestick")],
+            AccessStructureKind::GuidedTour,
+        )
+        .unwrap();
+        let a = spec.compile(&tour());
+        let b = spec.compile(&small);
+        assert_eq!(a.members().len(), 3);
+        assert_eq!(b.members().len(), 1);
+        let state = b.start();
+        assert_eq!(
+            b.allowed_next(&state, "x"),
+            BTreeSet::from(["violin".to_string()])
+        );
+    }
+}

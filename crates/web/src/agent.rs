@@ -108,6 +108,11 @@ pub struct LoadedPage {
     /// one (the sharded store's `x-navsep-generation` header). Lets a
     /// session observe that a reweave happened mid-browse.
     pub generation: Option<u64>,
+    /// The server's answer to a conditional-navigation check
+    /// ([`crate::store::STALE_HEADER`]): `Some(true)` means the generation
+    /// the client recorded has been superseded by a reweave. `None` when
+    /// the fetch was unconditional or the handler does not participate.
+    pub stale: Option<bool>,
 }
 
 impl LoadedPage {
@@ -150,27 +155,53 @@ impl<H: Handler> UserAgent<H> {
     /// * [`AgentError::Parse`] for malformed bodies;
     /// * [`AgentError::Link`] for malformed XLink markup.
     pub fn fetch(&self, path: &str) -> Result<LoadedPage, AgentError> {
-        let response: Response = self.handler.handle(&Request::get(path));
+        self.fetch_request(Request::get(path))
+    }
+
+    /// Like [`fetch`](Self::fetch), but performs a **conditional-navigation
+    /// check**: `recorded` is the generation a history entry was served
+    /// from, and the returned page's [`stale`](LoadedPage::stale) reports
+    /// whether a reweave has superseded it (handlers that stamp
+    /// generations only; see [`crate::store::IF_GENERATION_HEADER`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fetch`](Self::fetch).
+    pub fn fetch_conditional(&self, path: &str, recorded: u64) -> Result<LoadedPage, AgentError> {
+        self.fetch_request(
+            Request::get(path).header(crate::store::IF_GENERATION_HEADER, recorded.to_string()),
+        )
+    }
+
+    fn fetch_request(&self, request: Request) -> Result<LoadedPage, AgentError> {
+        let path = request.path().to_string();
+        let response: Response = self.handler.handle(&request);
         if !response.status().is_success() {
             return Err(AgentError::HttpStatus {
-                path: path.to_string(),
+                path,
                 code: response.status().code(),
             });
         }
         let generation = response
             .header_value(crate::store::GENERATION_HEADER)
             .and_then(|v| v.parse().ok());
+        let stale = match response.header_value(crate::store::STALE_HEADER) {
+            Some("stale") => Some(true),
+            Some("fresh") => Some(false),
+            _ => None,
+        };
         let doc = Document::parse(&response.body_text())?;
         let links = extract_links(&doc)?;
         let (auto, user): (Vec<UiLink>, Vec<UiLink>) = links
             .into_iter()
             .partition(|l| l.actuate == Actuate::OnLoad);
         Ok(LoadedPage {
-            path: path.to_string(),
+            path,
             doc,
             links: user,
             auto_traversals: auto,
             generation,
+            stale,
         })
     }
 
@@ -369,6 +400,33 @@ mod tests {
         assert_eq!(page.links.len(), 1);
         assert_eq!(page.links[0].kind, UiLinkKind::XLinkSimple);
         assert_eq!(page.link_by_rel("urn:next").unwrap().href, "manual.xml");
+    }
+
+    #[test]
+    fn conditional_fetch_reports_staleness() {
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page("a.html", Document::parse("<html><body/></html>").unwrap());
+        let store = Arc::new(ShardedSiteStore::from_site(2, &site));
+        let agent = UserAgent::new(ShardedSiteHandler::new(Arc::clone(&store)));
+
+        assert_eq!(agent.fetch("a.html").unwrap().stale, None);
+        assert_eq!(
+            agent.fetch_conditional("a.html", 1).unwrap().stale,
+            Some(false)
+        );
+        store.publish(&site);
+        let page = agent.fetch_conditional("a.html", 1).unwrap();
+        assert_eq!(page.stale, Some(true));
+        assert_eq!(page.generation, Some(2));
+        // The single-lock handler doesn't participate in the check.
+        let plain = UserAgent::new(handler());
+        assert_eq!(
+            plain.fetch_conditional("guitar.html", 1).unwrap().stale,
+            None
+        );
     }
 
     #[test]

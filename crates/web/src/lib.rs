@@ -16,7 +16,10 @@
 //! * [`UserAgent`] — the XLink-aware browser: HTML anchors *and* XLink
 //!   simple links, `actuate="onLoad"` auto-traversals;
 //! * [`NavigationSession`] — history plus the **current navigational
-//!   context**, making the paper's context-dependent "Next" observable.
+//!   context**, making the paper's context-dependent "Next" observable;
+//! * [`history`] — the navigation-history subsystem (Brewster–Jeffrey
+//!   back/forward stacks, joint history across sessions, reweave-stale
+//!   classification, route-conformance guards).
 //!
 //! ## Quick start
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod history;
 pub mod http;
 pub mod server;
 pub mod session;
@@ -51,12 +55,17 @@ pub use agent::{
     anchors_under, links_of, resolve_href, ActivatedPage, AgentError, LoadedPage, UiLink,
     UiLinkKind, UserAgent,
 };
+pub use history::{
+    page_slug, Freshness, HistoryClock, HistoryEntry, JointEntry, JointHistory, RouteGuard,
+    RouteViolation, SessionHistory,
+};
 pub use http::{Method, Request, Response, Status};
 pub use server::{Handler, ServerPool, SiteHandler};
-pub use session::{History, NavigationSession, SessionError, Visit};
+pub use session::{NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};
 pub use store::{
     page_shard_hash, ResourceRead, ShardedSiteHandler, ShardedSiteStore, GENERATION_HEADER,
+    IF_GENERATION_HEADER, STALE_HEADER,
 };
 
 #[cfg(test)]
@@ -73,5 +82,9 @@ mod tests {
         assert_send_sync::<Request>();
         assert_send_sync::<Response>();
         assert_send_sync::<SessionError>();
+        assert_send_sync::<SessionHistory>();
+        assert_send_sync::<JointHistory>();
+        assert_send_sync::<HistoryClock>();
+        assert_send_sync::<RouteGuard>();
     }
 }

@@ -7,8 +7,19 @@
 //! pictorial movement, Next goes elsewhere. A [`NavigationSession`] models
 //! the user-side state making that real: which page, which context, what
 //! history.
+//!
+//! History is kept by the [`crate::history`] subsystem (Brewster–Jeffrey
+//! back/forward stacks): every visit and link traversal pushes a
+//! [`HistoryEntry`] recording the page path, the locator followed, and the
+//! serving generation — so a session can tell, entry by entry, whether the
+//! site has been rewoven under it
+//! ([`revalidate`](NavigationSession::revalidate)) and whether its
+//! traversals conform to an active route ([`RouteGuard`]).
 
 use crate::agent::{resolve_href, AgentError, LoadedPage, UiLink, UserAgent};
+use crate::history::{
+    page_slug, Freshness, HistoryClock, HistoryEntry, RouteGuard, RouteViolation, SessionHistory,
+};
 use crate::server::Handler;
 use std::error::Error as StdError;
 use std::fmt;
@@ -25,6 +36,8 @@ pub enum SessionError {
     NoCurrentPage,
     /// Nothing to go back/forward to.
     HistoryExhausted(&'static str),
+    /// The active route does not allow the attempted traversal.
+    Route(RouteViolation),
 }
 
 impl fmt::Display for SessionError {
@@ -34,6 +47,7 @@ impl fmt::Display for SessionError {
             SessionError::NoSuchLink(t) => write!(f, "no link {t:?} on the current page"),
             SessionError::NoCurrentPage => f.write_str("no page has been visited yet"),
             SessionError::HistoryExhausted(dir) => write!(f, "cannot go {dir}: history empty"),
+            SessionError::Route(v) => write!(f, "{v}"),
         }
     }
 }
@@ -42,6 +56,7 @@ impl StdError for SessionError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             SessionError::Agent(e) => Some(e),
+            SessionError::Route(v) => Some(v),
             _ => None,
         }
     }
@@ -53,47 +68,9 @@ impl From<AgentError> for SessionError {
     }
 }
 
-/// Back/forward history over visited paths.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct History {
-    back: Vec<String>,
-    forward: Vec<String>,
-}
-
-impl History {
-    /// An empty history.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records leaving `path` for a new page (clears the forward stack).
-    pub fn push(&mut self, path: String) {
-        self.back.push(path);
-        self.forward.clear();
-    }
-
-    /// Pops the back stack, pushing `current` onto forward.
-    pub fn go_back(&mut self, current: String) -> Option<String> {
-        let target = self.back.pop()?;
-        self.forward.push(current);
-        Some(target)
-    }
-
-    /// Pops the forward stack, pushing `current` onto back.
-    pub fn go_forward(&mut self, current: String) -> Option<String> {
-        let target = self.forward.pop()?;
-        self.back.push(current);
-        Some(target)
-    }
-
-    /// Depth of the back stack.
-    pub fn back_len(&self) -> usize {
-        self.back.len()
-    }
-
-    /// Depth of the forward stack.
-    pub fn forward_len(&self) -> usize {
-        self.forward.len()
+impl From<RouteViolation> for SessionError {
+    fn from(v: RouteViolation) -> Self {
+        SessionError::Route(v)
     }
 }
 
@@ -129,39 +106,46 @@ pub struct Visit {
 /// assert_eq!(session.current_path(), Some("b.html"));
 /// session.back()?;
 /// assert_eq!(session.current_path(), Some("a.html"));
+/// // The history recorded how we got to b: via its locator.
+/// let entries = session.history().entries();
+/// assert_eq!(entries[1].locator.as_deref(), Some("b.html"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct NavigationSession<H> {
     agent: UserAgent<H>,
-    history: History,
+    history: SessionHistory,
     current: Option<LoadedPage>,
     context: Option<String>,
+    route: Option<RouteGuard>,
     trace: Vec<Visit>,
 }
 
 impl<H: Handler> NavigationSession<H> {
     /// Starts a session fetching through `handler`.
     pub fn new(handler: H) -> Self {
+        Self::with_clock(handler, HistoryClock::new())
+    }
+
+    /// Starts a session whose history entries are stamped from `clock` —
+    /// share one clock across sessions to give their
+    /// [`JointHistory`](crate::history::JointHistory) a total order.
+    pub fn with_clock(handler: H, clock: HistoryClock) -> Self {
         NavigationSession {
             agent: UserAgent::new(handler),
-            history: History::new(),
+            history: SessionHistory::with_clock(clock),
             current: None,
             context: None,
+            route: None,
             trace: Vec::new(),
         }
     }
 
-    /// Visits `path` directly (typing a URL), keeping the current context.
-    ///
-    /// # Errors
-    ///
-    /// Propagates fetch failures.
-    pub fn visit(&mut self, path: &str) -> Result<&LoadedPage, SessionError> {
-        let page = self.agent.fetch(path)?;
-        if let Some(old) = self.current.take() {
-            self.history.push(old.path);
-        }
+    /// Fetches `target` and records it in history and trace.
+    fn goto(&mut self, target: &str, locator: Option<String>) -> Result<&LoadedPage, SessionError> {
+        let page = self.agent.fetch(target)?;
+        self.history
+            .push(&page.path, locator, self.context.clone(), page.generation);
         self.trace.push(Visit {
             path: page.path.clone(),
             context: self.context.clone(),
@@ -169,6 +153,16 @@ impl<H: Handler> NavigationSession<H> {
         });
         self.current = Some(page);
         Ok(self.current.as_ref().expect("just set"))
+    }
+
+    /// Visits `path` directly (typing a URL), keeping the current context.
+    /// History records no locator for direct visits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch failures.
+    pub fn visit(&mut self, path: &str) -> Result<&LoadedPage, SessionError> {
+        self.goto(path, None)
     }
 
     /// Follows the link with anchor text `text` on the current page. When
@@ -179,6 +173,7 @@ impl<H: Handler> NavigationSession<H> {
     ///
     /// * [`SessionError::NoCurrentPage`] before the first visit;
     /// * [`SessionError::NoSuchLink`] when no link matches;
+    /// * [`SessionError::Route`] when an active route forbids the hop;
     /// * fetch errors from the agent.
     pub fn follow(&mut self, text: &str) -> Result<&LoadedPage, SessionError> {
         let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
@@ -203,7 +198,12 @@ impl<H: Handler> NavigationSession<H> {
         self.follow_link(&link)
     }
 
-    /// Follows a specific link object from the current page.
+    /// Follows a specific link object from the current page. An active
+    /// [`RouteGuard`] is consulted first: a hop it forbids fails with
+    /// [`SessionError::Route`] before anything is fetched or recorded —
+    /// and a hop it allows only advances the guard (and switches the
+    /// context) once the fetch succeeds, so a dead link leaves the
+    /// session's route position and context exactly where they were.
     ///
     /// # Errors
     ///
@@ -215,33 +215,51 @@ impl<H: Handler> NavigationSession<H> {
             .ok_or(SessionError::NoCurrentPage)?
             .path
             .clone();
+        let target = resolve_href(&link.href, &base);
+        let next_route_state = match self.route.as_ref() {
+            Some(guard) => Some(guard.check(page_slug(&base), page_slug(&target))?),
+            None => None,
+        };
+        // Switch context before the fetch so the history entry records it,
+        // but restore it if the fetch fails: a dead link is not an entry.
+        let saved_context = self.context.clone();
         if let Some(ctx) = &link.context {
             self.context = Some(ctx.clone());
         }
-        let target = resolve_href(&link.href, &base);
-        self.visit(&target)
+        match self.goto(&target, Some(link.href.clone())) {
+            Ok(_) => {}
+            Err(e) => {
+                self.context = saved_context;
+                return Err(e);
+            }
+        }
+        if let (Some(guard), Some(state)) = (self.route.as_mut(), next_route_state) {
+            guard.commit(state);
+        }
+        Ok(self.current.as_ref().expect("just navigated"))
     }
 
     /// Goes back one page (context is preserved — the paper's model keeps
-    /// the user inside the context they navigated into).
+    /// the user inside the context they navigated into). The history entry
+    /// keeps the generation it originally recorded; the *page* is
+    /// re-fetched, so [`current_generation`](Self::current_generation) may
+    /// be newer — exactly the gap [`revalidate`](Self::revalidate)
+    /// classifies.
     ///
     /// # Errors
     ///
     /// [`SessionError::HistoryExhausted`] at the beginning of history.
     pub fn back(&mut self) -> Result<&LoadedPage, SessionError> {
-        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        if self.current.is_none() {
+            return Err(SessionError::NoCurrentPage);
+        }
         let target = self
             .history
-            .go_back(current.path.clone())
-            .ok_or(SessionError::HistoryExhausted("back"))?;
-        let page = self.agent.fetch(&target)?;
-        self.trace.push(Visit {
-            path: page.path.clone(),
-            context: self.context.clone(),
-            generation: page.generation,
-        });
-        self.current = Some(page);
-        Ok(self.current.as_ref().expect("just set"))
+            .back()
+            .ok_or(SessionError::HistoryExhausted("back"))?
+            .path
+            .clone();
+        self.refetch(&target, "back")
     }
 
     /// Goes forward one page.
@@ -250,19 +268,101 @@ impl<H: Handler> NavigationSession<H> {
     ///
     /// [`SessionError::HistoryExhausted`] at the end of history.
     pub fn forward(&mut self) -> Result<&LoadedPage, SessionError> {
-        let current = self.current.as_ref().ok_or(SessionError::NoCurrentPage)?;
+        if self.current.is_none() {
+            return Err(SessionError::NoCurrentPage);
+        }
         let target = self
             .history
-            .go_forward(current.path.clone())
-            .ok_or(SessionError::HistoryExhausted("forward"))?;
-        let page = self.agent.fetch(&target)?;
-        self.trace.push(Visit {
-            path: page.path.clone(),
-            context: self.context.clone(),
-            generation: page.generation,
-        });
-        self.current = Some(page);
-        Ok(self.current.as_ref().expect("just set"))
+            .forward()
+            .ok_or(SessionError::HistoryExhausted("forward"))?
+            .path
+            .clone();
+        self.refetch(&target, "forward")
+    }
+
+    /// Completes a history traversal: re-fetches the entry's page. On
+    /// fetch failure the cursor move is undone so history and page agree.
+    fn refetch(
+        &mut self,
+        target: &str,
+        direction: &'static str,
+    ) -> Result<&LoadedPage, SessionError> {
+        match self.agent.fetch(target) {
+            Ok(page) => {
+                self.trace.push(Visit {
+                    path: page.path.clone(),
+                    context: self.context.clone(),
+                    generation: page.generation,
+                });
+                self.current = Some(page);
+                Ok(self.current.as_ref().expect("just set"))
+            }
+            Err(e) => {
+                // Roll the cursor back where it came from.
+                match direction {
+                    "back" => self.history.forward(),
+                    _ => self.history.back(),
+                };
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Traverses the session history by `delta` entries (negative = back),
+    /// clamped to its bounds — the model's `traverse(δ)` operation.
+    /// Returns the signed number of entries actually moved.
+    ///
+    /// # Errors
+    ///
+    /// Fetch errors abort the walk mid-way (the history cursor stays where
+    /// the walk got to).
+    pub fn traverse(&mut self, delta: isize) -> Result<isize, SessionError> {
+        let mut moved = 0isize;
+        for _ in 0..delta.unsigned_abs() {
+            let step = if delta < 0 {
+                self.back()
+            } else {
+                self.forward()
+            };
+            match step {
+                Ok(_) => moved += if delta < 0 { -1 } else { 1 },
+                Err(SessionError::HistoryExhausted(_)) | Err(SessionError::NoCurrentPage) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Performs a **conditional-navigation check** on the active history
+    /// entry: asks the server whether the generation the entry recorded
+    /// has been superseded by a reweave. When it has, the page is
+    /// re-fetched and the entry's recorded generation is refreshed; the
+    /// returned [`Freshness`] reports what was found.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoCurrentPage`] before the first visit; fetch
+    /// errors from the agent.
+    pub fn revalidate(&mut self) -> Result<Freshness, SessionError> {
+        let entry = self
+            .history
+            .current()
+            .ok_or(SessionError::NoCurrentPage)?
+            .clone();
+        let Some(recorded) = entry.generation else {
+            return Ok(Freshness::Unknown);
+        };
+        let page = self.agent.fetch_conditional(&entry.path, recorded)?;
+        match page.stale {
+            Some(true) => {
+                let current = page.generation.unwrap_or(recorded);
+                self.history.refresh_current_generation(page.generation);
+                self.current = Some(page);
+                Ok(Freshness::Stale { recorded, current })
+            }
+            Some(false) => Ok(Freshness::Fresh),
+            None => Ok(Freshness::Unknown),
+        }
     }
 
     /// The current page, if any.
@@ -287,6 +387,12 @@ impl<H: Handler> NavigationSession<H> {
         self.current.as_ref().and_then(|p| p.generation)
     }
 
+    /// The active history entry (what the session recorded when it got
+    /// here), if any.
+    pub fn current_entry(&self) -> Option<&HistoryEntry> {
+        self.history.current()
+    }
+
     /// Explicitly enters a navigational context (e.g. from an index page).
     pub fn enter_context(&mut self, name: impl Into<String>) {
         self.context = Some(name.into());
@@ -297,13 +403,31 @@ impl<H: Handler> NavigationSession<H> {
         self.context = None;
     }
 
+    /// Installs a route guard: from now on every link traversal must be a
+    /// hop the route allows ([`SessionError::Route`] otherwise). History
+    /// traversals (back/forward) are exempt — the model treats them as
+    /// cursor moves, not new navigation.
+    pub fn set_route(&mut self, guard: RouteGuard) {
+        self.route = Some(guard);
+    }
+
+    /// Removes the active route guard, if any.
+    pub fn clear_route(&mut self) -> Option<RouteGuard> {
+        self.route.take()
+    }
+
+    /// The active route guard.
+    pub fn route(&self) -> Option<&RouteGuard> {
+        self.route.as_ref()
+    }
+
     /// The full visit trace.
     pub fn trace(&self) -> &[Visit] {
         &self.trace
     }
 
-    /// Back/forward history state.
-    pub fn history(&self) -> &History {
+    /// The session history (back/forward stacks and recorded entries).
+    pub fn history(&self) -> &SessionHistory {
         &self.history
     }
 }
@@ -385,6 +509,20 @@ mod tests {
     }
 
     #[test]
+    fn traverse_clamps_like_the_model() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        s.follow("Next").unwrap();
+        assert_eq!(s.traverse(-5).unwrap(), -2, "clamped at the beginning");
+        assert_eq!(s.current_path(), Some("index.html"));
+        assert_eq!(s.traverse(1).unwrap(), 1);
+        assert_eq!(s.current_path(), Some("guitar.html"));
+        assert_eq!(s.traverse(9).unwrap(), 1, "clamped at the end");
+        assert_eq!(s.current_path(), Some("guernica.html"));
+    }
+
+    #[test]
     fn visiting_clears_forward_stack() {
         let mut s = NavigationSession::new(three_page_site());
         s.visit("index.html").unwrap();
@@ -400,6 +538,7 @@ mod tests {
         let mut s = NavigationSession::new(three_page_site());
         assert!(matches!(s.follow("x"), Err(SessionError::NoCurrentPage)));
         assert!(matches!(s.back(), Err(SessionError::NoCurrentPage)));
+        assert!(matches!(s.revalidate(), Err(SessionError::NoCurrentPage)));
     }
 
     #[test]
@@ -424,6 +563,22 @@ mod tests {
     }
 
     #[test]
+    fn history_records_locators_and_contexts() {
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        s.follow("Guitar").unwrap();
+        s.follow_rel("next").unwrap();
+        let entries: Vec<_> = s.history().entries().into_iter().cloned().collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].locator, None, "direct visit has no locator");
+        assert_eq!(entries[1].locator.as_deref(), Some("guitar.html"));
+        assert_eq!(entries[2].locator.as_deref(), Some("guernica.html"));
+        assert_eq!(entries[2].context.as_deref(), Some("by-painter:picasso"));
+        // Single-lock handler: no generations recorded.
+        assert_eq!(entries[2].generation, None);
+    }
+
+    #[test]
     fn sharded_store_generation_is_observable() {
         use crate::store::{ShardedSiteHandler, ShardedSiteStore};
         use std::sync::Arc;
@@ -444,6 +599,41 @@ mod tests {
         assert_eq!(s.current_generation(), Some(2));
         let gens: Vec<Option<u64>> = s.trace().iter().map(|v| v.generation).collect();
         assert_eq!(gens, [Some(1), Some(2)]);
+        // The history recorded both serving generations, and the first
+        // entry now classifies stale against the store.
+        assert_eq!(s.history().stale_entries(store.generation()), 1);
+    }
+
+    #[test]
+    fn revalidate_classifies_and_refreshes() {
+        use crate::history::Freshness;
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page("a.html", Document::parse("<html><body/></html>").unwrap());
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site));
+        let mut s = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        s.visit("a.html").unwrap();
+        assert_eq!(s.revalidate().unwrap(), Freshness::Fresh);
+
+        store.publish(&site);
+        assert_eq!(
+            s.revalidate().unwrap(),
+            Freshness::Stale {
+                recorded: 1,
+                current: 2
+            }
+        );
+        // The check refreshed both the page and the recorded entry.
+        assert_eq!(s.current_generation(), Some(2));
+        assert_eq!(s.current_entry().unwrap().generation, Some(2));
+        assert_eq!(s.revalidate().unwrap(), Freshness::Fresh);
+
+        // Handlers without generations classify Unknown.
+        let mut plain = NavigationSession::new(three_page_site());
+        plain.visit("index.html").unwrap();
+        assert_eq!(plain.revalidate().unwrap(), Freshness::Unknown);
     }
 
     #[test]
@@ -461,5 +651,96 @@ mod tests {
         assert_eq!(s.current_context(), Some("by-movement:cubism"));
         s.leave_context();
         assert_eq!(s.current_context(), None);
+    }
+
+    #[test]
+    fn failed_fetch_leaves_route_state_and_context_untouched() {
+        use navsep_hypermodel::{AccessStructureKind, Member, NavigationalContext, RouteSpec};
+
+        // A page whose tour-entry link dangles (e.g. a stale locator after
+        // a reweave): the guard allows the hop, the fetch 404s, and the
+        // session must still be able to enter the tour elsewhere.
+        let mut site = Site::new();
+        site.put_page(
+            "index.html",
+            Document::parse(
+                r#"<html><body>
+  <a href="ghost.html" data-context="by-painter:picasso">Ghost</a>
+  <a href="guitar.html">Guitar</a>
+</body></html>"#,
+            )
+            .unwrap(),
+        );
+        site.put_page(
+            "guitar.html",
+            Document::parse("<html><body/></html>").unwrap(),
+        );
+        let ctx = NavigationalContext::new(
+            "by-painter:picasso",
+            "Pablo Picasso",
+            vec![
+                Member::new("ghost", "Ghost"),
+                Member::new("guitar", "Guitar"),
+            ],
+            AccessStructureKind::GuidedTour,
+        )
+        .unwrap();
+        let mut s = NavigationSession::new(SiteHandler::new(site));
+        s.visit("index.html").unwrap();
+        s.set_route(RouteGuard::new(
+            &RouteSpec::parse("any/next*").unwrap(),
+            &ctx,
+        ));
+        // The route allows the hop, but the target is missing.
+        assert!(matches!(
+            s.follow("Ghost"),
+            Err(SessionError::Agent(AgentError::HttpStatus {
+                code: 404,
+                ..
+            }))
+        ));
+        // Nothing moved: page, history, context, and — crucially — the
+        // guard's one-shot `any` step are all where they were.
+        assert_eq!(s.current_path(), Some("index.html"));
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(s.current_context(), None);
+        s.follow("Guitar").unwrap();
+        assert_eq!(s.current_path(), Some("guitar.html"));
+    }
+
+    #[test]
+    fn route_guard_vetoes_off_route_follows() {
+        use navsep_hypermodel::{AccessStructureKind, Member, NavigationalContext, RouteSpec};
+
+        let ctx = NavigationalContext::new(
+            "by-painter:picasso",
+            "Pablo Picasso",
+            vec![
+                Member::new("guitar", "Guitar"),
+                Member::new("guernica", "Guernica"),
+            ],
+            AccessStructureKind::GuidedTour,
+        )
+        .unwrap();
+        let mut s = NavigationSession::new(three_page_site());
+        s.visit("index.html").unwrap();
+        // The tour: enter anywhere, then only next-hops.
+        s.set_route(RouteGuard::new(
+            &RouteSpec::parse("any/next*").unwrap(),
+            &ctx,
+        ));
+        s.follow("Guitar").unwrap();
+        s.follow_rel("next").unwrap();
+        assert_eq!(s.current_path(), Some("guernica.html"));
+        // Going *back along a link* (prev) violates the tour…
+        let err = s.follow_rel("prev").unwrap_err();
+        assert!(matches!(err, SessionError::Route(_)));
+        // …and nothing was recorded for the vetoed hop.
+        assert_eq!(s.current_path(), Some("guernica.html"));
+        assert_eq!(s.history().len(), 3);
+        // History traversal (a cursor move) is exempt by design.
+        s.back().unwrap();
+        assert!(s.clear_route().is_some());
+        assert!(s.route().is_none());
     }
 }

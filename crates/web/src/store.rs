@@ -36,6 +36,17 @@ use std::sync::Arc;
 /// Response header carrying the generation that served a request.
 pub const GENERATION_HEADER: &str = "x-navsep-generation";
 
+/// Request header for a **conditional-navigation check**: the client sends
+/// the generation a history entry recorded, and the response's
+/// [`STALE_HEADER`] says whether the site has been rewoven since.
+pub const IF_GENERATION_HEADER: &str = "x-navsep-if-generation";
+
+/// Response header answering a conditional-navigation check: `"stale"`
+/// when the serving generation is newer than the one the client recorded,
+/// `"fresh"` otherwise. Only present when the request carried
+/// [`IF_GENERATION_HEADER`].
+pub const STALE_HEADER: &str = "x-navsep-stale";
+
 /// Stable 64-bit hash ([`navsep_xml::fnv1a64`]) of the slash-normalized
 /// path, used to assign page ids to shards.
 ///
@@ -318,8 +329,22 @@ impl Handler for ShardedSiteHandler {
         self.served.fetch_add(1, Ordering::Relaxed);
         match self.store.get(request.path()) {
             Some(read) => {
-                let response = Response::ok(read.resource().media_type().as_str(), read.body())
+                let mut response = Response::ok(read.resource().media_type().as_str(), read.body())
                     .with_header(GENERATION_HEADER, read.generation().to_string());
+                // Conditional navigation: a client revisiting a history
+                // entry tells us which generation it recorded; we answer
+                // whether a reweave has superseded it since.
+                if let Some(recorded) = request
+                    .header_value(IF_GENERATION_HEADER)
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    let verdict = if read.generation() > recorded {
+                        "stale"
+                    } else {
+                        "fresh"
+                    };
+                    response = response.with_header(STALE_HEADER, verdict);
+                }
                 match request.method() {
                     Method::Get => response,
                     Method::Head => response.without_body(),
@@ -413,6 +438,26 @@ mod tests {
         let head = handler.handle(&Request::head("b.xml"));
         assert!(head.body().is_empty());
         assert_eq!(head.header_value(GENERATION_HEADER), Some("2"));
+    }
+
+    #[test]
+    fn conditional_navigation_check_classifies_staleness() {
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site("v1")));
+        let handler = ShardedSiteHandler::new(Arc::clone(&store));
+        // Plain requests carry no staleness verdict.
+        let plain = handler.handle(&Request::get("a.xml"));
+        assert_eq!(plain.header_value(STALE_HEADER), None);
+        // Recorded at the current generation: fresh.
+        let fresh = handler.handle(&Request::get("a.xml").header(IF_GENERATION_HEADER, "1"));
+        assert_eq!(fresh.header_value(STALE_HEADER), Some("fresh"));
+        // A reweave supersedes the recorded generation: stale.
+        store.publish(&site("v2"));
+        let stale = handler.handle(&Request::get("a.xml").header(IF_GENERATION_HEADER, "1"));
+        assert_eq!(stale.header_value(STALE_HEADER), Some("stale"));
+        assert_eq!(stale.header_value(GENERATION_HEADER), Some("2"));
+        // Unparsable conditionals are ignored, not errors.
+        let junk = handler.handle(&Request::get("a.xml").header(IF_GENERATION_HEADER, "soon"));
+        assert_eq!(junk.header_value(STALE_HEADER), None);
     }
 
     #[test]

@@ -156,6 +156,120 @@ fn direct_store_reads_are_single_generation() {
 }
 
 #[test]
+fn sessions_never_record_torn_history_entries_across_live_commits() {
+    // Sessions navigate the woven museum while a live `SitePublisher`
+    // commits reweaves underneath them. A *torn* history entry would be one
+    // stamped with a generation the store never actually published; the
+    // publisher records every generation `commit` returns, and at the end
+    // every entry of every session must name one of them — and per-session
+    // entries must still be in creation order.
+    use navsep_core::museum::{museum_navigation, paper_museum};
+    use navsep_core::publish::{SitePublisher, SourceEdit};
+    use navsep_core::separated::separated_sources;
+    use navsep_core::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_web::{HistoryClock, HistoryEntry, NavigationSession};
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    const COMMITS: u64 = 20;
+
+    let sources = separated_sources(
+        &paper_museum(),
+        &museum_navigation(),
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    )
+    .unwrap();
+    let store = Arc::new(ShardedSiteStore::new(8));
+    let mut publisher = SitePublisher::new(sources, Arc::clone(&store));
+    let published = Arc::new(Mutex::new(BTreeSet::new()));
+    published
+        .lock()
+        .unwrap()
+        .insert(publisher.commit().unwrap().generation);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let recorded: Vec<Vec<HistoryEntry>> = std::thread::scope(|scope| {
+        // Writer: reweave with a fresh stylesheet per commit, recording
+        // every generation the store actually published.
+        {
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for i in 0..COMMITS {
+                    publisher.stage(SourceEdit::put_raw(
+                        "museum.css",
+                        format!("/* reweave {i} */"),
+                    ));
+                    let outcome = publisher.commit().expect("css reweave cannot fail");
+                    published.lock().unwrap().insert(outcome.generation);
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Sessions: tour the site — index, into the tour, along `next`,
+        // back out — until the writer is done, then hand back their
+        // recorded histories.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut entries = Vec::new();
+                    // One clock across this thread's successive tours, so
+                    // harvested entries share a single creation order.
+                    let clock = HistoryClock::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let mut session = NavigationSession::with_clock(
+                            ShardedSiteHandler::new(Arc::clone(&store)),
+                            clock.clone(),
+                        );
+                        session.visit("picasso.html").expect("index page");
+                        session.follow("Guitar").expect("tour entry");
+                        while session.follow_rel("next").is_ok() {}
+                        while session.back().is_ok() {}
+                        entries.extend(session.history().entries().into_iter().cloned());
+                    }
+                    entries
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let published = published.lock().unwrap();
+    assert_eq!(store.generation(), COMMITS + 1);
+    assert_eq!(published.len() as u64, COMMITS + 1);
+    let mut checked = 0usize;
+    for session_entries in &recorded {
+        for entry in session_entries {
+            let generation = entry
+                .generation
+                .expect("sharded store stamps every response");
+            assert!(
+                published.contains(&generation),
+                "torn entry: generation {generation} was never published"
+            );
+            checked += 1;
+        }
+        // Entries harvested per session tour stay in creation order.
+        for pair in session_entries.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "session order violated");
+        }
+    }
+    assert!(checked > 0, "sessions recorded no history");
+    // Everything recorded during the run predates one final reweave, so
+    // the whole recorded history classifies stale against it.
+    let final_generation = store.generation();
+    let stale = recorded
+        .iter()
+        .flatten()
+        .filter(|e| e.generation.unwrap() < final_generation)
+        .count();
+    assert!(stale > 0, "a {COMMITS}-commit run must leave stale entries");
+}
+
+#[test]
 fn concurrent_publishers_stay_monotone() {
     // Several writers race; generations handed out must be unique and the
     // final state must be one coherent epoch per shard.

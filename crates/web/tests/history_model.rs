@@ -1,0 +1,237 @@
+//! Property tests for the navigation-history model's laws (Brewster &
+//! Jeffrey), plus two deliberately failing properties demonstrating that
+//! the vendored proptest now *shrinks*: a failure reports the minimal
+//! counterexample, not a case index.
+//!
+//! Laws covered:
+//!
+//! 1. `back ∘ forward` restores the exact active entry;
+//! 2. `push` truncates the forward stack;
+//! 3. `traverse(δ)` clamps to bounds and preserves total length;
+//! 4. the joint-history order is consistent with every per-session order;
+//! 5. a session's linear order is ascending in creation (seq) order;
+//! 6. `push` grows the history by exactly one minus the truncated branch.
+
+use navsep_web::{HistoryClock, JointHistory, SessionHistory};
+use proptest::prelude::*;
+
+/// One scripted operation against a history.
+fn apply(h: &mut SessionHistory, op: (usize, usize)) {
+    let (kind, arg) = op;
+    match kind {
+        0 => {
+            h.push(
+                format!("p{arg}.html"),
+                (arg % 2 == 0).then(|| format!("l{arg}")),
+                None,
+                Some(arg as u64),
+            );
+        }
+        1 => {
+            h.back();
+        }
+        2 => {
+            h.forward();
+        }
+        3 => {
+            h.traverse(-(arg as isize));
+        }
+        _ => {
+            h.traverse(arg as isize);
+        }
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..5, 0usize..6), 1..40)
+}
+
+proptest! {
+    /// Law 1: whenever `back` succeeds, `forward` succeeds and restores
+    /// the exact entry that was active (path, locator, generation, seq).
+    #[test]
+    fn back_then_forward_restores_the_active_entry(ops in ops_strategy()) {
+        let mut h = SessionHistory::new();
+        for op in ops {
+            apply(&mut h, op);
+        }
+        if let Some(active) = h.current().cloned() {
+            if h.back().is_some() {
+                let restored = h.forward().expect("forward after back must succeed").clone();
+                prop_assert_eq!(restored, active);
+            }
+        }
+    }
+
+    /// Law 2: `push` truncates the forward stack, and the pushed entry
+    /// becomes the active one.
+    #[test]
+    fn push_truncates_the_forward_stack(ops in ops_strategy(), extra in 0usize..9) {
+        let mut h = SessionHistory::new();
+        for op in ops {
+            apply(&mut h, op);
+        }
+        h.push(format!("fresh{extra}.html"), None, None, None);
+        prop_assert_eq!(h.forward_len(), 0);
+        prop_assert_eq!(
+            h.current().map(|e| e.path.clone()),
+            Some(format!("fresh{extra}.html"))
+        );
+    }
+
+    /// Law 3: `traverse(δ)` moves at most |δ| entries, never changes the
+    /// total length, and shifts the cursor position by exactly the actual
+    /// (clamped) delta. A traversal past either end stops at the bound.
+    #[test]
+    fn traverse_clamps_to_bounds(ops in ops_strategy(), delta in 0usize..12, sign in 0usize..2) {
+        let mut h = SessionHistory::new();
+        for op in ops {
+            apply(&mut h, op);
+        }
+        let len = h.len();
+        let position = h.position();
+        let delta = if sign == 0 { -(delta as isize) } else { delta as isize };
+        let moved = h.traverse(delta);
+        prop_assert!(moved.unsigned_abs() <= delta.unsigned_abs());
+        prop_assert!(moved.signum() == delta.signum() || moved == 0);
+        prop_assert_eq!(h.len(), len, "traversal must not create or drop entries");
+        if let Some(position) = position {
+            let expected = (position as isize + moved) as usize;
+            prop_assert_eq!(h.position(), Some(expected));
+            // Exhaustive traversal lands exactly on the bound.
+            h.traverse(-(len as isize));
+            prop_assert_eq!(h.position(), Some(0));
+            h.traverse(len as isize);
+            prop_assert_eq!(h.position(), Some(len - 1));
+        }
+    }
+
+    /// Law 4: the joint history restricted to one session preserves that
+    /// session's own linear order (the model's consistency requirement).
+    #[test]
+    fn joint_order_is_consistent_with_each_session(
+        script in proptest::collection::vec((0usize..3, 0usize..5, 0usize..6), 1..40),
+    ) {
+        let clock = HistoryClock::new();
+        let mut sessions = [
+            SessionHistory::with_clock(clock.clone()),
+            SessionHistory::with_clock(clock.clone()),
+            SessionHistory::with_clock(clock.clone()),
+        ];
+        for (who, kind, arg) in script {
+            apply(&mut sessions[who], (kind, arg));
+        }
+        let refs: Vec<&SessionHistory> = sessions.iter().collect();
+        let joint = JointHistory::of(&refs);
+        prop_assert_eq!(joint.len(), sessions.iter().map(SessionHistory::len).sum::<usize>());
+        for (i, session) in sessions.iter().enumerate() {
+            let own: Vec<u64> = session.entries().iter().map(|e| e.seq).collect();
+            let restricted: Vec<u64> = joint
+                .entries()
+                .iter()
+                .filter(|j| j.session == i)
+                .map(|j| j.entry.seq)
+                .collect();
+            prop_assert_eq!(&restricted, &own, "session {} order must survive the merge", i);
+        }
+        // The joint current entry, if any, is the newest active entry.
+        if let Some(current) = JointHistory::current(&refs) {
+            let newest = sessions
+                .iter()
+                .filter_map(|s| s.current())
+                .map(|e| e.seq)
+                .max()
+                .expect("a joint current implies an active entry");
+            prop_assert_eq!(current.entry.seq, newest);
+        }
+    }
+
+    /// Law 5: a session's linear entry order is strictly ascending in
+    /// creation order — traversals move the cursor, never reorder.
+    #[test]
+    fn linear_order_is_ascending_in_seq(ops in ops_strategy()) {
+        let mut h = SessionHistory::new();
+        for op in ops {
+            apply(&mut h, op);
+        }
+        let seqs: Vec<u64> = h.entries().iter().map(|e| e.seq).collect();
+        for window in seqs.windows(2) {
+            prop_assert!(window[0] < window[1], "entries out of order: {:?}", seqs);
+        }
+    }
+
+    /// Law 6: `push` grows the history by exactly one entry minus the
+    /// truncated forward branch.
+    #[test]
+    fn push_length_accounting(ops in ops_strategy()) {
+        let mut h = SessionHistory::new();
+        for op in ops {
+            apply(&mut h, op);
+        }
+        let (len, forward) = (h.len(), h.forward_len());
+        h.push("accounting.html", None, None, None);
+        prop_assert_eq!(h.len(), len - forward + 1);
+    }
+}
+
+/// The route engine agrees with the context's own successor function: with
+/// an `any/next*` route, the allowed next-hop set after entering member
+/// `i` is exactly the context successor of `i` (empty at the last member).
+mod route_conformance {
+    use navsep_hypermodel::{AccessStructureKind, Member, NavigationalContext, RouteSpec};
+    use navsep_web::RouteGuard;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn allowed_next_is_the_context_successor(n in 1usize..8, enter in 0usize..8) {
+            prop_assume!(enter < n);
+            let members: Vec<Member> = (0..n)
+                .map(|i| Member::new(format!("m{i}"), format!("M{i}")))
+                .collect();
+            let ctx = NavigationalContext::new(
+                "t", "T", members, AccessStructureKind::GuidedTour,
+            ).expect("valid context");
+            let mut guard = RouteGuard::new(
+                &RouteSpec::parse("any/next*").expect("valid route"),
+                &ctx,
+            );
+            guard.advance("outside", &format!("m{enter}")).expect("any admits every member");
+            let allowed = guard.allowed_from(&format!("m{enter}"));
+            match ctx.next_of(&format!("m{enter}")) {
+                Some(successor) => {
+                    prop_assert_eq!(allowed.len(), 1);
+                    prop_assert!(allowed.contains(&successor.slug));
+                }
+                None => prop_assert!(allowed.is_empty(), "last member allows nothing"),
+            }
+        }
+    }
+}
+
+/// Deliberately failing properties proving the shrinker reports minimal
+/// counterexamples. The properties are false exactly at a boundary; the
+/// panic message must name that boundary, not whatever case tripped first.
+mod shrinking_demonstration {
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `n < 16` is false from 16 up; the first failing case is some
+        /// random value ≥ 16, and the shrinker must walk it down to 16.
+        #[test]
+        #[should_panic(expected = "minimal counterexample: (16,)")]
+        fn forced_integer_failure_shrinks_to_the_boundary(n in 0u64..1000) {
+            prop_assert!(n < 16);
+        }
+
+        /// Length < 3 is false for any 3-element vector; truncation plus
+        /// element-wise shrinking must land on the all-zero triple.
+        #[test]
+        #[should_panic(expected = "minimal counterexample: ([0, 0, 0],)")]
+        fn forced_vec_failure_shrinks_to_minimal_collection(
+            v in proptest::collection::vec(0u64..10, 0..20),
+        ) {
+            prop_assert!(v.len() < 3);
+        }
+    }
+}

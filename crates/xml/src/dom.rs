@@ -124,6 +124,10 @@ struct NodeData {
 #[derive(Debug, Clone)]
 pub struct Document {
     nodes: Vec<NodeData>,
+    /// Memoized [`content_hash`](Document::content_hash); reset by every
+    /// mutating method so it can never go stale. Cloning a document carries
+    /// the memo along (a clone has identical content by construction).
+    pub(crate) cached_hash: std::sync::OnceLock<u64>,
 }
 
 impl Default for Document {
@@ -141,6 +145,7 @@ impl Document {
                 children: Vec::new(),
                 kind: NodeKind::Document,
             }],
+            cached_hash: std::sync::OnceLock::new(),
         }
     }
 
@@ -327,8 +332,17 @@ impl Document {
     }
 
     // ---- mutation -------------------------------------------------------
+    //
+    // Every method below must call `invalidate_hash` (directly or through
+    // `push_node`) before changing the tree, so the memoized content hash
+    // cannot survive a mutation.
+
+    fn invalidate_hash(&mut self) {
+        self.cached_hash = std::sync::OnceLock::new();
+    }
 
     fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        self.invalidate_hash();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: Some(parent),
@@ -383,6 +397,7 @@ impl Document {
     ///
     /// Panics if `id` is not an element.
     pub fn set_attribute(&mut self, id: NodeId, name: impl Into<QName>, value: impl Into<String>) {
+        self.invalidate_hash();
         let name = name.into();
         let value = value.into();
         match &mut self.nodes[id.index()].kind {
@@ -408,6 +423,7 @@ impl Document {
         prefix: impl Into<String>,
         uri: impl Into<String>,
     ) {
+        self.invalidate_hash();
         match &mut self.nodes[id.index()].kind {
             NodeKind::Element {
                 namespace_decls, ..
@@ -448,6 +464,7 @@ impl Document {
     /// Detaches `id` from its parent (the node stays in the arena and can be
     /// re-inserted).
     pub fn detach(&mut self, id: NodeId) {
+        self.invalidate_hash();
         if let Some(p) = self.nodes[id.index()].parent.take() {
             self.nodes[p.index()].children.retain(|&c| c != id);
         }
@@ -457,6 +474,7 @@ impl Document {
     /// [`append_child`](Document::append_child) or
     /// [`insert_child_at`](Document::insert_child_at).
     pub fn create_detached_element(&mut self, name: impl Into<QName>) -> NodeId {
+        self.invalidate_hash();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: None,
@@ -474,6 +492,7 @@ impl Document {
     /// [`append_child`](Document::append_child) or
     /// [`insert_child_at`](Document::insert_child_at).
     pub fn create_detached_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.invalidate_hash();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: None,

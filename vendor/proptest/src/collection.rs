@@ -17,11 +17,41 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.range_usize(self.size.start, self.size.end);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.size.start;
+        let len = value.len();
+        // Truncations first (most aggressive): down to the minimum length,
+        // halfway there, then one element shorter.
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = min + (len - min) / 2;
+            if half != min && half != len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != min && len - 1 != half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        // Then element-wise shrinks at the current length.
+        for (i, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element).into_iter().take(2) {
+                let mut shrunk = value.clone();
+                shrunk[i] = candidate;
+                out.push(shrunk);
+            }
+        }
+        out
     }
 }

@@ -8,8 +8,11 @@
 //! `prop_assert*!` macros.
 //!
 //! Cases are generated from a deterministic per-test SplitMix64 stream, so
-//! failures reproduce across runs. There is **no shrinking**: a failing
-//! case reports its case index and message as-is.
+//! failures reproduce across runs. Failing cases are **shrunk** before being
+//! reported: the runner greedily re-runs simpler candidates proposed by
+//! [`Strategy::shrink`] (integers halve toward their lower bound,
+//! collections truncate, options drop to `None`) and panics with the
+//! minimal counterexample it converged on, not just a case index.
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +68,20 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 /// Fails the current test case if the two expressions are equal.
@@ -110,19 +127,57 @@ macro_rules! prop_oneof {
     };
 }
 
+/// Upper bound on candidate re-runs during one shrink descent, so a shrink
+/// space with plateaus cannot stall the suite.
+const MAX_SHRINK_RUNS: u32 = 512;
+
+/// Greedy descent: repeatedly replace the failing value with its first
+/// still-failing shrink candidate until no candidate fails (a local — in
+/// practice minimal — counterexample) or the run budget is spent.
+fn shrink_to_minimal<A: Clone>(
+    args: &A,
+    message: String,
+    run: &mut impl FnMut(&A) -> Result<(), TestCaseError>,
+    shrink: &impl Fn(&A) -> Vec<A>,
+) -> (A, String, u32) {
+    let mut current = args.clone();
+    let mut message = message;
+    let mut steps = 0u32;
+    let mut budget = MAX_SHRINK_RUNS;
+    'descend: loop {
+        for candidate in shrink(&current) {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            // Rejections (prop_assume) and passes both mean "not a
+            // counterexample" — only a Fail continues the descent.
+            if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
 #[doc(hidden)]
-pub fn __run_case_loop<A>(
+pub fn __run_case_loop<A: Clone + std::fmt::Debug>(
     test_name: &str,
     config: &Config,
     mut generate: impl FnMut(&mut TestRng) -> A,
-    mut run: impl FnMut(A) -> Result<(), TestCaseError>,
+    mut run: impl FnMut(&A) -> Result<(), TestCaseError>,
+    shrink: impl Fn(&A) -> Vec<A>,
 ) {
     let mut rng = TestRng::new(test_runner::seed_for(test_name));
     let mut accepted = 0u32;
     let mut rejected = 0u32;
     while accepted < config.cases {
         let args = generate(&mut rng);
-        match run(args) {
+        match run(&args) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject(_)) => {
                 rejected += 1;
@@ -134,9 +189,10 @@ pub fn __run_case_loop<A>(
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
+                let (minimal, msg, steps) = shrink_to_minimal(&args, msg, &mut run, &shrink);
                 panic!(
-                    "proptest `{test_name}` failed at case {accepted} \
-                     (deterministic seed, re-run reproduces):\n{msg}"
+                    "proptest `{test_name}` failed (deterministic seed, re-run reproduces); \
+                     shrunk {steps} step(s) to minimal counterexample: {minimal:?}\n{msg}"
                 );
             }
         }
@@ -170,13 +226,110 @@ macro_rules! __proptest_impl {
                 stringify!($name),
                 &config,
                 |rng| ($($crate::Strategy::generate(&($strat), rng),)+),
-                |($($arg,)+)| {
+                |args| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(args);
                     $body
                     #[allow(unreachable_code)]
                     ::std::result::Result::Ok(())
                 },
+                |args| $crate::__shrink_tuple!(args, ($($strat),+)),
             );
         }
         $crate::__proptest_impl! { ($config) $($rest)* }
     };
+}
+
+/// Component-wise shrink candidates for a failing argument tuple: each
+/// component is shrunk by its own strategy with the others held fixed.
+/// Hand-written per arity (shrinking "all but one" component is not
+/// expressible with nested macro repetition); arities beyond 4 fall back to
+/// no shrinking.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_tuple {
+    ($args:expr, ($s0:expr)) => {{
+        let (a0,) = $args;
+        $crate::Strategy::shrink(&($s0), a0)
+            .into_iter()
+            .map(|c0| (c0,))
+            .collect::<::std::vec::Vec<_>>()
+    }};
+    ($args:expr, ($s0:expr, $s1:expr)) => {{
+        let (a0, a1) = $args;
+        let mut out = ::std::vec::Vec::new();
+        for c in $crate::Strategy::shrink(&($s0), a0) {
+            out.push((c, ::std::clone::Clone::clone(a1)));
+        }
+        for c in $crate::Strategy::shrink(&($s1), a1) {
+            out.push((::std::clone::Clone::clone(a0), c));
+        }
+        out
+    }};
+    ($args:expr, ($s0:expr, $s1:expr, $s2:expr)) => {{
+        let (a0, a1, a2) = $args;
+        let mut out = ::std::vec::Vec::new();
+        for c in $crate::Strategy::shrink(&($s0), a0) {
+            out.push((
+                c,
+                ::std::clone::Clone::clone(a1),
+                ::std::clone::Clone::clone(a2),
+            ));
+        }
+        for c in $crate::Strategy::shrink(&($s1), a1) {
+            out.push((
+                ::std::clone::Clone::clone(a0),
+                c,
+                ::std::clone::Clone::clone(a2),
+            ));
+        }
+        for c in $crate::Strategy::shrink(&($s2), a2) {
+            out.push((
+                ::std::clone::Clone::clone(a0),
+                ::std::clone::Clone::clone(a1),
+                c,
+            ));
+        }
+        out
+    }};
+    ($args:expr, ($s0:expr, $s1:expr, $s2:expr, $s3:expr)) => {{
+        let (a0, a1, a2, a3) = $args;
+        let mut out = ::std::vec::Vec::new();
+        for c in $crate::Strategy::shrink(&($s0), a0) {
+            out.push((
+                c,
+                ::std::clone::Clone::clone(a1),
+                ::std::clone::Clone::clone(a2),
+                ::std::clone::Clone::clone(a3),
+            ));
+        }
+        for c in $crate::Strategy::shrink(&($s1), a1) {
+            out.push((
+                ::std::clone::Clone::clone(a0),
+                c,
+                ::std::clone::Clone::clone(a2),
+                ::std::clone::Clone::clone(a3),
+            ));
+        }
+        for c in $crate::Strategy::shrink(&($s2), a2) {
+            out.push((
+                ::std::clone::Clone::clone(a0),
+                ::std::clone::Clone::clone(a1),
+                c,
+                ::std::clone::Clone::clone(a3),
+            ));
+        }
+        for c in $crate::Strategy::shrink(&($s3), a3) {
+            out.push((
+                ::std::clone::Clone::clone(a0),
+                ::std::clone::Clone::clone(a1),
+                ::std::clone::Clone::clone(a2),
+                c,
+            ));
+        }
+        out
+    }};
+    ($args:expr, ($($s:expr),+)) => {{
+        let _ = $args;
+        ::std::vec::Vec::new()
+    }};
 }

@@ -24,4 +24,13 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             None
         }
     }
+
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(inner) => std::iter::once(None)
+                .chain(self.inner.shrink(inner).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }

@@ -7,14 +7,27 @@ use std::rc::Rc;
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree and no shrinking; `generate`
-/// produces one concrete value per call from the supplied RNG.
+/// Unlike real proptest there is no value tree; `generate` produces one
+/// concrete value per call from the supplied RNG. Shrinking is value-based:
+/// [`shrink`](Strategy::shrink) proposes strictly-simpler candidates for a
+/// failing value, and the runner greedily descends while candidates keep
+/// failing.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for `value`, most aggressive first.
+    ///
+    /// The default is no candidates (the value is treated as already
+    /// minimal). Integer ranges halve toward their lower bound, collections
+    /// truncate, options drop to `None`; combinators like `prop_map` cannot
+    /// invert their closure and so do not shrink.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -269,6 +282,28 @@ macro_rules! impl_range_strategy {
                 let offset = (rng.next_u64() as u128) % span;
                 (self.start as i128 + offset as i128) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                // Toward the lower bound: the bound itself, the halfway
+                // point, then a single decrement — enough for the greedy
+                // descent to land exactly on a boundary counterexample.
+                // Arithmetic is widened to i128, like generate(), so wide
+                // signed ranges cannot overflow the subtraction.
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let span = *value as i128 - self.start as i128;
+                    let mid = (self.start as i128 + span / 2) as $ty;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = (*value as i128 - 1) as $ty;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -294,3 +329,30 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_shrink_descends_toward_start() {
+        let strat = 0u64..1000;
+        let candidates = strat.shrink(&100);
+        assert_eq!(candidates, [0, 50, 99]);
+        assert!(strat.shrink(&0).is_empty(), "the bound is already minimal");
+        // Adjacent to the bound: no duplicate candidates.
+        assert_eq!(strat.shrink(&1), [0]);
+    }
+
+    #[test]
+    fn wide_signed_range_shrink_does_not_overflow() {
+        // Regression: span wider than the type's positive half used to
+        // overflow `value - start` in debug builds mid-shrink.
+        let strat = i32::MIN..i32::MAX;
+        let candidates = strat.shrink(&(i32::MAX - 1));
+        assert_eq!(candidates[0], i32::MIN);
+        assert!(candidates.iter().all(|c| *c < i32::MAX - 1));
+        let strat = -1000i64..i64::MAX;
+        assert!(!strat.shrink(&(i64::MAX - 1)).is_empty());
+    }
+}
