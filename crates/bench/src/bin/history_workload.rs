@@ -15,10 +15,20 @@
 //! the next chunk begins. With P publishes the final generation is P+1,
 //! so every entry recorded before the last commit is stale by the end.
 //!
-//! Usage: `cargo run --release --bin history_workload [-- --smoke]`
+//! Usage: `cargo run --release --bin history_workload [-- --smoke]
+//! [-- --time-travel]`
 //! (`--smoke`, or `HISTORY_WORKLOAD_SMOKE=1`, shrinks the step count for
 //! CI; sessions and publishes stay at full scale so the acceptance
 //! invariants hold in both modes).
+//!
+//! `--time-travel` runs the **snapshot-stability** workload instead:
+//! sessions traverse back/forward while the publisher churns data edits
+//! through the store's bounded retention ring, a checker replays a pinned
+//! generation over HTTP on every round asserting its body stays
+//! byte-identical, and every non-degraded `back()` must land on exactly
+//! the generation the history entry recorded. Degradations past the
+//! retention horizon are counted and must carry the explicit header — the
+//! protocol forbids silent substitution.
 
 use navsep_bench::{banner, print_table};
 use navsep_core::museum::{museum_navigation, paper_museum};
@@ -27,11 +37,13 @@ use navsep_core::separated_sources;
 use navsep_core::spec::paper_spec;
 use navsep_hypermodel::AccessStructureKind;
 use navsep_web::{
-    Freshness, HistoryClock, JointHistory, NavigationSession, SessionHistory, ShardedSiteHandler,
-    ShardedSiteStore,
+    Freshness, Handler, HistoryClock, JointHistory, NavigationSession, Request, SessionHistory,
+    ShardedSiteHandler, ShardedSiteStore, AT_GENERATION_HEADER, DEGRADED_HEADER,
 };
+use navsep_xml::Document;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -84,8 +96,26 @@ fn act<H: navsep_web::Handler>(session: &mut NavigationSession<H>, rng: &mut Std
     }
 }
 
+/// A data-document edit that retitles Guernica — content that flows into
+/// `guernica.html`, so the commit really changes a page (an incremental
+/// publisher leaves untouched pages' generation stamps alone, and a
+/// css-only reweave would leave every conditional check fresh).
+fn guernica_edit(round: usize) -> SourceEdit {
+    SourceEdit::put_document(
+        "guernica.xml",
+        Document::parse(&format!(
+            r#"<painting id="guernica"><title>Guernica (rev {round})</title><year>1937</year></painting>"#
+        ))
+        .expect("edit is well-formed"),
+    )
+}
+
 fn main() {
     let smoke = smoke_mode();
+    if std::env::args().any(|a| a == "--time-travel") {
+        time_travel(smoke);
+        return;
+    }
     let steps_per_phase: usize = if smoke { 40 } else { 300 };
 
     let sources = separated_sources(
@@ -153,6 +183,8 @@ fn main() {
             .collect();
 
         // Publisher: one reweave between chunks (none after the last).
+        // Each batch restyles the CSS *and* retitles one painting, so the
+        // reweave genuinely changes a page (see `guernica_edit`).
         for publish in 0..=PUBLISHES {
             chunk_done.wait();
             if publish < PUBLISHES {
@@ -160,7 +192,8 @@ fn main() {
                     "museum.css",
                     format!("/* reweave {publish} */"),
                 ));
-                publisher.commit().expect("css reweave cannot fail");
+                publisher.stage(guernica_edit(publish));
+                publisher.commit().expect("reweave cannot fail");
             }
             commit_done.wait();
         }
@@ -239,4 +272,219 @@ fn main() {
         );
     }
     println!("\nOK — history model, staleness policy, and joint ordering all held under load.");
+}
+
+/// The time-travel workload: sessions traverse while publishes churn the
+/// retention ring, asserting snapshot stability end to end.
+fn time_travel(smoke: bool) {
+    const TT_SESSIONS: usize = 6;
+    const RETENTION: usize = 6;
+    let publishes: usize = if smoke { 10 } else { 24 };
+    let steps: usize = if smoke { 120 } else { 600 };
+
+    let sources = separated_sources(
+        &paper_museum(),
+        &museum_navigation(),
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    )
+    .expect("museum authoring is valid");
+    // Retention smaller than the churn, so eviction and explicit
+    // degradation really happen.
+    let store = Arc::new(ShardedSiteStore::with_retention(16, RETENTION));
+    let mut publisher = SitePublisher::new(sources, Arc::clone(&store));
+    publisher.commit().expect("initial weave");
+    assert!(publishes > RETENTION, "churn must outrun the ring");
+
+    banner(&format!(
+        "history_workload --time-travel — {TT_SESSIONS} sessions × {steps} steps, \
+         {publishes} publishes through a {RETENTION}-epoch ring{}",
+        if smoke { " (smoke)" } else { "" }
+    ));
+
+    // The body generation 1 served for the page the churn keeps editing,
+    // pinned so eviction routes around it.
+    let baseline = store.get("guernica.html").expect("woven page").body();
+    let _pin = store.pin(1);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let (snapshot_checks, session_rows) = std::thread::scope(|scope| {
+        // Publisher: churn data edits as fast as the weaver allows.
+        {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for round in 0..publishes {
+                    publisher.stage(guernica_edit(round));
+                    publisher.commit().expect("data reweave cannot fail");
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Checker: replay the pinned generation over HTTP on every round;
+        // the body must never drift while the publisher churns.
+        let checker = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let baseline = baseline.clone();
+            scope.spawn(move || {
+                let handler = ShardedSiteHandler::new(Arc::clone(&store));
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let response = handler
+                        .handle(&Request::get("guernica.html").header(AT_GENERATION_HEADER, "1"));
+                    assert!(response.status().is_success());
+                    assert_eq!(
+                        response.header_value(DEGRADED_HEADER),
+                        None,
+                        "the pinned generation must never degrade"
+                    );
+                    assert_eq!(
+                        response.body(),
+                        &baseline,
+                        "generation 1's body drifted under churn"
+                    );
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        // Sessions: walk the site, then exercise back()/forward() hard.
+        // Every non-degraded traversal must land on exactly the
+        // generation its history entry recorded; every degradation must
+        // be flagged.
+        let sessions: Vec<_> = (0..TT_SESSIONS)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xDECADE ^ i as u64);
+                    let mut session =
+                        NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+                    session.visit(ENTRY_PAGE).expect("entry page exists");
+                    let mut snapshot_backs = 0u64;
+                    let mut degraded_backs = 0u64;
+                    for _ in 0..steps {
+                        if rng.gen_range(0u32..100) < 55 {
+                            // Wander: follow a random link (restart on dead
+                            // ends) to grow history across generations.
+                            let link = match session.current_page() {
+                                Some(page) if !page.links.is_empty() => {
+                                    page.links[rng.gen_range(0usize..page.links.len())].clone()
+                                }
+                                _ => {
+                                    session.visit(ENTRY_PAGE).ok();
+                                    continue;
+                                }
+                            };
+                            if session.follow_link(&link).is_err() {
+                                session.visit(ENTRY_PAGE).ok();
+                            }
+                            continue;
+                        }
+                        // Traverse: the snapshot assertion proper.
+                        let backwards = rng.gen_range(0u32..10) < 6;
+                        let history = session.history();
+                        let position = history.position().unwrap_or(0);
+                        let entries = history.entries();
+                        let target = if backwards {
+                            position.checked_sub(1).and_then(|p| entries.get(p))
+                        } else {
+                            entries.get(position + 1)
+                        };
+                        let Some(recorded) = target.and_then(|e| e.generation) else {
+                            continue;
+                        };
+                        let step = if backwards {
+                            session.back()
+                        } else {
+                            session.forward()
+                        };
+                        match step {
+                            Ok(page) if page.degraded => {
+                                degraded_backs += 1;
+                                // Degradation is explicit and the entry is
+                                // refreshed to what was really served.
+                                assert_eq!(
+                                    session.current_entry().and_then(|e| e.generation),
+                                    session.current_generation(),
+                                );
+                            }
+                            Ok(_) => {
+                                snapshot_backs += 1;
+                                assert_eq!(
+                                    session.current_generation(),
+                                    Some(recorded),
+                                    "a non-degraded traversal must serve the recorded generation"
+                                );
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                    (session.history().len(), snapshot_backs, degraded_backs)
+                })
+            })
+            .collect();
+        (
+            checker.join().expect("checker thread"),
+            sessions
+                .into_iter()
+                .map(|h| h.join().expect("session thread"))
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    let elapsed = started.elapsed();
+    let mut rows = Vec::new();
+    let mut total_snapshot = 0u64;
+    let mut total_degraded = 0u64;
+    for (i, (entries, snapshot_backs, degraded_backs)) in session_rows.iter().enumerate() {
+        total_snapshot += snapshot_backs;
+        total_degraded += degraded_backs;
+        rows.push(vec![
+            format!("session {i}"),
+            entries.to_string(),
+            snapshot_backs.to_string(),
+            degraded_backs.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "session",
+            "history entries",
+            "snapshot traversals",
+            "degraded traversals",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "final generation    : {} ({publishes} publishes, ring of {RETENTION})",
+        store.generation()
+    );
+    println!("retained            : {:?}", store.retained_generations());
+    println!(
+        "snapshot checks     : {snapshot_checks} byte-identical replays of pinned generation 1 \
+         in {elapsed:.2?}"
+    );
+    println!(
+        "traversals          : {total_snapshot} snapshot-backed, {total_degraded} degraded \
+         (explicitly flagged)"
+    );
+
+    // The acceptance invariants of time-travel mode.
+    assert_eq!(store.generation(), publishes as u64 + 1);
+    assert!(snapshot_checks > 0, "the checker must observe the churn");
+    assert!(
+        total_snapshot > 0,
+        "sessions must complete snapshot-backed traversals"
+    );
+    assert!(
+        store.retained_generations().contains(&1),
+        "the pinned epoch must survive {publishes} publishes through a {RETENTION}-ring"
+    );
+    assert_eq!(
+        store.get_at("guernica.html", 1).expect("pinned").body(),
+        baseline,
+        "generation 1 still serves its original bytes after the churn"
+    );
+    println!("\nOK — snapshots stayed byte-stable under churn; degradations were explicit.");
 }

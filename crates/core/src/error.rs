@@ -27,6 +27,10 @@ pub enum CoreError {
     Pipeline(String),
     /// An audit-gated publish found problems and refused to go live.
     Audit(crate::audit::AuditReport),
+    /// The pre-weave source lint found gating problems (dangling
+    /// locators) and refused to weave at all — cheaper than discovering
+    /// them in the woven output.
+    SourceLint(crate::lint::SourceLintReport),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +43,9 @@ impl fmt::Display for CoreError {
             CoreError::Weave(e) => write!(f, "weave error: {e}"),
             CoreError::Pipeline(m) => write!(f, "pipeline error: {m}"),
             CoreError::Audit(report) => write!(f, "audit rejected publish: {report}"),
+            CoreError::SourceLint(report) => {
+                write!(f, "source lint rejected publish: {report}")
+            }
         }
     }
 }
@@ -51,7 +58,7 @@ impl StdError for CoreError {
             CoreError::XLink(e) => Some(e),
             CoreError::Template(e) => Some(e),
             CoreError::Weave(e) => Some(e),
-            CoreError::Pipeline(_) | CoreError::Audit(_) => None,
+            CoreError::Pipeline(_) | CoreError::Audit(_) | CoreError::SourceLint(_) => None,
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod error;
 pub mod fragments;
 pub mod impact;
 pub mod layout;
+pub mod lint;
 pub mod museum;
 pub mod pipeline;
 pub mod publish;
@@ -58,9 +59,10 @@ pub use derive::{derive_site, DerivedNode, DerivedSite};
 pub use equiv::{assert_site_equivalent, dom_equivalent, explain_difference};
 pub use error::CoreError;
 pub use impact::{diff_lines, myers_distance, DiffStats, FileImpact, FileStatus, ImpactReport};
+pub use lint::{lint_sources, SourceLintFinding, SourceLintReport};
 pub use pipeline::{
-    navigation_aspect, navigation_aspect_shared, navigation_map, weave_separated,
-    weave_separated_cached, weave_separated_cached_with, weave_separated_parallel,
+    navigation_aspect, navigation_aspect_shared, navigation_map, weave_pages_cached,
+    weave_separated, weave_separated_cached, weave_separated_cached_with, weave_separated_parallel,
     weave_separated_with, PageNav, WeaveCache, WovenOutput,
 };
 pub use publish::{PublishOutcome, SitePublisher, SourceEdit};

@@ -17,7 +17,7 @@
 
 use crate::error::CoreError;
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
-use crate::layout::{data_to_page, ASPECTS_PATH, CSS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
+use crate::layout::{data_to_page, ASPECTS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
 use navsep_aspect::{
     AdvicePosition, Aspect, AspectCache, Pointcut, SpecCache, WeaveReport, Weaver,
 };
@@ -362,6 +362,46 @@ pub fn weave_separated_cached(
     weave_impl(sources, &[], Some(cache))
 }
 
+/// Weaves **only** the pages derived from `data_paths` (data-document
+/// paths like `guitar.xml`), fetching compiled specs from `cache` — the
+/// page-level reweave behind [`crate::publish::SitePublisher`]'s
+/// incremental commit path: a K-page edit transforms and weaves K pages,
+/// not the whole site.
+///
+/// Spec compilation and locator validation behave exactly as in
+/// [`weave_separated_cached`] (the linkbase is still validated against the
+/// *entire* current data set); only the transformed/woven page set is
+/// restricted. Each output triple is `(page_path, woven_page, report)`.
+///
+/// # Errors
+///
+/// As [`weave_separated`], plus [`CoreError::Pipeline`] when a requested
+/// path is not a data document in `sources`.
+pub fn weave_pages_cached(
+    sources: &Site,
+    cache: &WeaveCache,
+    data_paths: &[String],
+) -> Result<Vec<(String, navsep_xml::Document, WeaveReport)>, CoreError> {
+    let specs = compile_specs(sources, Some(cache))?;
+    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
+    for a in specs.site_aspects.iter() {
+        weaver.add_aspect(a.clone());
+    }
+    let mut out = Vec::with_capacity(data_paths.len());
+    for path in data_paths {
+        let page_path = data_to_page(path)
+            .ok_or_else(|| CoreError::Pipeline(format!("{path:?} is not a data-document path")))?;
+        let doc = sources
+            .get(path)
+            .and_then(Resource::document)
+            .ok_or_else(|| CoreError::Pipeline(format!("no data document at {path:?}")))?;
+        let base = specs.transform.apply(doc)?;
+        let (woven, report) = weaver.weave_page(&page_path, &base)?;
+        out.push((page_path, woven, report));
+    }
+    Ok(out)
+}
+
 /// Cached variant of [`weave_separated_with`].
 ///
 /// # Errors
@@ -410,14 +450,10 @@ fn weave_impl(
     for (path, doc) in woven {
         site.put_page(path, doc);
     }
-    // Raw resources (the CSS) pass through untouched.
+    // Raw resources (the CSS) pass through untouched, media type and all.
     for (path, res) in sources.iter() {
         if let Resource::Raw { .. } = res {
-            if path == CSS_PATH {
-                site.put_css(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
-            } else {
-                site.put_text(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
-            }
+            site.put_resource(path, res.clone());
         }
     }
     Ok(WovenOutput { site, reports })
@@ -495,11 +531,7 @@ pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenO
     }
     for (path, res) in sources.iter() {
         if let Resource::Raw { .. } = res {
-            if path == CSS_PATH {
-                site.put_css(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
-            } else {
-                site.put_text(path, String::from_utf8_lossy(&res.to_bytes()).into_owned());
-            }
+            site.put_resource(path, res.clone());
         }
     }
     Ok(WovenOutput { site, reports })
@@ -551,7 +583,9 @@ mod tests {
     #[test]
     fn css_passes_through() {
         let out = woven(AccessStructureKind::Index);
-        assert!(out.site.get(CSS_PATH).is_some());
+        let css = out.site.get(crate::layout::CSS_PATH).unwrap();
+        // Media type is preserved through the passthrough.
+        assert_eq!(css.media_type(), navsep_web::MediaType::Css);
     }
 
     #[test]

@@ -1,25 +1,41 @@
-//! Batched publishing: stage K aspect/source edits, weave **once**, swap
-//! the served site **once**.
+//! Batched, **incremental** publishing: stage K aspect/source edits,
+//! reweave only what they touch, swap only the shards that changed.
 //!
 //! The paper's reweave story — change `links.xml`, republish, content
 //! untouched — gets expensive if every edit triggers its own weave and its
 //! own site swap. A [`SitePublisher`] owns the separated sources, a
-//! [`WeaveCache`] (so unchanged specs are never recompiled), and a
+//! [`WeaveCache`] (so unchanged specs are never recompiled), the **last
+//! woven site** (so unchanged pages are never re-woven), and a
 //! [`ShardedSiteStore`]; edits accumulate via [`stage`](SitePublisher::stage)
 //! and [`commit`](SitePublisher::commit) turns the whole batch into exactly
 //! one weave and one generation bump, while readers keep being served the
 //! previous epoch.
 //!
+//! Commits are incremental end to end when the batch touches only data or
+//! raw resources: the K edited pages are re-transformed and re-woven
+//! ([`weave_pages_cached`]), every other page of the retained woven site is
+//! reused as-is (its memoized [`navsep_xml::Document::content_hash`]
+//! travelling with the clone), and
+//! [`ShardedSiteStore::publish_incremental`] then reuses the unchanged
+//! `Arc` entries and skips untouched shards — a K-page edit republishes
+//! O(K) pages, not O(site). A batch that edits a *spec* (linkbase,
+//! transform, `aspects.xml`) falls back to the full weave, since any page
+//! may be affected.
+//!
 //! Commits are transactional over the staged batch: if the weave (or the
-//! audit, for [`commit_audited`](SitePublisher::commit_audited)) fails,
-//! neither the sources nor the served site change, and the batch stays
-//! staged for correction.
+//! audit / pre-weave lint, for
+//! [`commit_audited`](SitePublisher::commit_audited)) fails, neither the
+//! sources nor the served site change, and the batch stays staged for
+//! correction.
 
 use crate::audit::audit_site;
 use crate::error::CoreError;
-use crate::pipeline::{weave_separated_cached, WeaveCache};
-use navsep_web::{ShardedSiteStore, Site};
+use crate::layout::data_to_page;
+use crate::lint::lint_sources;
+use crate::pipeline::{weave_pages_cached, weave_separated_cached, WeaveCache};
+use navsep_web::{IncrementalPublish, Resource, ShardedSiteStore, Site};
 use navsep_xml::Document;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// One staged change to the separated sources.
@@ -98,6 +114,14 @@ pub struct PublishOutcome {
     pub edits_applied: usize,
     /// Resources in the published (woven) site.
     pub resources_published: usize,
+    /// Pages transformed + woven by this commit (K for a K-page data
+    /// batch on the incremental path; every page on the full path).
+    pub pages_rewoven: usize,
+    /// Resources carried over from the previous weave untouched.
+    pub pages_reused: usize,
+    /// What the store-level incremental publish did (entry reuse, shard
+    /// swaps) — see [`IncrementalPublish`].
+    pub store_publish: IncrementalPublish,
 }
 
 /// Owns the separated authoring and republishes it — batched, cached, and
@@ -140,6 +164,11 @@ pub struct SitePublisher {
     store: Arc<ShardedSiteStore>,
     cache: WeaveCache,
     staged: Vec<SourceEdit>,
+    /// The woven site of the last successful commit — what the
+    /// incremental path reuses for untouched pages (document clones carry
+    /// their memoized content hash, so the store's diff is O(1) per
+    /// reused page).
+    last_woven: Option<Site>,
 }
 
 impl SitePublisher {
@@ -151,6 +180,7 @@ impl SitePublisher {
             store,
             cache: WeaveCache::new(),
             staged: Vec::new(),
+            last_woven: None,
         }
     }
 
@@ -191,28 +221,97 @@ impl SitePublisher {
         self.commit_inner(None)
     }
 
-    /// Like [`commit`](Self::commit), but audits the woven site first
-    /// (`roots` are the audit's reachability entry points) and refuses to
-    /// publish a site with findings.
+    /// Like [`commit`](Self::commit), but gated twice: a cheap **pre-weave
+    /// source lint** first (dangling locators named before any weave work
+    /// — see [`crate::lint`]), then the post-weave audit of the woven
+    /// output (`roots` are the audit's reachability entry points). Either
+    /// gate failing publishes nothing.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Audit`] with the full report when the audit is not
-    /// clean (nothing published, batch stays staged); otherwise as
-    /// [`commit`](Self::commit).
+    /// [`CoreError::SourceLint`] when the sources-after-edits carry
+    /// dangling locators; [`CoreError::Audit`] with the full report when
+    /// the woven audit is not clean (nothing published, batch stays
+    /// staged); otherwise as [`commit`](Self::commit).
     pub fn commit_audited(&mut self, roots: &[&str]) -> Result<PublishOutcome, CoreError> {
         self.commit_inner(Some(roots))
+    }
+
+    /// Lints the sources **as the staged batch would leave them**, without
+    /// weaving or publishing anything — the cheap pre-flight
+    /// [`commit_audited`](Self::commit_audited) runs before its weave.
+    pub fn lint(&self) -> crate::lint::SourceLintReport {
+        let mut next = self.sources.clone();
+        for edit in &self.staged {
+            edit.apply(&mut next);
+        }
+        lint_sources(&next)
     }
 
     /// `true` when `edit` touches a spec the [`WeaveCache`] compiles.
     fn edits_spec(edit: &SourceEdit) -> bool {
         use crate::layout::{ASPECTS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
-        let path = match edit {
+        let path = Self::edit_path(edit);
+        path == LINKBASE_PATH || path == TRANSFORM_PATH || path == ASPECTS_PATH
+    }
+
+    /// The path a staged edit touches.
+    fn edit_path(edit: &SourceEdit) -> &str {
+        match edit {
             SourceEdit::PutDocument { path, .. }
             | SourceEdit::PutRaw { path, .. }
             | SourceEdit::Remove { path } => path,
-        };
-        path == LINKBASE_PATH || path == TRANSFORM_PATH || path == ASPECTS_PATH
+        }
+    }
+
+    /// Reweaves only what the staged batch touched, reusing every other
+    /// page of `prev` (the last woven site) verbatim. Only valid when no
+    /// spec changed. Returns the next woven site plus (rewoven, reused)
+    /// counts.
+    fn incremental_weave(
+        &self,
+        next: &Site,
+        prev: &Site,
+    ) -> Result<(Site, usize, usize), CoreError> {
+        let mut site = prev.clone();
+        let touched: BTreeSet<&str> = self.staged.iter().map(Self::edit_path).collect();
+        let mut to_weave: Vec<String> = Vec::new();
+        let mut raw_refreshed = 0usize;
+        for path in touched {
+            // Drop whatever the previous weave produced for this source,
+            // then mirror what a full weave would emit for its new state:
+            // data documents become woven pages, raw resources pass
+            // through (media type preserved, exactly as the full weave's
+            // passthrough does), anything else vanishes from the output.
+            site.remove(path);
+            if let Some(page) = data_to_page(path) {
+                site.remove(&page);
+            }
+            match next.get(path) {
+                None => {}
+                Some(Resource::Document { .. }) => {
+                    if data_to_page(path).is_some() {
+                        to_weave.push(path.to_string());
+                    }
+                }
+                Some(raw @ Resource::Raw { .. }) => {
+                    raw_refreshed += 1;
+                    site.put_resource(path, raw.clone());
+                }
+            }
+        }
+        // Compiles specs from the cache (pure hits — they did not change)
+        // and validates every locator against the full new data set, just
+        // like the full weave.
+        let rewoven = weave_pages_cached(next, &self.cache, &to_weave)?;
+        let pages_rewoven = rewoven.len();
+        for (page_path, doc, _report) in rewoven {
+            site.put_page(page_path, doc);
+        }
+        // Reused = output entries this commit did not write: neither woven
+        // from an edited data document nor refreshed raw passthroughs.
+        let pages_reused = site.len().saturating_sub(pages_rewoven + raw_refreshed);
+        Ok((site, pages_rewoven, pages_reused))
     }
 
     fn commit_inner(&mut self, audit_roots: Option<&[&str]>) -> Result<PublishOutcome, CoreError> {
@@ -222,28 +321,54 @@ impl SitePublisher {
         for edit in &self.staged {
             edit.apply(&mut next);
         }
+        // The pre-weave gate: dangling locators are named from the sources
+        // directly, before any transform or weave work is spent.
+        if audit_roots.is_some() {
+            let report = lint_sources(&next);
+            if report.has_errors() {
+                return Err(CoreError::SourceLint(report));
+            }
+        }
         // A spec edit supersedes its cached compilation; drop the whole
         // cache before the weave so a long-lived publisher holds only the
         // live spec set, not every historical version. (On weave failure
         // the cache re-primes on the next commit — a correctness no-op.)
-        if self.staged.iter().any(Self::edits_spec) {
+        let spec_changed = self.staged.iter().any(Self::edits_spec);
+        if spec_changed {
             self.cache.clear();
         }
-        let woven = weave_separated_cached(&next, &self.cache)?;
+        let (woven_site, pages_rewoven, pages_reused) = match &self.last_woven {
+            // Data/raw-only batches reweave O(K): every untouched page is
+            // the previous weave's document, cloned with its memoized
+            // content hash.
+            Some(prev) if !spec_changed => self.incremental_weave(&next, prev)?,
+            // First commit, or a spec changed: any page may differ — weave
+            // the whole site.
+            _ => {
+                let woven = weave_separated_cached(&next, &self.cache)?;
+                let pages_rewoven = woven.reports.len();
+                (woven.site, pages_rewoven, 0)
+            }
+        };
         if let Some(roots) = audit_roots {
-            let report = audit_site(&woven.site, roots);
+            let report = audit_site(&woven_site, roots);
             if !report.is_clean() {
                 return Err(CoreError::Audit(report));
             }
         }
-        let generation = self.store.publish(&woven.site);
+        let store_publish = self.store.publish_incremental(&woven_site);
         let edits_applied = self.staged.len();
         self.staged.clear();
         self.sources = next;
+        let resources_published = woven_site.len();
+        self.last_woven = Some(woven_site);
         Ok(PublishOutcome {
-            generation,
+            generation: store_publish.generation,
             edits_applied,
-            resources_published: woven.site.len(),
+            resources_published,
+            pages_rewoven,
+            pages_reused,
+            store_publish,
         })
     }
 }
@@ -370,9 +495,10 @@ mod tests {
     fn commits_make_session_history_stale_until_revalidated() {
         // The reweave-awareness policy end to end: a session's history
         // entry records the generation that served it; a publisher commit
-        // supersedes it; the conditional-navigation check detects and
-        // repairs it.
+        // that *changes the page* supersedes it; the conditional-navigation
+        // check detects and repairs it.
         use navsep_web::{Freshness, NavigationSession, ShardedSiteHandler};
+        use navsep_xml::Document;
 
         let (mut p, store) = publisher(AccessStructureKind::Index);
         p.commit().unwrap();
@@ -382,12 +508,18 @@ mod tests {
         assert_eq!(session.history().stale_entries(store.generation()), 0);
         assert_eq!(session.revalidate().unwrap(), Freshness::Fresh);
 
-        p.stage(SourceEdit::put_raw("museum.css", "/* restyle */"));
+        p.stage(SourceEdit::put_document(
+            "guitar.xml",
+            Document::parse(
+                r#"<painting id="guitar"><title>The Guitar (retitled)</title><year>1913</year></painting>"#,
+            )
+            .unwrap(),
+        ));
         p.commit().unwrap();
         assert_eq!(
             session.history().stale_entries(store.generation()),
             2,
-            "both recorded entries predate the reweave"
+            "both recorded entries predate the reweave (conservative count)"
         );
         assert_eq!(
             session.revalidate().unwrap(),
@@ -396,9 +528,159 @@ mod tests {
                 current: 2
             }
         );
-        // Revalidation refreshed the active entry (the other stays stale).
+        // Revalidation refreshed the active entry (the other stays stale
+        // by the conservative history-side count).
         assert_eq!(session.history().stale_entries(store.generation()), 1);
         assert_eq!(session.current_generation(), Some(2));
+    }
+
+    #[test]
+    fn untouched_pages_stay_fresh_under_incremental_commits() {
+        // The precise half of the staleness story: an incremental commit
+        // that never touches a page leaves its shard stamp alone, so the
+        // server-side conditional check answers "fresh" — the user's copy
+        // of the page really is still current, even though the global
+        // generation moved on.
+        use navsep_web::{Freshness, NavigationSession, ShardedSiteHandler};
+
+        let (mut p, store) = publisher(AccessStructureKind::Index);
+        p.commit().unwrap();
+        let mut session = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        session.visit("picasso.html").unwrap();
+        p.stage(SourceEdit::put_raw("museum.css", "/* restyle */"));
+        p.commit().unwrap();
+        assert_eq!(store.generation(), 2);
+        // The conservative history-side count flags the entry…
+        assert_eq!(session.history().stale_entries(store.generation()), 1);
+        // …but the precise server-side check knows the page is unchanged.
+        assert_eq!(session.revalidate().unwrap(), Freshness::Fresh);
+    }
+
+    #[test]
+    fn data_edit_commits_reweave_only_the_edited_pages() {
+        use navsep_xml::Document;
+
+        let (mut p, store) = publisher(AccessStructureKind::IndexedGuidedTour);
+        let first = p.commit().unwrap();
+        assert!(first.pages_rewoven > 1, "first commit weaves everything");
+        assert_eq!(first.pages_reused, 0);
+
+        p.stage(SourceEdit::put_document(
+            "guitar.xml",
+            Document::parse(
+                r#"<painting id="guitar"><title>The Guitar (1913)</title><year>1913</year></painting>"#,
+            )
+            .unwrap(),
+        ));
+        let outcome = p.commit().unwrap();
+        assert_eq!(outcome.pages_rewoven, 1, "one data edit, one page woven");
+        assert!(outcome.pages_reused >= 6);
+        // The store saw the same O(K): one page rendered, the rest reused.
+        assert_eq!(outcome.store_publish.pages_rendered, 1);
+        assert!(outcome.store_publish.shards_skipped > 0);
+        // And the edit is live.
+        let body = store.get("guitar.html").unwrap().body();
+        assert!(String::from_utf8_lossy(&body).contains("The Guitar (1913)"));
+        // Pages in untouched shards keep their original stamp; the old
+        // epoch is still servable.
+        let kept: Vec<String> = store
+            .paths()
+            .into_iter()
+            .filter(|p| store.get(p).unwrap().generation() == 1)
+            .collect();
+        assert!(!kept.is_empty(), "skipped shards keep their stamp");
+        let old = store.get_at("guitar.html", 1).unwrap();
+        assert!(!String::from_utf8_lossy(&old.body()).contains("(1913)"));
+    }
+
+    #[test]
+    fn incremental_commit_equals_full_weave() {
+        use crate::equiv::assert_site_equivalent;
+        use navsep_xml::Document;
+
+        // Drive the same edit script through an incremental publisher and
+        // a from-scratch weave; the served sites must be equivalent.
+        let (mut p, store) = publisher(AccessStructureKind::IndexedGuidedTour);
+        p.commit().unwrap();
+        let edits = [
+            (
+                "guitar.xml",
+                r#"<painting id="guitar"><title>Guitar v2</title><year>1913</year></painting>"#,
+            ),
+            (
+                "avignon.xml",
+                r#"<painting id="avignon"><title>Avignon v2</title><year>1907</year></painting>"#,
+            ),
+        ];
+        for (path, xml) in edits {
+            p.stage(SourceEdit::put_document(
+                path,
+                Document::parse(xml).unwrap(),
+            ));
+            p.commit().unwrap();
+        }
+        p.stage(SourceEdit::put_raw("museum.css", "/* v2 */"))
+            .stage(SourceEdit::remove("avignon.xml"));
+        // Removing avignon.xml dangles its locator: the commit must fail
+        // exactly as a full weave would, leaving the batch staged.
+        assert!(p.commit().is_err());
+        assert_eq!(p.staged_len(), 2);
+        p.stage(SourceEdit::put_document(
+            "avignon.xml",
+            Document::parse(edits[1].1).unwrap(),
+        ));
+        p.commit().unwrap();
+
+        let full = crate::pipeline::weave_separated(p.sources()).unwrap();
+        assert_site_equivalent(&full.site, &store.to_site()).unwrap();
+    }
+
+    #[test]
+    fn spec_edit_falls_back_to_full_weave() {
+        let (mut p, _store) = publisher(AccessStructureKind::Index);
+        p.commit().unwrap();
+        let igt_sources = separated_sources(
+            &paper_museum(),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap();
+        let links = igt_sources.get(LINKBASE_PATH).unwrap().document().unwrap();
+        p.stage(SourceEdit::put_document(LINKBASE_PATH, links.clone()));
+        let outcome = p.commit().unwrap();
+        assert!(
+            outcome.pages_rewoven > 1,
+            "a linkbase edit may touch any page: {outcome:?}"
+        );
+        assert_eq!(outcome.pages_reused, 0);
+    }
+
+    #[test]
+    fn audited_commit_lints_sources_before_weaving() {
+        use crate::lint::SourceLintFinding;
+
+        let (mut p, store) = publisher(AccessStructureKind::Index);
+        p.commit().unwrap();
+        // Remove a data document the linkbase still points at: the
+        // pre-weave lint names the dangling locator without weaving.
+        p.stage(SourceEdit::remove("guitar.xml"));
+        let err = p
+            .commit_audited(&["picasso.html", "braque.html"])
+            .unwrap_err();
+        match err {
+            CoreError::SourceLint(report) => {
+                assert!(report.has_errors());
+                assert!(report.errors().any(|f| matches!(
+                    f,
+                    SourceLintFinding::DanglingLocator { target, .. } if target == "guitar.xml"
+                )));
+            }
+            other => panic!("expected source-lint rejection, got {other}"),
+        }
+        assert_eq!(store.generation(), 1, "nothing published");
+        assert_eq!(p.staged_len(), 1, "batch stays staged");
+        // The publisher's pre-flight lint reports the same thing.
+        assert!(p.lint().has_errors());
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub struct LoadedPage {
     /// the client recorded has been superseded by a reweave. `None` when
     /// the fetch was unconditional or the handler does not participate.
     pub stale: Option<bool>,
+    /// `true` when a time-travel fetch ([`UserAgent::fetch_at`]) asked for
+    /// a generation past the server's retention horizon and the response
+    /// **degraded to latest** ([`crate::store::DEGRADED_HEADER`]);
+    /// `generation` then carries what was actually served.
+    pub degraded: bool,
 }
 
 impl LoadedPage {
@@ -173,6 +178,23 @@ impl<H: Handler> UserAgent<H> {
         )
     }
 
+    /// Like [`fetch`](Self::fetch), but a **time-travel fetch**: asks the
+    /// server (via [`crate::store::AT_GENERATION_HEADER`]) to serve the
+    /// page exactly as `generation` served it, from its retained-epoch
+    /// ring. Past the retention horizon the server degrades to latest with
+    /// an explicit marker — the returned page's
+    /// [`degraded`](LoadedPage::degraded) is then `true`. Handlers that do
+    /// not retain epochs simply serve their current content.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fetch`](Self::fetch).
+    pub fn fetch_at(&self, path: &str, generation: u64) -> Result<LoadedPage, AgentError> {
+        self.fetch_request(
+            Request::get(path).header(crate::store::AT_GENERATION_HEADER, generation.to_string()),
+        )
+    }
+
     fn fetch_request(&self, request: Request) -> Result<LoadedPage, AgentError> {
         let path = request.path().to_string();
         let response: Response = self.handler.handle(&request);
@@ -190,6 +212,9 @@ impl<H: Handler> UserAgent<H> {
             Some("fresh") => Some(false),
             _ => None,
         };
+        let degraded = response
+            .header_value(crate::store::DEGRADED_HEADER)
+            .is_some();
         let doc = Document::parse(&response.body_text())?;
         let links = extract_links(&doc)?;
         let (auto, user): (Vec<UiLink>, Vec<UiLink>) = links
@@ -202,6 +227,7 @@ impl<H: Handler> UserAgent<H> {
             auto_traversals: auto,
             generation,
             stale,
+            degraded,
         })
     }
 
@@ -427,6 +453,45 @@ mod tests {
             plain.fetch_conditional("guitar.html", 1).unwrap().stale,
             None
         );
+    }
+
+    #[test]
+    fn fetch_at_serves_snapshots_and_reports_degradation() {
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse("<html><body>v1</body></html>").unwrap(),
+        );
+        let store = Arc::new(ShardedSiteStore::with_retention(2, 2));
+        store.publish(&site);
+        site.put_page(
+            "a.html",
+            Document::parse("<html><body>v2</body></html>").unwrap(),
+        );
+        store.publish_incremental(&site);
+        let agent = UserAgent::new(ShardedSiteHandler::new(Arc::clone(&store)));
+
+        let old = agent.fetch_at("a.html", 1).unwrap();
+        assert_eq!(old.generation, Some(1));
+        assert!(!old.degraded);
+        assert!(old.doc.to_xml_string().contains("v1"));
+
+        // Evict generation 1 (retention 2): the fetch degrades, explicitly.
+        site.put_page(
+            "a.html",
+            Document::parse("<html><body>v3</body></html>").unwrap(),
+        );
+        store.publish_incremental(&site);
+        let degraded = agent.fetch_at("a.html", 1).unwrap();
+        assert!(degraded.degraded);
+        assert_eq!(degraded.generation, Some(3));
+        assert!(degraded.doc.to_xml_string().contains("v3"));
+
+        // Plain fetches never report degradation.
+        assert!(!agent.fetch("a.html").unwrap().degraded);
     }
 
     #[test]

@@ -298,6 +298,15 @@ impl SessionHistory {
         self.current.as_ref().map(|_| self.back.len())
     }
 
+    /// The distinct serving generations this history still references,
+    /// ascending — exactly what a store's retained-epoch ring must keep
+    /// servable for this session's `back()`/`forward()` to stay
+    /// snapshot-backed (see `ShardedSiteStore::pin`, which biases eviction
+    /// away from pinned generations).
+    pub fn referenced_generations(&self) -> BTreeSet<u64> {
+        self.entries().iter().filter_map(|e| e.generation).collect()
+    }
+
     /// How many entries are stale against `current_generation` — the
     /// session-side reweave-awareness count.
     pub fn stale_entries(&self, current_generation: u64) -> usize {
@@ -596,6 +605,20 @@ mod tests {
         assert_eq!(h.entries()[2].freshness(2), Freshness::Unknown);
         assert_eq!(h.stale_entries(2), 1);
         assert_eq!(h.stale_entries(3), 2);
+    }
+
+    #[test]
+    fn referenced_generations_cover_all_stacks() {
+        let mut h = SessionHistory::new();
+        push(&mut h, "a", 1);
+        push(&mut h, "b", 2);
+        push(&mut h, "c", 2);
+        h.push("d", None, None, None);
+        h.back(); // d on the forward stack still counts
+        assert_eq!(
+            h.referenced_generations().into_iter().collect::<Vec<_>>(),
+            [1, 2]
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! * [`SiteHandler`]/[`ServerPool`] — a concurrent worker-pool server with
 //!   atomic re-publish (for re-weaving under load);
 //! * [`ShardedSiteStore`]/[`ShardedSiteHandler`] — the scale path: pages
-//!   partitioned across per-shard locks, whole-site publishes swapped in as
-//!   immutable generation-stamped epochs so readers never block on a weave;
+//!   partitioned across per-shard locks, publishes swapped in as immutable
+//!   generation-stamped epochs so readers never block on a weave, an
+//!   incremental publish path that reuses unchanged pages across
+//!   generations, and a bounded ring of retained epochs serving
+//!   time-travel reads (`x-navsep-at-generation`);
 //! * [`UserAgent`] — the XLink-aware browser: HTML anchors *and* XLink
 //!   simple links, `actuate="onLoad"` auto-traversals;
 //! * [`NavigationSession`] — history plus the **current navigational
@@ -64,7 +67,8 @@ pub use server::{Handler, ServerPool, SiteHandler};
 pub use session::{NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};
 pub use store::{
-    page_shard_hash, ResourceRead, ShardedSiteHandler, ShardedSiteStore, GENERATION_HEADER,
+    page_shard_hash, EpochPin, IncrementalPublish, ResourceRead, ShardedSiteHandler,
+    ShardedSiteStore, AT_GENERATION_HEADER, DEFAULT_RETENTION, DEGRADED_HEADER, GENERATION_HEADER,
     IF_GENERATION_HEADER, STALE_HEADER,
 };
 

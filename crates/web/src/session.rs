@@ -240,11 +240,15 @@ impl<H: Handler> NavigationSession<H> {
     }
 
     /// Goes back one page (context is preserved — the paper's model keeps
-    /// the user inside the context they navigated into). The history entry
-    /// keeps the generation it originally recorded; the *page* is
-    /// re-fetched, so [`current_generation`](Self::current_generation) may
-    /// be newer — exactly the gap [`revalidate`](Self::revalidate)
-    /// classifies.
+    /// the user inside the context they navigated into). This is a **real
+    /// back button**: the page is served from the snapshot of the entry's
+    /// recorded generation (the server's retained-epoch ring), not
+    /// refetched from the latest weave — so
+    /// [`current_generation`](Self::current_generation) equals what the
+    /// entry recorded. Past the retention horizon the server degrades to
+    /// latest explicitly (the entry's stamp is refreshed to match);
+    /// [`revalidate`](Self::revalidate) remains the *deliberate*
+    /// upgrade-to-latest path.
     ///
     /// # Errors
     ///
@@ -253,16 +257,16 @@ impl<H: Handler> NavigationSession<H> {
         if self.current.is_none() {
             return Err(SessionError::NoCurrentPage);
         }
-        let target = self
+        let entry = self
             .history
             .back()
             .ok_or(SessionError::HistoryExhausted("back"))?
-            .path
             .clone();
-        self.refetch(&target, "back")
+        self.refetch(entry, "back")
     }
 
-    /// Goes forward one page.
+    /// Goes forward one page. Snapshot semantics as for
+    /// [`back`](Self::back).
     ///
     /// # Errors
     ///
@@ -271,24 +275,35 @@ impl<H: Handler> NavigationSession<H> {
         if self.current.is_none() {
             return Err(SessionError::NoCurrentPage);
         }
-        let target = self
+        let entry = self
             .history
             .forward()
             .ok_or(SessionError::HistoryExhausted("forward"))?
-            .path
             .clone();
-        self.refetch(&target, "forward")
+        self.refetch(entry, "forward")
     }
 
-    /// Completes a history traversal: re-fetches the entry's page. On
+    /// Completes a history traversal: serves the entry's page from the
+    /// snapshot its recorded generation preserved (a time-travel fetch
+    /// when the entry carries a generation; a plain fetch otherwise). On
     /// fetch failure the cursor move is undone so history and page agree.
     fn refetch(
         &mut self,
-        target: &str,
+        entry: HistoryEntry,
         direction: &'static str,
     ) -> Result<&LoadedPage, SessionError> {
-        match self.agent.fetch(target) {
+        let fetched = match entry.generation {
+            Some(generation) => self.agent.fetch_at(&entry.path, generation),
+            None => self.agent.fetch(&entry.path),
+        };
+        match fetched {
             Ok(page) => {
+                if page.degraded {
+                    // The snapshot is past the retention horizon and the
+                    // server served latest instead; refresh the entry's
+                    // stamp so it names the generation actually shown.
+                    self.history.refresh_current_generation(page.generation);
+                }
                 self.trace.push(Visit {
                     path: page.path.clone(),
                     context: self.context.clone(),
@@ -634,6 +649,84 @@ mod tests {
         let mut plain = NavigationSession::new(three_page_site());
         plain.visit("index.html").unwrap();
         assert_eq!(plain.revalidate().unwrap(), Freshness::Unknown);
+    }
+
+    #[test]
+    fn back_serves_the_recorded_generations_snapshot() {
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body>A v1 <a href="b.html">b</a></body></html>"#).unwrap(),
+        );
+        site.put_page("b.html", Document::parse("<html><body/></html>").unwrap());
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site));
+        let mut s = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        s.visit("a.html").unwrap();
+        s.follow("b").unwrap();
+
+        // The site reweaves under the session; a.html's entry recorded
+        // generation 1.
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body>A v2 <a href="b.html">b</a></body></html>"#).unwrap(),
+        );
+        store.publish_incremental(&site);
+        assert_eq!(store.generation(), 2);
+
+        // back() is a real back button: generation 1's body, not v2.
+        let page = s.back().unwrap();
+        assert!(page.doc.to_xml_string().contains("A v1"));
+        assert!(!page.degraded);
+        assert_eq!(s.current_generation(), Some(1));
+        assert_eq!(s.current_entry().unwrap().generation, Some(1));
+
+        // revalidate() is the explicit upgrade path.
+        assert!(matches!(
+            s.revalidate().unwrap(),
+            Freshness::Stale {
+                recorded: 1,
+                current: 2
+            }
+        ));
+        assert!(s
+            .current_page()
+            .unwrap()
+            .doc
+            .to_xml_string()
+            .contains("A v2"));
+    }
+
+    #[test]
+    fn degraded_back_refreshes_the_entry_stamp() {
+        use crate::store::{ShardedSiteHandler, ShardedSiteStore};
+        use std::sync::Arc;
+
+        let mut site = Site::new();
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body>v1 <a href="b.html">b</a></body></html>"#).unwrap(),
+        );
+        site.put_page("b.html", Document::parse("<html><body/></html>").unwrap());
+        // Retention 1: no history epochs survive a publish.
+        let store = Arc::new(ShardedSiteStore::with_retention(4, 1));
+        store.publish(&site);
+        let mut s = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+        s.visit("a.html").unwrap();
+        s.follow("b").unwrap();
+        site.put_page(
+            "a.html",
+            Document::parse(r#"<html><body>v2 <a href="b.html">b</a></body></html>"#).unwrap(),
+        );
+        store.publish_incremental(&site);
+
+        let page = s.back().unwrap();
+        assert!(page.degraded, "generation 1 is past the horizon");
+        assert!(page.doc.to_xml_string().contains("v2"));
+        // The entry now names what was actually served.
+        assert_eq!(s.current_entry().unwrap().generation, Some(2));
     }
 
     #[test]

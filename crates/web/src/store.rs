@@ -23,13 +23,42 @@
 //! Immutability buys a second win: response bodies are **serialized once
 //! at publish time** and served as refcounted [`bytes::Bytes`] clones, so
 //! a `GET` allocates nothing — where the single-lock handler re-serializes
-//! the document on every request. `cargo bench -p navsep-bench --bench
-//! server_throughput` quantifies both effects.
+//! the document on every request.
+//!
+//! ## Incremental publishing
+//!
+//! [`publish`](ShardedSiteStore::publish) re-renders and re-allocates every
+//! page into fresh shard snapshots — O(site) work even for a one-page edit.
+//! [`publish_incremental`](ShardedSiteStore::publish_incremental) diffs the
+//! new site against the previous epoch per shard, keyed by a stable content
+//! key ([`navsep_xml::Document::content_hash`] for documents, an FNV of the
+//! raw bytes otherwise): unchanged entries reuse the previous epoch's
+//! `Arc<Published>` verbatim (no render, no allocation), and shards with no
+//! changed pages are not swapped at all — they keep their old snapshot and
+//! its old generation stamp. A K-page edit republishes O(K) pages, not
+//! O(site); `cargo bench -p navsep-bench --bench server_throughput`
+//! (`incremental_publish` group) quantifies the gap.
+//!
+//! ## Retained epochs and time travel
+//!
+//! The store retains a bounded ring of the last R epochs' shard snapshots
+//! (sharing unchanged `Arc<Shard>`s between epochs, so retention after
+//! incremental publishes costs only the changed shards).
+//! [`get_at`](ShardedSiteStore::get_at) serves a path exactly as the
+//! requested generation served it; over HTTP the client asks with the
+//! [`AT_GENERATION_HEADER`] request header. A generation past the
+//! retention horizon **degrades to latest** with the explicit
+//! [`DEGRADED_HEADER`] response header — never a silent substitution.
+//! Eviction is biased by what live sessions' histories still reference:
+//! a [`pin`](ShardedSiteStore::pin) keeps that generation's epoch in the
+//! ring while older *unpinned* epochs are evicted first (the ring stays
+//! bounded: if every candidate is pinned the oldest goes anyway).
 
 use crate::http::{Method, Request, Response};
 use crate::server::Handler;
 use crate::site::{Resource, Site};
 use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -47,6 +76,22 @@ pub const IF_GENERATION_HEADER: &str = "x-navsep-if-generation";
 /// [`IF_GENERATION_HEADER`].
 pub const STALE_HEADER: &str = "x-navsep-stale";
 
+/// Request header for **time travel**: serve the path exactly as the named
+/// generation served it (a real back button, not a refetch). Answered from
+/// the retained-epoch ring; see [`DEGRADED_HEADER`] for the past-horizon
+/// case.
+pub const AT_GENERATION_HEADER: &str = "x-navsep-at-generation";
+
+/// Response header (value `"latest"`) marking that a requested generation
+/// has been evicted past the retention horizon and the response degraded
+/// to the latest epoch instead. [`GENERATION_HEADER`] then carries the
+/// generation actually served.
+pub const DEGRADED_HEADER: &str = "x-navsep-degraded";
+
+/// Epochs the store retains by default (the latest plus seven history
+/// epochs). Override with [`ShardedSiteStore::with_retention`].
+pub const DEFAULT_RETENTION: usize = 8;
+
 /// Stable 64-bit hash ([`navsep_xml::fnv1a64`]) of the slash-normalized
 /// path, used to assign page ids to shards.
 ///
@@ -56,8 +101,21 @@ pub fn page_shard_hash(path: &str) -> u64 {
     navsep_xml::fnv1a64(path.trim_start_matches('/').as_bytes())
 }
 
+/// Stable content key of a resource, the identity the incremental diff
+/// compares across epochs: the document's memoized
+/// [`content_hash`](navsep_xml::Document::content_hash) (or an FNV of the
+/// raw bytes), mixed with the media type so a re-typed body never aliases.
+fn content_key(res: &Resource) -> u64 {
+    let body = match res {
+        Resource::Document { doc, .. } => doc.content_hash(),
+        Resource::Raw { body, .. } => navsep_xml::fnv1a64(body),
+    };
+    body ^ navsep_xml::fnv1a64(res.media_type().as_str().as_bytes())
+}
+
 /// One resource as published into an epoch: the parsed form plus its
-/// serialization, rendered **once** at publish time.
+/// serialization, rendered **once** at publish time, plus the content key
+/// the incremental diff compares.
 ///
 /// Epoch snapshots are immutable, so the transmitted bytes of a resource
 /// cannot change until the next publish — serializing per `GET` (what
@@ -67,31 +125,44 @@ pub fn page_shard_hash(path: &str) -> u64 {
 struct Published {
     resource: Resource,
     body: bytes::Bytes,
+    content_key: u64,
 }
 
 /// One immutable shard snapshot: the resources it owns plus the generation
 /// that published them. Never mutated after publish — readers share it via
-/// `Arc`.
+/// `Arc`, and epochs that did not change the shard share the same `Arc`.
 #[derive(Debug)]
 struct Shard {
     generation: u64,
-    resources: std::collections::BTreeMap<String, Arc<Published>>,
+    resources: BTreeMap<String, Arc<Published>>,
 }
 
 impl Shard {
     fn empty() -> Self {
         Shard {
             generation: 0,
-            resources: std::collections::BTreeMap::new(),
+            resources: BTreeMap::new(),
         }
     }
+}
+
+/// One retained epoch: the complete, coherent shard set a publish went
+/// live with. Unchanged shards are the same `Arc` as in the neighbouring
+/// epochs, so retention is cheap under incremental publishing.
+#[derive(Debug)]
+struct Epoch {
+    generation: u64,
+    shards: Vec<Arc<Shard>>,
 }
 
 /// A resource read out of the store: the resource plus the generation of
 /// the snapshot that served it.
 ///
 /// Everything comes from one shard snapshot, so `generation` is exactly
-/// the generation that published `resource` — they cannot disagree.
+/// the generation that published `resource` — they cannot disagree. Under
+/// incremental publishing the stamp is the generation that last *changed*
+/// the resource's shard, which may trail the store's global
+/// [`generation`](ShardedSiteStore::generation).
 #[derive(Debug, Clone)]
 pub struct ResourceRead {
     generation: u64,
@@ -117,7 +188,52 @@ impl ResourceRead {
     }
 }
 
-/// A sharded site store with atomic epoch publishing.
+/// What one incremental publish did, page by page and shard by shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalPublish {
+    /// The generation the publish went live as.
+    pub generation: u64,
+    /// Entries reused verbatim (`Arc` clone, no render) from the previous
+    /// epoch.
+    pub pages_reused: usize,
+    /// Entries rendered fresh (new or changed content).
+    pub pages_rendered: usize,
+    /// Shards whose snapshot pointer was swapped.
+    pub shards_swapped: usize,
+    /// Shards left entirely untouched (old snapshot, old generation).
+    pub shards_skipped: usize,
+}
+
+/// An RAII pin keeping one generation's epoch in the retention ring while
+/// live sessions' histories still reference it (see
+/// [`ShardedSiteStore::pin`]). Dropping the pin releases the bias.
+#[derive(Debug)]
+pub struct EpochPin<'a> {
+    store: &'a ShardedSiteStore,
+    generation: u64,
+}
+
+impl EpochPin<'_> {
+    /// The pinned generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.store.pins.lock();
+        if let Some(count) = pins.get_mut(&self.generation) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.generation);
+            }
+        }
+    }
+}
+
+/// A sharded site store with atomic epoch publishing, an incremental
+/// publish path, and a bounded ring of retained generations.
 ///
 /// # Examples
 ///
@@ -138,6 +254,14 @@ impl ResourceRead {
 /// assert_eq!(read.generation(), 1);
 /// // Bodies are pre-serialized at publish time; this clone is refcounted.
 /// assert!(read.body().starts_with(b"<?xml"));
+///
+/// // A one-page edit republishes one page, and the old epoch stays
+/// // servable through the retention ring.
+/// site.put_document("a.xml", Document::parse("<a>edited</a>")?);
+/// let stats = store.publish_incremental(&site);
+/// assert_eq!((stats.pages_rendered, stats.pages_reused), (1, 1));
+/// let old = store.get_at("a.xml", 1).expect("retained");
+/// assert!(old.body().ends_with(b"<a>one</a>"));
 /// # Ok::<(), navsep_xml::ParseXmlError>(())
 /// ```
 #[derive(Debug)]
@@ -145,25 +269,58 @@ pub struct ShardedSiteStore {
     shards: Vec<RwLock<Arc<Shard>>>,
     /// Highest generation ever published (monotone).
     generation: AtomicU64,
-    /// Serializes the swap phase of concurrent publishes so shard
-    /// generations stay monotone in publish order.
+    /// Serializes publishes so shard generations stay monotone in publish
+    /// order (incremental publishes also diff under it, so the epoch they
+    /// diff against is the epoch they replace).
     publish_lock: Mutex<()>,
+    /// The retained epochs, oldest first; the back entry is always the
+    /// live epoch.
+    retained: RwLock<VecDeque<Epoch>>,
+    /// generation → number of live pins ([`pin`](Self::pin)).
+    pins: Mutex<BTreeMap<u64, usize>>,
+    /// Ring capacity (≥ 1).
+    retain: usize,
 }
 
 impl ShardedSiteStore {
-    /// An empty store with `shards` partitions, at generation 0.
+    /// An empty store with `shards` partitions, at generation 0, retaining
+    /// [`DEFAULT_RETENTION`] epochs — sessions get snapshot-backed
+    /// `back()` out of the box. See [`with_retention`](Self::with_retention)
+    /// for the memory trade-off; a store that never serves time-travel
+    /// reads should use `with_retention(shards, 1)`.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> Self {
+        Self::with_retention(shards, DEFAULT_RETENTION)
+    }
+
+    /// An empty store retaining up to `retain` epochs (the live epoch
+    /// counts, so `retain = 1` keeps no history at all).
+    ///
+    /// Retention costs memory proportional to what *changed* between the
+    /// retained epochs: incremental publishes share unchanged shards
+    /// between epochs, but every **full** [`publish`](Self::publish)
+    /// re-renders everything, so a store fed only full publishes holds up
+    /// to `retain` complete site copies. A store that never serves
+    /// time-travel reads should use `retain = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `retain` is zero.
+    pub fn with_retention(shards: usize, retain: usize) -> Self {
         assert!(shards > 0, "a sharded store needs at least one shard");
+        assert!(retain > 0, "the live epoch must be retained");
         ShardedSiteStore {
             shards: (0..shards)
                 .map(|_| RwLock::new(Arc::new(Shard::empty())))
                 .collect(),
             generation: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
+            retained: RwLock::new(VecDeque::new()),
+            pins: Mutex::new(BTreeMap::new()),
+            retain,
         }
     }
 
@@ -177,6 +334,12 @@ impl ShardedSiteStore {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Ring capacity: how many epochs (including the live one) the store
+    /// retains.
+    pub fn retention(&self) -> usize {
+        self.retain
     }
 
     /// The shard index a path maps to.
@@ -195,19 +358,24 @@ impl ShardedSiteStore {
 
     /// Publishes `site` as the next generation, returning that generation.
     ///
-    /// The new shard snapshots are built *before* any lock is taken;
-    /// readers keep being served from the previous epoch for the whole
-    /// build. The swap itself write-locks each shard just long enough to
-    /// replace one `Arc` pointer. Concurrent publishes are serialized, so
-    /// per-shard generations are monotone.
+    /// This is the **full** path: every resource is re-rendered into fresh
+    /// shard snapshots. The new snapshots are built *before* any lock is
+    /// taken; readers keep being served from the previous epoch for the
+    /// whole build. The swap itself write-locks each shard just long
+    /// enough to replace one `Arc` pointer. Concurrent publishes are
+    /// serialized, so per-shard generations are monotone.
+    ///
+    /// For reweaves that change few pages, prefer
+    /// [`publish_incremental`](Self::publish_incremental).
     pub fn publish(&self, site: &Site) -> u64 {
         let n = self.shards.len();
-        let mut partitions: Vec<std::collections::BTreeMap<String, Arc<Published>>> =
-            (0..n).map(|_| std::collections::BTreeMap::new()).collect();
+        let mut partitions: Vec<BTreeMap<String, Arc<Published>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
         for (path, res) in site.iter() {
             // Render once here so every GET of this epoch is allocation-free.
             let published = Published {
                 body: res.to_bytes(),
+                content_key: content_key(res),
                 resource: res.clone(),
             };
             partitions[self.shard_of(path)].insert(path.to_string(), Arc::new(published));
@@ -217,14 +385,158 @@ impl ShardedSiteStore {
         // here; the counter is advanced only AFTER every shard serves the
         // new epoch, keeping `generation()`'s contract (see its doc).
         let generation = self.generation.load(Ordering::Acquire) + 1;
-        for (shard, resources) in self.shards.iter().zip(partitions) {
-            *shard.write() = Arc::new(Shard {
-                generation,
-                resources,
-            });
+        let epoch_shards: Vec<Arc<Shard>> = partitions
+            .into_iter()
+            .map(|resources| {
+                Arc::new(Shard {
+                    generation,
+                    resources,
+                })
+            })
+            .collect();
+        // Retain the epoch BEFORE swapping the live shards: a reader that
+        // observes a generation-N stamp must already be able to `get_at`
+        // it (serving an epoch slightly before its swap completes is
+        // harmless — it is real published data).
+        self.push_epoch(Epoch {
+            generation,
+            shards: epoch_shards.clone(),
+        });
+        for (shard, snapshot) in self.shards.iter().zip(epoch_shards) {
+            *shard.write() = snapshot;
         }
         self.generation.store(generation, Ordering::Release);
         generation
+    }
+
+    /// Publishes `site` as the next generation by **diffing against the
+    /// previous epoch**: entries whose content key is unchanged reuse the
+    /// previous `Arc<Published>` verbatim (no render, no allocation), and
+    /// shards with no changed, added, or removed entries are not swapped
+    /// at all — they keep their old snapshot and its old generation stamp.
+    ///
+    /// The diff runs under the publish lock (so it is against exactly the
+    /// epoch being replaced); readers are never blocked — they keep being
+    /// served the previous epoch until each shard's pointer swap.
+    ///
+    /// The content key of a document is its memoized
+    /// [`content_hash`](navsep_xml::Document::content_hash), so publishing
+    /// a site whose unchanged documents are clones of the previous weave
+    /// (what [`SitePublisher`](https://docs.rs/navsep-core) maintains)
+    /// costs O(changed pages), not O(site).
+    ///
+    /// A publish that changes nothing still advances the global
+    /// generation (the epoch ring records it), but no shard is touched.
+    pub fn publish_incremental(&self, site: &Site) -> IncrementalPublish {
+        let n = self.shards.len();
+        let _swap_guard = self.publish_lock.lock();
+        let generation = self.generation.load(Ordering::Acquire) + 1;
+        let previous: Vec<Arc<Shard>> = self.shards.iter().map(|s| Arc::clone(&s.read())).collect();
+        let mut partitions: Vec<BTreeMap<String, Arc<Published>>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        let mut changed = vec![false; n];
+        let mut pages_reused = 0;
+        let mut pages_rendered = 0;
+        for (path, res) in site.iter() {
+            let idx = self.shard_of(path);
+            let key = content_key(res);
+            let entry = match previous[idx].resources.get(path) {
+                Some(prev) if prev.content_key == key => {
+                    pages_reused += 1;
+                    Arc::clone(prev)
+                }
+                _ => {
+                    pages_rendered += 1;
+                    changed[idx] = true;
+                    Arc::new(Published {
+                        body: res.to_bytes(),
+                        content_key: key,
+                        resource: res.clone(),
+                    })
+                }
+            };
+            partitions[idx].insert(path.to_string(), entry);
+        }
+        // A shard with only removals has every surviving entry reused but a
+        // smaller map — it changed too.
+        for idx in 0..n {
+            if !changed[idx] && partitions[idx].len() != previous[idx].resources.len() {
+                changed[idx] = true;
+            }
+        }
+        let mut epoch_shards = Vec::with_capacity(n);
+        let mut shards_swapped = 0;
+        for (idx, resources) in partitions.into_iter().enumerate() {
+            if changed[idx] {
+                epoch_shards.push(Arc::new(Shard {
+                    generation,
+                    resources,
+                }));
+                shards_swapped += 1;
+            } else {
+                epoch_shards.push(Arc::clone(&previous[idx]));
+            }
+        }
+        // Retain before swapping, as in `publish`: a generation-N stamp a
+        // reader observes must already be servable through `get_at`.
+        self.push_epoch(Epoch {
+            generation,
+            shards: epoch_shards.clone(),
+        });
+        for (idx, snapshot) in epoch_shards.into_iter().enumerate() {
+            if changed[idx] {
+                *self.shards[idx].write() = snapshot;
+            }
+        }
+        self.generation.store(generation, Ordering::Release);
+        IncrementalPublish {
+            generation,
+            pages_reused,
+            pages_rendered,
+            shards_swapped,
+            shards_skipped: n - shards_swapped,
+        }
+    }
+
+    /// Appends the epoch to the ring, evicting past capacity. Eviction is
+    /// biased by live pins: the oldest *unpinned* epoch goes first; if
+    /// everything old is pinned the oldest goes anyway (the ring is a hard
+    /// bound). The live (newest) epoch is never the victim.
+    fn push_epoch(&self, epoch: Epoch) {
+        let mut ring = self.retained.write();
+        ring.push_back(epoch);
+        while ring.len() > self.retain {
+            let candidates = ring.len() - 1; // never evict the live epoch
+            let victim = {
+                let pins = self.pins.lock();
+                ring.iter()
+                    .take(candidates)
+                    .position(|e| !pins.contains_key(&e.generation))
+                    .unwrap_or(0)
+            };
+            ring.remove(victim);
+        }
+    }
+
+    /// Pins `generation`'s epoch in the retention ring: while any pin on a
+    /// generation is live, eviction prefers other epochs. Sessions pin the
+    /// generations their histories reference so `back()` stays servable
+    /// while the publisher churns. Pinning cannot resurrect an epoch that
+    /// was already evicted — pin before the churn, not after.
+    pub fn pin(&self, generation: u64) -> EpochPin<'_> {
+        *self.pins.lock().entry(generation).or_insert(0) += 1;
+        EpochPin {
+            store: self,
+            generation,
+        }
+    }
+
+    /// The generations currently retained, oldest first. The last entry is
+    /// the live epoch's generation (equal to
+    /// [`generation`](Self::generation) once the publish that produced it
+    /// has completed).
+    pub fn retained_generations(&self) -> Vec<u64> {
+        self.retained.read().iter().map(|e| e.generation).collect()
     }
 
     /// Looks up `path`, returning the resource together with the generation
@@ -238,38 +550,83 @@ impl ShardedSiteStore {
         })
     }
 
-    /// Total resources across all shards.
+    /// Looks up `path` **as generation `generation` served it**: the
+    /// time-travel read behind a real back button. `generation` is the
+    /// stamp a previous read reported ([`ResourceRead::generation`] /
+    /// [`GENERATION_HEADER`]) — i.e. the generation that last changed the
+    /// path's shard at the time of that read.
     ///
-    /// Counted shard by shard; concurrent publishes may be observed between
-    /// shards (use [`generation`](Self::generation) to detect).
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().resources.len()).sum()
+    /// Returns `None` when the epoch has been evicted past the retention
+    /// horizon (callers degrade to [`get`](Self::get), explicitly — see
+    /// [`DEGRADED_HEADER`]) or when the path did not exist then.
+    pub fn get_at(&self, path: &str, generation: u64) -> Option<ResourceRead> {
+        let key = path.trim_start_matches('/');
+        let idx = self.shard_of(path);
+        let ring = self.retained.read();
+        // Newest first; per-shard generations are monotone across epochs,
+        // so once they drop below the target no older epoch can match.
+        for epoch in ring.iter().rev() {
+            let shard = &epoch.shards[idx];
+            if shard.generation == generation {
+                return shard.resources.get(key).map(|published| ResourceRead {
+                    generation,
+                    published: Arc::clone(published),
+                });
+            }
+            if shard.generation < generation {
+                break;
+            }
+        }
+        None
     }
 
-    /// `true` when no shard holds anything.
+    /// The live epoch's shard set — one coherent snapshot for whole-store
+    /// reads.
+    fn latest_epoch(&self) -> Option<Vec<Arc<Shard>>> {
+        self.retained.read().back().map(|e| e.shards.clone())
+    }
+
+    /// Total resources in the latest published epoch.
+    ///
+    /// Counted over one retained epoch snapshot, so the answer is always
+    /// coherent — a publish concurrent with this call is either fully
+    /// counted or not at all, never half-seen across shards.
+    pub fn len(&self) -> usize {
+        self.latest_epoch()
+            .map(|shards| shards.iter().map(|s| s.resources.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// `true` when nothing has been published (or the last epoch is empty).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// All stored paths, sorted.
+    /// All paths of the latest published epoch, sorted. Like
+    /// [`len`](Self::len), taken from one coherent epoch snapshot.
     pub fn paths(&self) -> Vec<String> {
         let mut out: Vec<String> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.read().resources.keys().cloned().collect::<Vec<_>>())
-            .collect();
+            .latest_epoch()
+            .map(|shards| {
+                shards
+                    .iter()
+                    .flat_map(|s| s.resources.keys().cloned().collect::<Vec<_>>())
+                    .collect()
+            })
+            .unwrap_or_default();
         out.sort();
         out
     }
 
-    /// Reassembles the stored resources into a [`Site`] (e.g. for
+    /// Reassembles the latest epoch's resources into a [`Site`] (e.g. for
     /// auditing). Clones every resource; not a hot-path operation.
     pub fn to_site(&self) -> Site {
         let mut site = Site::new();
-        for shard in &self.shards {
-            let snapshot = Arc::clone(&shard.read());
-            for (path, published) in &snapshot.resources {
-                site.put_resource(path.clone(), published.resource.clone());
+        if let Some(shards) = self.latest_epoch() {
+            for snapshot in shards {
+                for (path, published) in &snapshot.resources {
+                    site.put_resource(path.clone(), published.resource.clone());
+                }
             }
         }
         site
@@ -277,7 +634,9 @@ impl ShardedSiteStore {
 }
 
 /// Serves a [`ShardedSiteStore`], stamping each response with the
-/// generation that produced it (header [`GENERATION_HEADER`]).
+/// generation that produced it (header [`GENERATION_HEADER`]) and
+/// honouring the time-travel ([`AT_GENERATION_HEADER`]) and
+/// conditional-navigation ([`IF_GENERATION_HEADER`]) request headers.
 ///
 /// # Examples
 ///
@@ -327,10 +686,28 @@ impl ShardedSiteHandler {
 impl Handler for ShardedSiteHandler {
     fn handle(&self, request: &Request) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
-        match self.store.get(request.path()) {
+        // Time travel: a client replaying a history entry names the
+        // generation it recorded. Served from the retained-epoch ring;
+        // past the horizon — or on a value we cannot even parse — we
+        // degrade to latest with an explicit header, never silently.
+        let (read, degraded) = match request.header_value(AT_GENERATION_HEADER) {
+            Some(value) => match value
+                .parse::<u64>()
+                .ok()
+                .and_then(|generation| self.store.get_at(request.path(), generation))
+            {
+                Some(read) => (Some(read), false),
+                None => (self.store.get(request.path()), true),
+            },
+            None => (self.store.get(request.path()), false),
+        };
+        match read {
             Some(read) => {
                 let mut response = Response::ok(read.resource().media_type().as_str(), read.body())
                     .with_header(GENERATION_HEADER, read.generation().to_string());
+                if degraded {
+                    response = response.with_header(DEGRADED_HEADER, "latest");
+                }
                 // Conditional navigation: a client revisiting a history
                 // entry tells us which generation it recorded; we answer
                 // whether a reweave has superseded it since.
@@ -477,6 +854,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "live epoch must be retained")]
+    fn zero_retention_rejected() {
+        let _ = ShardedSiteStore::with_retention(4, 0);
+    }
+
+    #[test]
     fn body_matches_resource_serialization() {
         let store = ShardedSiteStore::from_site(4, &site("pre"));
         let read = store.get("a.xml").unwrap();
@@ -489,5 +872,155 @@ mod tests {
         assert_eq!(page_shard_hash("a.xml"), page_shard_hash("a.xml"));
         assert_eq!(page_shard_hash("/a.xml"), page_shard_hash("a.xml"));
         assert_ne!(page_shard_hash("a.xml"), page_shard_hash("b.xml"));
+    }
+
+    #[test]
+    fn incremental_reuses_unchanged_entries_verbatim() {
+        let store = ShardedSiteStore::from_site(4, &site("v1"));
+        let before = store.get("b.xml").unwrap();
+        // Edit only a.xml; b.xml and style.css must be the same Arc.
+        let mut edited = site("v1");
+        edited.put_document("a.xml", Document::parse("<a>v2</a>").unwrap());
+        let stats = store.publish_incremental(&edited);
+        assert_eq!(stats.generation, 2);
+        assert_eq!(stats.pages_rendered, 1);
+        assert_eq!(stats.pages_reused, 2);
+        assert!(stats.shards_swapped >= 1);
+        let after = store.get("b.xml").unwrap();
+        assert!(
+            Arc::ptr_eq(&before.published, &after.published),
+            "unchanged entry must be reused, not re-rendered"
+        );
+        assert!(store.get("a.xml").unwrap().body().ends_with(b"<a>v2</a>"));
+    }
+
+    #[test]
+    fn incremental_skips_unchanged_shards_and_keeps_their_stamp() {
+        // One shard per page, so an unchanged page means an unchanged
+        // shard that keeps its old generation.
+        let store = ShardedSiteStore::from_site(16, &site("v1"));
+        let b_shard_gen = store.get("b.xml").unwrap().generation();
+        assert_eq!(b_shard_gen, 1);
+        let mut edited = site("v1");
+        edited.put_document("a.xml", Document::parse("<a>v2</a>").unwrap());
+        let stats = store.publish_incremental(&edited);
+        assert!(stats.shards_skipped > 0, "{stats:?}");
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.get("a.xml").unwrap().generation(), 2);
+        // The untouched shard still reports the generation that last
+        // changed it.
+        assert_eq!(store.get("b.xml").unwrap().generation(), 1);
+    }
+
+    #[test]
+    fn incremental_handles_adds_and_removals() {
+        let store = ShardedSiteStore::from_site(4, &site("v1"));
+        let mut next = site("v1");
+        next.remove("b.xml");
+        next.put_text("new.txt", "fresh");
+        let stats = store.publish_incremental(&next);
+        assert_eq!(stats.pages_rendered, 1, "only the new page renders");
+        assert!(store.get("b.xml").is_none());
+        assert_eq!(store.get("new.txt").unwrap().generation(), 2);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn noop_incremental_publish_still_advances_generation() {
+        let store = ShardedSiteStore::from_site(4, &site("v1"));
+        let stats = store.publish_incremental(&site("v1"));
+        assert_eq!(stats.generation, 2);
+        assert_eq!(stats.pages_rendered, 0);
+        assert_eq!(stats.shards_swapped, 0);
+        assert_eq!(store.generation(), 2);
+        // Reads keep the stamp of the last change.
+        assert_eq!(store.get("a.xml").unwrap().generation(), 1);
+        assert_eq!(store.retained_generations(), [1, 2]);
+    }
+
+    #[test]
+    fn get_at_serves_retained_epochs_byte_identically() {
+        let store = ShardedSiteStore::from_site(4, &site("v1"));
+        let original = store.get("a.xml").unwrap().body();
+        for round in 2..=4u64 {
+            let mut s = site("v1");
+            s.put_document(
+                "a.xml",
+                Document::parse(&format!("<a>v{round}</a>")).unwrap(),
+            );
+            store.publish_incremental(&s);
+        }
+        // Generation 1's body is still exactly what generation 1 served.
+        let old = store.get_at("a.xml", 1).unwrap();
+        assert_eq!(old.generation(), 1);
+        assert_eq!(old.body(), original);
+        // The live read serves the newest.
+        assert!(store.get("a.xml").unwrap().body().ends_with(b"<a>v4</a>"));
+        // A generation that never stamped this shard yields nothing.
+        assert!(store.get_at("a.xml", 99).is_none());
+    }
+
+    #[test]
+    fn retention_evicts_oldest_and_pins_bias_eviction() {
+        let store = ShardedSiteStore::with_retention(2, 3);
+        store.publish(&site("v1"));
+        let _pin = store.pin(1);
+        for round in 2..=5u64 {
+            store.publish(&site(&format!("v{round}")));
+        }
+        // Capacity 3: generation 1 survives because it is pinned; the
+        // unpinned middle generations were evicted instead.
+        let retained = store.retained_generations();
+        assert_eq!(retained.len(), 3);
+        assert!(retained.contains(&1), "{retained:?}");
+        assert!(retained.contains(&5), "{retained:?}");
+        assert!(store.get_at("a.xml", 1).is_some());
+        assert!(store.get_at("a.xml", 2).is_none(), "evicted past horizon");
+        drop(_pin);
+        store.publish(&site("v6"));
+        // Unpinned now: generation 1 is the eviction victim.
+        assert!(!store.retained_generations().contains(&1));
+        assert!(store.get_at("a.xml", 1).is_none());
+    }
+
+    #[test]
+    fn handler_serves_at_generation_and_degrades_explicitly() {
+        let store = Arc::new(ShardedSiteStore::with_retention(4, 2));
+        store.publish(&site("v1"));
+        store.publish(&site("v2"));
+        let handler = ShardedSiteHandler::new(Arc::clone(&store));
+        // A retained generation is served as-was, no degradation header.
+        let old = handler.handle(&Request::get("a.xml").header(AT_GENERATION_HEADER, "1"));
+        assert_eq!(old.header_value(GENERATION_HEADER), Some("1"));
+        assert_eq!(old.header_value(DEGRADED_HEADER), None);
+        assert!(old.body_text().contains("v1"));
+        // Push generation 1 past the horizon: the same request degrades to
+        // latest, explicitly.
+        store.publish(&site("v3"));
+        let degraded = handler.handle(&Request::get("a.xml").header(AT_GENERATION_HEADER, "1"));
+        assert_eq!(degraded.header_value(DEGRADED_HEADER), Some("latest"));
+        assert_eq!(degraded.header_value(GENERATION_HEADER), Some("3"));
+        assert!(degraded.body_text().contains("v3"));
+        // Unknown paths are 404 regardless of time travel.
+        let missing = handler.handle(&Request::get("ghost.xml").header(AT_GENERATION_HEADER, "1"));
+        assert_eq!(missing.status().code(), 404);
+        // An unparsable generation is still answered from latest — but
+        // flagged, never passed off as the requested snapshot.
+        for junk in ["soon", "20000000000000000000"] {
+            let r = handler.handle(&Request::get("a.xml").header(AT_GENERATION_HEADER, junk));
+            assert_eq!(r.header_value(DEGRADED_HEADER), Some("latest"), "{junk}");
+            assert_eq!(r.header_value(GENERATION_HEADER), Some("3"));
+        }
+    }
+
+    #[test]
+    fn len_and_paths_read_one_coherent_epoch() {
+        let store = ShardedSiteStore::new(4);
+        assert_eq!(store.len(), 0);
+        assert!(store.is_empty());
+        assert!(store.paths().is_empty());
+        store.publish(&site("v1"));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.paths(), ["a.xml", "b.xml", "style.css"]);
     }
 }

@@ -270,6 +270,166 @@ fn sessions_never_record_torn_history_entries_across_live_commits() {
 }
 
 #[test]
+fn pinned_session_never_observes_a_newer_body_through_back() {
+    // The snapshot guarantee under churn: a session whose history is
+    // pinned to generation 1 keeps getting generation 1's exact bytes
+    // from back(), no matter how many newer generations the publisher
+    // swaps in (more than the ring would retain unpinned).
+    use navsep_core::museum::{museum_navigation, paper_museum};
+    use navsep_core::publish::{SitePublisher, SourceEdit};
+    use navsep_core::separated::separated_sources;
+    use navsep_core::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+    use navsep_web::NavigationSession;
+    use navsep_xml::Document;
+
+    const COMMITS: u64 = 20;
+    const RETENTION: usize = 4;
+
+    let sources = separated_sources(
+        &paper_museum(),
+        &museum_navigation(),
+        &paper_spec(AccessStructureKind::IndexedGuidedTour),
+    )
+    .unwrap();
+    let store = Arc::new(ShardedSiteStore::with_retention(8, RETENTION));
+    let mut publisher = SitePublisher::new(sources, Arc::clone(&store));
+    publisher.commit().unwrap();
+    let _pin = store.pin(1);
+    // What generation 1 served for the page the churn keeps rewriting.
+    let baseline = store.get("guitar.html").unwrap().body();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Capture every session's history at generation 1 BEFORE the churn
+    // starts, so each one is genuinely pinned to the old epoch.
+    let sessions: Vec<NavigationSession<ShardedSiteHandler>> = (0..3)
+        .map(|_| {
+            let mut session = NavigationSession::new(ShardedSiteHandler::new(Arc::clone(&store)));
+            session.visit("picasso.html").expect("index page");
+            session.follow("Guitar").expect("tour entry");
+            assert_eq!(session.current_generation(), Some(1));
+            session
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        // Writer: rewrite guitar's data document on every commit, so its
+        // page genuinely changes generation after generation.
+        {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for i in 0..COMMITS {
+                    publisher.stage(SourceEdit::put_document(
+                        "guitar.xml",
+                        Document::parse(&format!(
+                            r#"<painting id="guitar"><title>Guitar rev {i}</title><year>1913</year></painting>"#
+                        ))
+                        .unwrap(),
+                    ));
+                    publisher.commit().expect("data reweave cannot fail");
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Sessions: already parked on guitar.html at generation 1; bounce
+        // back()/forward() against the churn. Every traversal onto the
+        // pinned entry must reproduce the original bytes.
+        for mut session in sessions {
+            let stop = Arc::clone(&stop);
+            let baseline = baseline.clone();
+            scope.spawn(move || {
+                let mut replays = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    session.back().expect("history has the index");
+                    let (degraded, body) = {
+                        let page = session.forward().expect("forward to guitar");
+                        (page.degraded, page.doc.to_xml_string())
+                    };
+                    assert!(!degraded, "the pinned generation must not degrade");
+                    assert_eq!(
+                        session.current_generation(),
+                        Some(1),
+                        "back/forward pinned to generation 1 must stay there"
+                    );
+                    assert_eq!(
+                        bytes::Bytes::from(body),
+                        baseline,
+                        "a newer body leaked through a generation-1 traversal"
+                    );
+                    replays += 1;
+                }
+                assert!(replays > 0, "sessions made no progress");
+            });
+        }
+    });
+
+    assert_eq!(store.generation(), COMMITS + 1);
+    // The pin held against eviction pressure…
+    assert!(store.retained_generations().contains(&1));
+    // …and an unpinned middle generation did get evicted.
+    assert!(store.retained_generations().len() <= RETENTION);
+    assert!(store.get_at("guitar.html", 2).is_none());
+}
+
+#[test]
+fn len_and_paths_stay_coherent_under_publish_churn() {
+    // The documented contract of len()/paths(): they read ONE retained
+    // epoch, so while a publisher alternates sites of different sizes,
+    // readers must only ever see one of the two exact sizes — never a
+    // torn sum across shards.
+    let small: usize = PAGES + 1; // stamped_site: PAGES pages + css
+    let large: usize = small + 7;
+    let big_site = |generation: u64| {
+        let mut site = stamped_site(generation);
+        for i in 0..7 {
+            site.put_text(format!("extra-{i}.txt"), format!("gen={generation}"));
+        }
+        site
+    };
+    let store = Arc::new(ShardedSiteStore::new(8));
+    store.publish(&stamped_site(1));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for round in 0..100u64 {
+                    let generation = store.generation() + 1;
+                    if round % 2 == 0 {
+                        store.publish(&big_site(generation));
+                    } else {
+                        store.publish(&stamped_site(generation));
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let len = store.len();
+                    assert!(
+                        len == small || len == large,
+                        "torn len(): {len} is neither {small} nor {large}"
+                    );
+                    let paths = store.paths();
+                    assert!(
+                        paths.len() == small || paths.len() == large,
+                        "torn paths(): {} entries",
+                        paths.len()
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(store.generation(), 101);
+}
+
+#[test]
 fn concurrent_publishers_stay_monotone() {
     // Several writers race; generations handed out must be unique and the
     // final state must be one coherent epoch per shard.

@@ -1,10 +1,23 @@
 //! Offline stand-in for `criterion`.
 //!
 //! The registry is unreachable in the build environment, so this shim keeps
-//! the workspace's `harness = false` benches compiling and runnable. Each
-//! bench body executes a small fixed number of iterations and reports the
-//! mean wall-clock time per iteration — a smoke measurement, not a
-//! statistically rigorous one.
+//! the workspace's `harness = false` benches compiling and runnable — and,
+//! unlike its first incarnation (a fixed 8-iteration smoke loop), it now
+//! runs a real measurement protocol so the reported numbers are citable:
+//!
+//! 1. **Warm-up** — the closure runs untimed until
+//!    [`WARM_UP_NANOS`] has elapsed (at least once), letting caches,
+//!    allocators, and branch predictors settle and yielding a cost
+//!    estimate;
+//! 2. **Measurement** — iterations are grouped into batches sized from the
+//!    estimate so that [`SAMPLES`] timed samples fit the
+//!    [`MEASUREMENT_NANOS`] budget; each sample is one batch's mean
+//!    nanoseconds per iteration;
+//! 3. **Report** — the per-iteration mean and sample standard deviation
+//!    over those samples, e.g. `12345 ns/iter (± 678, 30 samples, 240
+//!    iters)`.
+//!
+//! `NAVSEP_BENCH_FAST=1` shrinks both time budgets ~10x for smoke runs.
 
 #![forbid(unsafe_code)]
 
@@ -16,8 +29,23 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// Iterations each bench closure runs (after one warm-up call).
-const ITERATIONS: u32 = 8;
+/// Warm-up budget per bench (nanoseconds).
+pub const WARM_UP_NANOS: u128 = 50_000_000;
+
+/// Measurement budget per bench (nanoseconds). A slow closure overruns it
+/// rather than under-sampling: every sample is at least one iteration.
+pub const MEASUREMENT_NANOS: u128 = 250_000_000;
+
+/// Timed samples the measurement loop aims for (each one batch).
+pub const SAMPLES: usize = 30;
+
+fn budgets() -> (u128, u128) {
+    if std::env::var("NAVSEP_BENCH_FAST").is_ok_and(|v| v == "1") {
+        (WARM_UP_NANOS / 10, MEASUREMENT_NANOS / 10)
+    } else {
+        (WARM_UP_NANOS, MEASUREMENT_NANOS)
+    }
+}
 
 /// The benchmark driver handed to `criterion_group!` targets.
 #[derive(Debug, Default)]
@@ -56,7 +84,8 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Overrides the sample count (accepted for compatibility, ignored).
+    /// Overrides the sample count (accepted for compatibility, ignored —
+    /// the shim's sample count is time-targeted).
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
@@ -90,34 +119,88 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
+/// One measured sample: the mean ns/iter of one timed batch.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    nanos_per_iter: f64,
+    iters: u64,
+}
+
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { nanos: 0, iters: 0 };
-    f(&mut bencher);
-    let mean = if bencher.iters == 0 {
-        0
-    } else {
-        bencher.nanos / u128::from(bencher.iters)
+    let mut bencher = Bencher {
+        samples: Vec::new(),
     };
-    println!("bench {label}: {mean} ns/iter ({} iters)", bencher.iters);
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label}: no iterations");
+        return;
+    }
+    let n = bencher.samples.len() as f64;
+    let mean = bencher
+        .samples
+        .iter()
+        .map(|s| s.nanos_per_iter)
+        .sum::<f64>()
+        / n;
+    // Sample standard deviation (n-1 denominator); 0 for a single sample.
+    let std_dev = if bencher.samples.len() > 1 {
+        let var = bencher
+            .samples
+            .iter()
+            .map(|s| (s.nanos_per_iter - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        var.sqrt()
+    } else {
+        0.0
+    };
+    let iters: u64 = bencher.samples.iter().map(|s| s.iters).sum();
+    println!(
+        "bench {label}: {mean:.0} ns/iter (± {std_dev:.0}, {} samples, {iters} iters)",
+        bencher.samples.len()
+    );
 }
 
 /// Times closures passed to [`Bencher::iter`].
 #[derive(Debug)]
 pub struct Bencher {
-    nanos: u128,
-    iters: u32,
+    samples: Vec<Sample>,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly, accumulating elapsed time.
+    /// Runs `f` through the warm-up + batched measurement protocol (see
+    /// the module docs), accumulating samples for the report.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f()); // warm-up, untimed
-        let start = Instant::now();
-        for _ in 0..ITERATIONS {
+        let (warm_up_budget, measure_budget) = budgets();
+        // Warm-up: untimed, at least one call, until the budget elapses.
+        // Also yields the cost estimate that sizes measurement batches.
+        let warm_up = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
             black_box(f());
+            warm_iters += 1;
+            if warm_up.elapsed().as_nanos() >= warm_up_budget {
+                break;
+            }
         }
-        self.nanos += start.elapsed().as_nanos();
-        self.iters += ITERATIONS;
+        let per_iter_estimate = (warm_up.elapsed().as_nanos() / u128::from(warm_iters)).max(1);
+        // Size batches so SAMPLES of them fill the measurement budget.
+        let batch = (measure_budget / (per_iter_estimate * SAMPLES as u128)).clamp(1, 1 << 20);
+        let measurement = Instant::now();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let nanos = start.elapsed().as_nanos();
+            self.samples.push(Sample {
+                nanos_per_iter: nanos as f64 / batch as f64,
+                iters: batch as u64,
+            });
+            if measurement.elapsed().as_nanos() >= measure_budget {
+                break;
+            }
+        }
     }
 }
 
@@ -184,4 +267,26 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports_statistics() {
+        std::env::set_var("NAVSEP_BENCH_FAST", "1");
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|s| s.iters >= 1));
+        assert!(b.samples.iter().all(|s| s.nanos_per_iter >= 0.0));
+        assert!(count > b.samples.iter().map(|s| s.iters).sum::<u64>());
+    }
 }
