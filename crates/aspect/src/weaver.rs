@@ -124,6 +124,13 @@ impl Weaver {
 
     /// Weaves all registered aspects into one page.
     ///
+    /// Compiles the pointcuts against the page's
+    /// [document index](navsep_xml::DocumentIndex) first, then iterates
+    /// candidate join points per rule instead of the full element ×
+    /// rule cross-product — see [`CompiledWeaver`](crate::CompiledWeaver).
+    /// For repeated weaves, compile once with
+    /// [`Weaver::compile`](Weaver::compile) and reuse the result.
+    ///
     /// # Errors
     ///
     /// * [`WeaveError::EmptyPage`] when the page has no root element;
@@ -134,12 +141,30 @@ impl Weaver {
         page: &str,
         doc: &Document,
     ) -> Result<(Document, WeaveReport), WeaveError> {
+        self.compile().weave_page(page, doc)
+    }
+
+    /// Weaves one page the pre-index way: every rule tested against every
+    /// join point. Kept as the executable specification of weaving — the
+    /// compiled path must match it byte for byte (a proptest law) — and as
+    /// the baseline the benches measure the compiled path against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`weave_page`](Weaver::weave_page).
+    pub fn weave_page_naive(
+        &self,
+        page: &str,
+        doc: &Document,
+    ) -> Result<(Document, WeaveReport), WeaveError> {
         if doc.root_element().is_none() {
             return Err(WeaveError::EmptyPage(page.to_string()));
         }
         // The clone shares NodeIds with the input: matching happens on the
-        // input, mutation on the clone — aspects never see each other.
-        let mut out = doc.clone();
+        // input, mutation on the clone — aspects never see each other. The
+        // headroom keeps the first woven-in node from reallocating the whole
+        // arena copy.
+        let mut out = doc.cloned_with_headroom(weave_headroom(doc));
         let mut report = WeaveReport {
             page: page.to_string(),
             ..WeaveReport::default()
@@ -148,14 +173,8 @@ impl Weaver {
         report.join_points = jps.len();
 
         // Stable order: precedence, then registration order.
-        let mut order: Vec<usize> = (0..self.aspects.len()).collect();
-        order.sort_by_key(|&i| (self.aspects[i].precedence(), i));
-
-        // Insertion bookkeeping so same-anchor insertions keep their order.
-        let mut after_counts: HashMap<NodeId, usize> = HashMap::new();
-        let mut prepend_counts: HashMap<NodeId, usize> = HashMap::new();
-        // Who replaced which element: element -> (precedence, aspect index).
-        let mut replaced_by: HashMap<NodeId, (i32, usize)> = HashMap::new();
+        let order = precedence_order(&self.aspects);
+        let mut book = ApplyBook::default();
 
         for &ai in &order {
             let aspect = &self.aspects[ai];
@@ -165,15 +184,14 @@ impl Weaver {
                         continue;
                     }
                     let realized = rule.advice.content.realize(jp);
-                    self.apply(
+                    apply_advice(
+                        &self.aspects,
                         &mut out,
                         jp,
                         rule.advice.position,
                         realized,
                         ai,
-                        &mut after_counts,
-                        &mut prepend_counts,
-                        &mut replaced_by,
+                        &mut book,
                         page,
                     )?;
                     report.events.push(WeaveEvent {
@@ -187,97 +205,133 @@ impl Weaver {
         }
         Ok((out, report))
     }
+    /// Compiles the weaver's pointcuts into a reusable
+    /// [`CompiledWeaver`](crate::CompiledWeaver); weave many pages (or the
+    /// same page repeatedly) without re-analyzing the rules.
+    pub fn compile(&self) -> crate::compiled::CompiledWeaver {
+        crate::compiled::CompiledWeaver::compile(self.aspects.clone())
+    }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn apply(
-        &self,
-        out: &mut Document,
-        jp: &JoinPoint<'_>,
-        position: AdvicePosition,
-        realized: Realized,
-        aspect_index: usize,
-        after_counts: &mut HashMap<NodeId, usize>,
-        prepend_counts: &mut HashMap<NodeId, usize>,
-        replaced_by: &mut HashMap<NodeId, (i32, usize)>,
-        page: &str,
-    ) -> Result<(), WeaveError> {
-        let element = jp.element;
-        let new_nodes: Vec<NodeId> = match realized {
-            Realized::Elements(builders) => {
-                builders.iter().map(|b| b.build_detached(out)).collect()
-            }
-            Realized::Text(t) => vec![out.create_detached_text(t)],
-        };
-        match position {
-            AdvicePosition::Append => {
-                for n in new_nodes {
-                    out.append_child(element, n);
-                }
-            }
-            AdvicePosition::Prepend => {
-                let base = prepend_counts.entry(element).or_insert(0);
-                for n in new_nodes {
-                    out.insert_child_at(element, *base, n);
-                    *base += 1;
-                }
-            }
-            AdvicePosition::Before => {
-                let parent = out
-                    .parent(element)
-                    .expect("join-point elements always have a parent");
-                for n in new_nodes {
-                    let idx = out
-                        .children(parent)
-                        .iter()
-                        .position(|&c| c == element)
-                        .expect("element is a child of its parent");
-                    out.insert_child_at(parent, idx, n);
-                }
-            }
-            AdvicePosition::After => {
-                let parent = out
-                    .parent(element)
-                    .expect("join-point elements always have a parent");
-                let offset = after_counts.entry(element).or_insert(0);
-                for n in new_nodes {
-                    let idx = out
-                        .children(parent)
-                        .iter()
-                        .position(|&c| c == element)
-                        .expect("element is a child of its parent");
-                    out.insert_child_at(parent, idx + 1 + *offset, n);
-                    *offset += 1;
-                }
-            }
-            AdvicePosition::ReplaceContent => {
-                let precedence = self.aspects[aspect_index].precedence();
-                if let Some(&(prev_prec, prev_idx)) = replaced_by.get(&element) {
-                    if prev_prec == precedence && prev_idx != aspect_index {
-                        return Err(WeaveError::ReplaceConflict {
-                            page: page.to_string(),
-                            aspects: (
-                                self.aspects[prev_idx].name().to_string(),
-                                self.aspects[aspect_index].name().to_string(),
-                            ),
-                        });
-                    }
-                }
-                replaced_by.insert(element, (precedence, aspect_index));
-                for c in out.children(element).to_vec() {
-                    out.detach(c);
-                }
-                // Content replacement resets sibling bookkeeping.
-                prepend_counts.remove(&element);
-                for n in new_nodes {
-                    out.append_child(element, n);
-                }
+/// Arena headroom for the clone a weave mutates: enough spare slots that
+/// typical advice volumes never trigger the grow-and-memcpy of a
+/// capacity-exact clone, scaled so it stays a small fraction of the
+/// document itself.
+pub(crate) fn weave_headroom(doc: &Document) -> usize {
+    (doc.len() / 16).max(64)
+}
+
+/// Stable aspect application order: precedence, then registration order.
+pub(crate) fn precedence_order(aspects: &[Aspect]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..aspects.len()).collect();
+    order.sort_by_key(|&i| (aspects[i].precedence(), i));
+    order
+}
+
+/// Insertion bookkeeping for one page weave, shared across rules and
+/// aspects so same-anchor insertions keep their order and replace
+/// conflicts are detected.
+#[derive(Debug, Default)]
+pub(crate) struct ApplyBook {
+    after_counts: HashMap<NodeId, usize>,
+    prepend_counts: HashMap<NodeId, usize>,
+    /// Who replaced which element: element -> (precedence, aspect index).
+    replaced_by: HashMap<NodeId, (i32, usize)>,
+}
+
+/// Applies one realized advice at a join point. Both the naive and the
+/// compiled weave paths funnel through here, so their mutation semantics
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_advice(
+    aspects: &[Aspect],
+    out: &mut Document,
+    jp: &JoinPoint<'_>,
+    position: AdvicePosition,
+    realized: Realized,
+    aspect_index: usize,
+    book: &mut ApplyBook,
+    page: &str,
+) -> Result<(), WeaveError> {
+    let element = jp.element;
+    let new_nodes: Vec<NodeId> = match realized {
+        Realized::Elements(builders) => builders.iter().map(|b| b.build_detached(out)).collect(),
+        Realized::Text(t) => vec![out.create_detached_text(t)],
+    };
+    match position {
+        AdvicePosition::Append => {
+            for n in new_nodes {
+                out.append_child(element, n);
             }
         }
-        Ok(())
+        AdvicePosition::Prepend => {
+            let base = book.prepend_counts.entry(element).or_insert(0);
+            for n in new_nodes {
+                out.insert_child_at(element, *base, n);
+                *base += 1;
+            }
+        }
+        AdvicePosition::Before => {
+            let parent = out
+                .parent(element)
+                .expect("join-point elements always have a parent");
+            for n in new_nodes {
+                let idx = out
+                    .children(parent)
+                    .iter()
+                    .position(|&c| c == element)
+                    .expect("element is a child of its parent");
+                out.insert_child_at(parent, idx, n);
+            }
+        }
+        AdvicePosition::After => {
+            let parent = out
+                .parent(element)
+                .expect("join-point elements always have a parent");
+            let offset = book.after_counts.entry(element).or_insert(0);
+            for n in new_nodes {
+                let idx = out
+                    .children(parent)
+                    .iter()
+                    .position(|&c| c == element)
+                    .expect("element is a child of its parent");
+                out.insert_child_at(parent, idx + 1 + *offset, n);
+                *offset += 1;
+            }
+        }
+        AdvicePosition::ReplaceContent => {
+            let precedence = aspects[aspect_index].precedence();
+            if let Some(&(prev_prec, prev_idx)) = book.replaced_by.get(&element) {
+                if prev_prec == precedence && prev_idx != aspect_index {
+                    return Err(WeaveError::ReplaceConflict {
+                        page: page.to_string(),
+                        aspects: (
+                            aspects[prev_idx].name().to_string(),
+                            aspects[aspect_index].name().to_string(),
+                        ),
+                    });
+                }
+            }
+            book.replaced_by.insert(element, (precedence, aspect_index));
+            for c in out.children(element).to_vec() {
+                out.detach(c);
+            }
+            // Content replacement resets sibling bookkeeping.
+            book.prepend_counts.remove(&element);
+            for n in new_nodes {
+                out.append_child(element, n);
+            }
+        }
     }
+    Ok(())
+}
 
+impl Weaver {
     /// Weaves every page of a site map, returning the woven site and the
     /// per-page reports.
+    ///
+    /// The aspects are compiled once and the compiled weaver is reused for
+    /// every page, so rule analysis is not repeated per page.
     ///
     /// # Errors
     ///
@@ -286,10 +340,11 @@ impl Weaver {
         &self,
         pages: &BTreeMap<String, Document>,
     ) -> Result<(BTreeMap<String, Document>, Vec<WeaveReport>), WeaveError> {
+        let compiled = self.compile();
         let mut out = BTreeMap::new();
         let mut reports = Vec::new();
         for (path, doc) in pages {
-            let (woven, report) = self.weave_page(path, doc)?;
+            let (woven, report) = compiled.weave_page(path, doc)?;
             out.insert(path.clone(), woven);
             reports.push(report);
         }

@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use navsep_aspect::{AdvicePosition, Aspect, Pointcut, Weaver};
+use navsep_bench::{fast_mode, museum_page, record_bench_section};
 use navsep_xml::{Document, ElementBuilder};
+use std::time::Instant;
 
 fn sample_page() -> Document {
     let mut body = ElementBuilder::new("body");
@@ -104,10 +106,160 @@ fn bench_static_vs_generated(c: &mut Criterion) {
     group.finish();
 }
 
+/// The mixed rule set the scale bench weaves: 48 rules across 5 aspects,
+/// shaped like a real site's concern stack — id-targeted navigation
+/// anchors, tag∩attr badge rules, page-gated rules that are empty on the
+/// bench page, name-bucket audit rules, and rules on tags the page does not
+/// contain. Every rule is index-narrowable, so the compiled weaver touches
+/// O(matches) join points where the naive weaver scans all ~100k elements
+/// per rule.
+fn scale_weaver(rooms: usize) -> Weaver {
+    let mut nav = Aspect::new("nav");
+    for k in 0..8usize {
+        nav = nav.rule(
+            Pointcut::parse(&format!(r#"id("p-{}-17")"#, (k * 37) % rooms)).unwrap(),
+            AdvicePosition::After,
+            vec![ElementBuilder::new("a").attr("href", format!("next-{k}.html"))],
+        );
+    }
+    let mut badges = Aspect::new("badges").with_precedence(1);
+    for k in 0..8usize {
+        badges = badges.rule(
+            Pointcut::parse(&format!(
+                r#"element("painting") && attr("id", "p-{}-14")"#,
+                (k * 53) % rooms
+            ))
+            .unwrap(),
+            AdvicePosition::Prepend,
+            vec![ElementBuilder::new("badge")],
+        );
+    }
+    let mut gated = Aspect::new("gated").with_precedence(2);
+    for k in 0..16usize {
+        gated = gated.text_rule(
+            Pointcut::parse(&format!(r#"page("painter-{k}-*") && element("room")"#)).unwrap(),
+            AdvicePosition::Append,
+            "gated",
+        );
+    }
+    let mut audit = Aspect::new("audit").with_precedence(3);
+    for _ in 0..8usize {
+        audit = audit.text_rule(
+            Pointcut::parse(r#"attr("name", "cubism") && element("room")"#).unwrap(),
+            AdvicePosition::Append,
+            "audited",
+        );
+    }
+    let mut rare = Aspect::new("rare").with_precedence(4);
+    for _ in 0..8usize {
+        rare = rare.rule(
+            Pointcut::parse(r#"element("curator-note")"#).unwrap(),
+            AdvicePosition::Before,
+            vec![ElementBuilder::new("hr")],
+        );
+    }
+    Weaver::new()
+        .aspect(nav)
+        .aspect(badges)
+        .aspect(gated)
+        .aspect(audit)
+        .aspect(rare)
+}
+
+/// The acceptance scenario for compiled pointcuts (ISSUE 6): on a
+/// ~100k-element museum page with 48 index-narrowable rules, the compiled
+/// weave must beat the naive element × rule cross-product by >= 5x, while
+/// producing byte-identical output. The headline numbers are recorded in
+/// `BENCH_weave.json`.
+fn bench_compiled_weave_scale(c: &mut Criterion) {
+    const ROOMS: usize = 400;
+    const PER_ROOM: usize = 50;
+    let page = museum_page(ROOMS, PER_ROOM);
+    let elements = page.index().element_count();
+    let nodes = page.descendants(page.document_node()).count();
+    let weaver = scale_weaver(ROOMS);
+    let rules: usize = weaver.aspects().iter().map(|a| a.rules().len()).sum();
+    let compiled = weaver.compile();
+    assert_eq!(compiled.narrowed_rules(), rules, "every scale rule narrows");
+
+    // Correctness first: identical bytes, identical reports (this also
+    // warms the page's document index and memoized hash).
+    let (naive_doc, naive_rep) = weaver.weave_page_naive("p.html", &page).unwrap();
+    let (fast_doc, fast_rep) = compiled.weave_page("p.html", &page).unwrap();
+    assert_eq!(naive_doc.to_xml_string(), fast_doc.to_xml_string());
+    assert_eq!(naive_rep.events, fast_rep.events);
+    assert!(
+        naive_rep.applications() > 0,
+        "the scenario must apply advice"
+    );
+
+    let mut group = c.benchmark_group("weave_scale_100k");
+    group.bench_function(BenchmarkId::new("naive", elements), |b| {
+        b.iter(|| {
+            weaver
+                .weave_page_naive("p.html", &page)
+                .unwrap()
+                .1
+                .applications()
+        })
+    });
+    group.bench_function(BenchmarkId::new("compiled", elements), |b| {
+        b.iter(|| {
+            compiled
+                .weave_page("p.html", &page)
+                .unwrap()
+                .1
+                .applications()
+        })
+    });
+    group.finish();
+
+    // Headline ratio, measured back to back so it is directly citable.
+    let naive_rounds = if fast_mode() { 2 } else { 5 };
+    let compiled_rounds = if fast_mode() { 40 } else { 100 };
+    let t = Instant::now();
+    for _ in 0..naive_rounds {
+        weaver.weave_page_naive("p.html", &page).unwrap();
+    }
+    let naive_per = t.elapsed().as_secs_f64() / naive_rounds as f64;
+    let t = Instant::now();
+    for _ in 0..compiled_rounds {
+        compiled.weave_page("p.html", &page).unwrap();
+    }
+    let compiled_per = t.elapsed().as_secs_f64() / compiled_rounds as f64;
+    let speedup = naive_per / compiled_per;
+    println!(
+        "compiled weave speedup ({elements} elements, {rules} rules): {speedup:.1}x \
+         (naive {:.1}ms, compiled {:.2}ms per weave)",
+        naive_per * 1e3,
+        compiled_per * 1e3,
+    );
+    record_bench_section(
+        "weave_100k",
+        &format!(
+            "{{\"nodes\": {nodes}, \"elements\": {elements}, \"rules\": {rules}, \
+             \"naive_ms_per_weave\": {:.3}, \"compiled_ms_per_weave\": {:.3}, \
+             \"speedup\": {:.1}, \"fast_mode\": {}}}",
+            naive_per * 1e3,
+            compiled_per * 1e3,
+            speedup,
+            fast_mode(),
+        ),
+    );
+    // The acceptance bar (ISSUE 6): compiled weaving must beat the naive
+    // cross-product by >= 5x at 100k nodes. Asserted here (and run in CI)
+    // so a regression fails loudly instead of going stale in the docs.
+    assert!(
+        speedup >= 5.0,
+        "compiled weave regressed below the 5x acceptance bar: {speedup:.2}x"
+    );
+}
+
 criterion_group!(
     benches,
     bench_aspect_count,
     bench_pointcut_complexity,
-    bench_static_vs_generated
+    bench_static_vs_generated,
+    bench_compiled_weave_scale
 );
 criterion_main!(benches);

@@ -44,7 +44,9 @@ fn bench_weave_pipeline_cached(c: &mut Criterion) {
                     .len()
             })
         });
-        assert_eq!(cache.misses(), 3, "steady state must not recompile");
+        // Transform, linkbase, navigation map, and the compiled weaver each
+        // miss exactly once (the warm-up); the loop itself never recompiles.
+        assert_eq!(cache.misses(), 4, "steady state must not recompile");
     }
     group.finish();
 }

@@ -2,8 +2,10 @@
 //! the linkbases use (shorthand ID, `element()`, `xpointer()` paths).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use navsep_bench::{fast_mode, museum_page, record_bench_section};
 use navsep_xml::{Document, ElementBuilder};
-use navsep_xpointer::{evaluate, parse};
+use navsep_xpointer::{evaluate, parse, CompiledPointer};
+use std::time::Instant;
 
 /// A painter document with `n` paintings.
 fn painter_doc(n: usize) -> Document {
@@ -56,5 +58,91 @@ fn bench_parse_only(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pointers, bench_parse_only);
+/// The acceptance scenario for compiled pointers (ISSUE 6): on the same
+/// ~100k-element museum page the weave bench uses, index-narrowed descendant
+/// forms (`//painting[@id=..]`, `//room[@name=..]`) must beat the
+/// interpreter's full-document walk by >= 5x while returning identical
+/// locations. The headline numbers land in `BENCH_weave.json` next to the
+/// weave section.
+fn bench_compiled_pointer_scale(c: &mut Criterion) {
+    let doc = museum_page(400, 50);
+    let elements = doc.index().element_count();
+    let pointers = [
+        ("id_predicate", "xpointer(//painting[@id='p-200-3'])"),
+        ("name_predicate", "xpointer(//room[@name='cubism'])"),
+    ];
+
+    let mut group = c.benchmark_group("xpointer_scale_100k");
+    let mut sections = Vec::new();
+    for (name, text) in pointers {
+        let pointer = parse(text).expect("pointer parses");
+        let compiled = CompiledPointer::compile(&pointer);
+        assert!(compiled.uses_index(), "{text} must plan against the index");
+        // Correctness first: identical locations (also warms the index).
+        let interpreted = evaluate(&doc, &pointer).expect("pointer resolves");
+        let fast = compiled.evaluate(&doc).expect("pointer resolves");
+        assert_eq!(interpreted, fast, "{text} diverged");
+
+        group.bench_with_input(
+            BenchmarkId::new("interpreter", name),
+            &(&doc, &pointer),
+            |b, (doc, ptr)| b.iter(|| evaluate(doc, ptr).expect("resolves").len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled", name),
+            &(&doc, &compiled),
+            |b, (doc, ptr)| b.iter(|| ptr.evaluate(doc).expect("resolves").len()),
+        );
+
+        // Headline ratio, measured back to back so it is directly citable.
+        let interp_rounds = if fast_mode() { 20 } else { 50 };
+        let compiled_rounds = if fast_mode() { 2_000 } else { 10_000 };
+        let t = Instant::now();
+        for _ in 0..interp_rounds {
+            evaluate(&doc, &pointer).expect("resolves");
+        }
+        let interp_per = t.elapsed().as_secs_f64() / interp_rounds as f64;
+        let t = Instant::now();
+        for _ in 0..compiled_rounds {
+            compiled.evaluate(&doc).expect("resolves");
+        }
+        let compiled_per = t.elapsed().as_secs_f64() / compiled_rounds as f64;
+        let speedup = interp_per / compiled_per;
+        println!(
+            "compiled pointer speedup ({elements} elements, {text}): {speedup:.0}x \
+             (interpreter {:.2}ms, compiled {:.4}ms per eval)",
+            interp_per * 1e3,
+            compiled_per * 1e3,
+        );
+        sections.push(format!(
+            "\"{name}\": {{\"interpreter_ms\": {:.4}, \"compiled_ms\": {:.5}, \
+             \"speedup\": {:.0}}}",
+            interp_per * 1e3,
+            compiled_per * 1e3,
+            speedup,
+        ));
+        // The acceptance bar (ISSUE 6): index-narrowed pointer forms must
+        // beat the interpreter by >= 5x at 100k nodes.
+        assert!(
+            speedup >= 5.0,
+            "compiled pointer {text} regressed below the 5x acceptance bar: {speedup:.2}x"
+        );
+    }
+    group.finish();
+    record_bench_section(
+        "xpointer_100k",
+        &format!(
+            "{{\"elements\": {elements}, {}, \"fast_mode\": {}}}",
+            sections.join(", "),
+            fast_mode(),
+        ),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_pointers,
+    bench_parse_only,
+    bench_compiled_pointer_scale
+);
 criterion_main!(benches);

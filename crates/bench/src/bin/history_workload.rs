@@ -329,7 +329,11 @@ fn time_travel(smoke: bool) {
             scope.spawn(move || {
                 let handler = ShardedSiteHandler::new(Arc::clone(&store));
                 let mut checks = 0u64;
-                while !stop.load(Ordering::Acquire) {
+                // Check-then-test-stop (not the reverse): the publisher can
+                // finish its whole churn before this thread is scheduled, and
+                // the replay invariant must still be observed at least once
+                // against the fully churned store.
+                loop {
                     let response = handler
                         .handle(&Request::get("guernica.html").header(AT_GENERATION_HEADER, "1"));
                     assert!(response.status().is_success());
@@ -344,6 +348,9 @@ fn time_travel(smoke: bool) {
                         "generation 1's body drifted under churn"
                     );
                     checks += 1;
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
                 }
                 checks
             })

@@ -30,6 +30,9 @@ use navsep_core::spec::paper_spec;
 use navsep_core::{separated_sources, tangled_site, SiteSpec};
 use navsep_hypermodel::{AccessStructureKind, InstanceStore, NavigationalSchema};
 use navsep_web::Site;
+use navsep_xml::{Document, ElementBuilder};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// A ready-made experimental setup: a museum plus its spec.
 #[derive(Debug)]
@@ -91,6 +94,97 @@ impl Setup {
     }
 }
 
+/// Whether `NAVSEP_BENCH_FAST=1` is set (CI smoke mode: fewer rounds, same
+/// corpus sizes).
+pub fn fast_mode() -> bool {
+    std::env::var("NAVSEP_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// One giant museum *page*: `rooms` rooms of `paintings_per_room` paintings,
+/// each painting carrying four leaf children — `rooms * (1 + 5 *
+/// paintings_per_room) + 1` elements. `museum_page(400, 50)` is the ~100k
+/// element document the compiled-weave scale benches run on.
+///
+/// The attribute population is deliberately index-shaped: every element has
+/// an `id`, every tenth room is `name="cubism"`, every seventh painting is
+/// `class="star"` — so id buckets, name buckets, tag buckets, and unbucketed
+/// predicates all have work to do.
+pub fn museum_page(rooms: usize, paintings_per_room: usize) -> Document {
+    let mut museum = ElementBuilder::new("museum").attr("id", "m0");
+    for r in 0..rooms {
+        let mut room = ElementBuilder::new("room")
+            .attr("id", format!("room-{r}"))
+            .attr("name", if r % 10 == 0 { "cubism" } else { "baroque" });
+        for p in 0..paintings_per_room {
+            let mut painting = ElementBuilder::new("painting").attr("id", format!("p-{r}-{p}"));
+            if p % 7 == 0 {
+                painting = painting.attr("class", "star");
+            }
+            room = room.child(
+                painting
+                    .child(ElementBuilder::new("title").text(format!("Painting {r}.{p}")))
+                    .child(ElementBuilder::new("artist").text(format!("Painter {}", r % 23)))
+                    .child(ElementBuilder::new("year").text(format!("{}", 1800 + (r + p) % 200)))
+                    .child(ElementBuilder::new("medium").text("oil on canvas")),
+            );
+        }
+        museum = museum.child(room);
+    }
+    museum.build_document()
+}
+
+/// Where scale benches record their headline numbers.
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_weave.json")
+}
+
+/// Records one named section (a JSON object literal) into
+/// `BENCH_weave.json`, preserving every other section. The file keeps one
+/// section per line so different benches can merge their results without a
+/// JSON parser.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn record_bench_section(section: &str, json_object: &str) {
+    let path = bench_json_path();
+    let existing = std::fs::read_to_string(&path).ok();
+    let merged = merge_bench_sections(existing.as_deref(), section, json_object);
+    std::fs::write(&path, merged).expect("write BENCH_weave.json");
+}
+
+/// Pure merge behind [`record_bench_section`]: replaces (or appends) one
+/// section of the one-section-per-line JSON document.
+pub fn merge_bench_sections(existing: Option<&str>, section: &str, json_object: &str) -> String {
+    let mut sections: BTreeMap<String, String> = BTreeMap::new();
+    if let Some(text) = existing {
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line == "{" || line == "}" || line.is_empty() {
+                continue;
+            }
+            if let Some((key, value)) = line.split_once(':') {
+                sections.insert(
+                    key.trim().trim_matches('"').to_string(),
+                    value.trim().to_string(),
+                );
+            }
+        }
+    }
+    sections.insert(section.to_string(), json_object.trim().to_string());
+    let mut out = String::from("{\n");
+    let last = sections.len().saturating_sub(1);
+    for (i, (key, value)) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{key}\": {value}{}\n",
+            if i == last { "" } else { "," }
+        ));
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
 /// Prints a section banner.
 pub fn banner(title: &str) {
     println!();
@@ -142,5 +236,26 @@ mod tests {
         let s = Setup::wide(3, 4, AccessStructureKind::Index);
         // 12 paintings + 3 painters + css.
         assert_eq!(s.tangled().len(), 16);
+    }
+
+    #[test]
+    fn museum_page_element_count_matches_formula() {
+        let doc = museum_page(4, 3);
+        assert_eq!(doc.index().element_count(), 4 * (1 + 5 * 3) + 1);
+        // The scale corpus really is ~100k elements.
+        assert_eq!(400 * (1 + 5 * 50) + 1, 100_401);
+    }
+
+    #[test]
+    fn bench_sections_merge_and_replace() {
+        let first = merge_bench_sections(None, "weave", r#"{"speedup": 7.0}"#);
+        assert_eq!(first, "{\n  \"weave\": {\"speedup\": 7.0}\n}\n");
+        let second = merge_bench_sections(Some(&first), "xpointer", r#"{"speedup": 9.0}"#);
+        assert!(second.contains("\"weave\": {\"speedup\": 7.0},"));
+        assert!(second.contains("\"xpointer\": {\"speedup\": 9.0}"));
+        let replaced = merge_bench_sections(Some(&second), "weave", r#"{"speedup": 8.5}"#);
+        assert!(replaced.contains("\"weave\": {\"speedup\": 8.5},"));
+        assert!(replaced.contains("\"xpointer\": {\"speedup\": 9.0}"));
+        assert!(!replaced.contains("7.0"));
     }
 }

@@ -19,13 +19,13 @@ use crate::error::CoreError;
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
 use crate::layout::{data_to_page, ASPECTS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
 use navsep_aspect::{
-    AdvicePosition, Aspect, AspectCache, Pointcut, SpecCache, WeaveReport, Weaver,
+    AdvicePosition, Aspect, AspectCache, CompiledWeaver, Pointcut, SpecCache, WeaveReport, Weaver,
 };
 use navsep_hypermodel::NavLinkKind;
 use navsep_style::Transform;
 use navsep_web::{Resource, Site};
 use navsep_xlink::{Endpoint, Linkbase, Resolver};
-use navsep_xml::ElementBuilder;
+use navsep_xml::{fnv1a64, ElementBuilder};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -173,7 +173,10 @@ pub fn navigation_aspect_shared(map: Arc<BTreeMap<String, PageNav>>) -> Aspect {
 /// * `transform.xml` → a compiled [`Transform`];
 /// * `links.xml` → the parsed [`Linkbase`] *and* the expanded per-page
 ///   navigation map;
-/// * `aspects.xml` → parsed [`Aspect`]s (via [`AspectCache`]).
+/// * `aspects.xml` → parsed [`Aspect`]s (via [`AspectCache`]);
+/// * the (linkbase, aspects) pair → the fully [`CompiledWeaver`], with
+///   every rule pointcut pre-analyzed into its index candidate plan, so a
+///   steady-state reweave goes straight to candidate resolution.
 ///
 /// Locator resolution against the data set is deliberately **not** cached:
 /// it depends on the data documents, which may change between weaves even
@@ -206,6 +209,7 @@ pub struct WeaveCache {
     linkbases: SpecCache<Linkbase>,
     navigation: SpecCache<BTreeMap<String, PageNav>>,
     aspects: AspectCache,
+    weavers: SpecCache<CompiledWeaver>,
 }
 
 impl WeaveCache {
@@ -220,6 +224,7 @@ impl WeaveCache {
             + self.linkbases.hits()
             + self.navigation.hits()
             + self.aspects.hits()
+            + self.weavers.hits()
     }
 
     /// Total lookups that had to compile.
@@ -228,6 +233,7 @@ impl WeaveCache {
             + self.linkbases.misses()
             + self.navigation.misses()
             + self.aspects.misses()
+            + self.weavers.misses()
     }
 
     /// Total compiled specs currently held, across all kinds. The cache
@@ -235,7 +241,11 @@ impl WeaveCache {
     /// this (or [`clear`](Self::clear) when a spec changes, as
     /// [`crate::publish::SitePublisher`] does).
     pub fn entries(&self) -> usize {
-        self.transforms.len() + self.linkbases.len() + self.navigation.len() + self.aspects.len()
+        self.transforms.len()
+            + self.linkbases.len()
+            + self.navigation.len()
+            + self.aspects.len()
+            + self.weavers.len()
     }
 
     /// Drops all cached compilations (counters are kept).
@@ -244,6 +254,7 @@ impl WeaveCache {
         self.linkbases.clear();
         self.navigation.clear();
         self.aspects.clear();
+        self.weavers.clear();
     }
 }
 
@@ -253,6 +264,19 @@ struct CompiledSpecs {
     transform: Arc<Transform>,
     nav_map: Arc<BTreeMap<String, PageNav>>,
     site_aspects: Arc<Vec<Aspect>>,
+    /// The compiled weaver for (navigation aspect + site aspects), fetched
+    /// from the cache when one was supplied.
+    weaver: Option<Arc<CompiledWeaver>>,
+}
+
+/// The weaver every weave starts from: the navigation aspect plus the
+/// site-defined aspects, in that registration order.
+fn base_weaver(nav_map: &Arc<BTreeMap<String, PageNav>>, site_aspects: &[Aspect]) -> Weaver {
+    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(nav_map)));
+    for a in site_aspects {
+        weaver.add_aspect(a.clone());
+    }
+    weaver
 }
 
 /// Compiles (or fetches) every spec in `sources`, then validates locator
@@ -314,10 +338,32 @@ fn compile_specs(sources: &Site, cache: Option<&WeaveCache>) -> Result<CompiledS
         None => Arc::new(Vec::new()),
     };
 
+    // The compiled weaver is a function of the linkbase (navigation aspect)
+    // and aspects.xml, so its cache key is derived from both content hashes
+    // (with a marker distinguishing "no aspects.xml" from any hash value).
+    let weaver = match cache {
+        Some(cache) => {
+            let aspects_key = sources
+                .get(ASPECTS_PATH)
+                .and_then(Resource::document)
+                .map(navsep_xml::Document::content_hash);
+            let mut key_bytes = Vec::with_capacity(17);
+            key_bytes.extend_from_slice(&links_doc.content_hash().to_le_bytes());
+            key_bytes.extend_from_slice(&aspects_key.unwrap_or(0).to_le_bytes());
+            key_bytes.push(u8::from(aspects_key.is_some()));
+            let weaver = cache.weavers.get_or_try_insert(fnv1a64(&key_bytes), || {
+                Ok::<_, CoreError>(base_weaver(&nav_map, &site_aspects).compile())
+            })?;
+            Some(weaver)
+        }
+        None => None,
+    };
+
     Ok(CompiledSpecs {
         transform,
         nav_map,
         site_aspects,
+        weaver,
     })
 }
 
@@ -383,10 +429,10 @@ pub fn weave_pages_cached(
     data_paths: &[String],
 ) -> Result<Vec<(String, navsep_xml::Document, WeaveReport)>, CoreError> {
     let specs = compile_specs(sources, Some(cache))?;
-    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
-    for a in specs.site_aspects.iter() {
-        weaver.add_aspect(a.clone());
-    }
+    let weaver = specs
+        .weaver
+        .clone()
+        .unwrap_or_else(|| Arc::new(base_weaver(&specs.nav_map, &specs.site_aspects).compile()));
     let mut out = Vec::with_capacity(data_paths.len());
     for path in data_paths {
         let page_path = data_to_page(path)
@@ -436,13 +482,18 @@ fn weave_impl(
     }
 
     // Stage 2 — navigation: linkbase → per-page fragments → one aspect.
-    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
-    for a in specs.site_aspects.iter() {
-        weaver.add_aspect(a.clone());
-    }
-    for a in extra_aspects {
-        weaver.add_aspect(a.clone());
-    }
+    // The cached compiled weaver is reusable only for the base aspect set;
+    // extra aspects change the weave, so they force a fresh compile.
+    let weaver = match (&specs.weaver, extra_aspects.is_empty()) {
+        (Some(w), true) => Arc::clone(w),
+        _ => {
+            let mut weaver = base_weaver(&specs.nav_map, &specs.site_aspects);
+            for a in extra_aspects {
+                weaver.add_aspect(a.clone());
+            }
+            Arc::new(weaver.compile())
+        }
+    };
 
     // Stage 3 — weave.
     let (woven, reports) = weaver.weave_site(&pages)?;
@@ -474,11 +525,8 @@ pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenO
     assert!(workers > 0, "need at least one worker");
     let specs = compile_specs(sources, None)?;
     let transform = &specs.transform;
-    let mut weaver = Weaver::new().aspect(navigation_aspect_shared(Arc::clone(&specs.nav_map)));
-    for a in specs.site_aspects.iter() {
-        weaver.add_aspect(a.clone());
-    }
-    let weaver = weaver;
+    // Compile once, share across workers (CompiledWeaver is Send + Sync).
+    let weaver = base_weaver(&specs.nav_map, &specs.site_aspects).compile();
 
     // Partition the data documents round-robin across workers; each worker
     // transforms and weaves its slice independently (pages are independent).
@@ -667,10 +715,10 @@ mod tests {
         let again = weave_separated_cached(&sources, &cache).unwrap();
         crate::equiv::assert_site_equivalent(&uncached.site, &first.site).unwrap();
         crate::equiv::assert_site_equivalent(&uncached.site, &again.site).unwrap();
-        // First cached run compiles (transform + linkbase + nav map), the
-        // second is pure hits.
-        assert_eq!(cache.misses(), 3);
-        assert_eq!(cache.hits(), 3);
+        // First cached run compiles (transform + linkbase + nav map +
+        // compiled weaver), the second is pure hits.
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 4);
     }
 
     #[test]
@@ -689,12 +737,13 @@ mod tests {
         let a = weave_separated_cached(&index, &cache).unwrap();
         let b = weave_separated_cached(&igt, &cache).unwrap();
         // Same transform (1 hit on the second weave); different linkbase
-        // (fresh linkbase + nav-map compilations, no poisoned reuse).
+        // (fresh linkbase + nav-map + weaver compilations, no poisoned
+        // reuse).
         assert!(!crate::equiv::dom_equivalent(
             a.site.get("guitar.html").unwrap().document().unwrap(),
             b.site.get("guitar.html").unwrap().document().unwrap(),
         ));
-        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.misses(), 7);
         assert_eq!(cache.hits(), 1);
     }
 

@@ -6,7 +6,7 @@
 //! straightforward.
 
 use crate::error::{ParseXmlError, TextPos, XmlErrorKind};
-use crate::name::{NamespaceDecl, QName, XML_NS};
+use crate::name::{NamespaceDecl, QName};
 use crate::writer::{WriteOptions, Writer};
 use std::fmt;
 
@@ -128,6 +128,12 @@ pub struct Document {
     /// mutating method so it can never go stale. Cloning a document carries
     /// the memo along (a clone has identical content by construction).
     pub(crate) cached_hash: std::sync::OnceLock<u64>,
+    /// Memoized [`index`](Document::index); shares the hash memo's
+    /// lifecycle — both are reset by the same [`invalidate_memos`]
+    /// choke point, so the index is fresh exactly when the hash is.
+    ///
+    /// [`invalidate_memos`]: Document::invalidate_memos
+    pub(crate) cached_index: std::sync::OnceLock<std::sync::Arc<crate::index::DocumentIndex>>,
 }
 
 impl Default for Document {
@@ -146,6 +152,7 @@ impl Document {
                 kind: NodeKind::Document,
             }],
             cached_hash: std::sync::OnceLock::new(),
+            cached_index: std::sync::OnceLock::new(),
         }
     }
 
@@ -157,6 +164,24 @@ impl Document {
     /// source position of the problem.
     pub fn parse(text: &str) -> Result<Self, ParseXmlError> {
         crate::reader::parse_document(text)
+    }
+
+    /// Clones the document with at least `additional` spare slots in the
+    /// node arena. A derived `clone()` allocates exactly `len` slots, so the
+    /// very first node inserted into the clone reallocates — and memcpys —
+    /// the entire arena; on a 100k-element page that realloc costs more than
+    /// the insertions themselves. Editing pipelines that clone-then-mutate
+    /// (the weaver, for one) use this to fold the headroom into the copy the
+    /// clone performs anyway.
+    #[must_use]
+    pub fn cloned_with_headroom(&self, additional: usize) -> Document {
+        let mut nodes = Vec::with_capacity(self.nodes.len() + additional);
+        nodes.extend(self.nodes.iter().cloned());
+        Document {
+            nodes,
+            cached_hash: self.cached_hash.clone(),
+            cached_index: self.cached_index.clone(),
+        }
     }
 
     /// The synthetic document node (always present).
@@ -302,14 +327,14 @@ impl Document {
         }
     }
 
-    /// Finds the element carrying `id="value"` or `xml:id="value"`.
+    /// Finds the element carrying `id="value"` or `xml:id="value"`,
+    /// earliest in document order.
     ///
-    /// Searches the whole document in document order.
+    /// A map lookup in the memoized [`index`](Document::index) — O(1)
+    /// once the index is built, instead of the historical full-document
+    /// scan.
     pub fn element_by_id(&self, value: &str) -> Option<NodeId> {
-        self.descendants(self.document_node()).find(|&n| {
-            self.attribute(n, "id") == Some(value)
-                || self.attribute_ns(n, XML_NS, "id") == Some(value)
-        })
+        self.index().element_by_id(value)
     }
 
     /// 1-based position of `id` among its parent's *element* children that
@@ -333,16 +358,18 @@ impl Document {
 
     // ---- mutation -------------------------------------------------------
     //
-    // Every method below must call `invalidate_hash` (directly or through
-    // `push_node`) before changing the tree, so the memoized content hash
-    // cannot survive a mutation.
+    // Every method below must call `invalidate_memos` (directly or through
+    // `push_node`) before changing the tree, so neither the memoized
+    // content hash nor the memoized index can survive a mutation. One
+    // choke point keeps the two memos in provable lockstep.
 
-    fn invalidate_hash(&mut self) {
+    fn invalidate_memos(&mut self) {
         self.cached_hash = std::sync::OnceLock::new();
+        self.cached_index = std::sync::OnceLock::new();
     }
 
     fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
-        self.invalidate_hash();
+        self.invalidate_memos();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: Some(parent),
@@ -397,7 +424,7 @@ impl Document {
     ///
     /// Panics if `id` is not an element.
     pub fn set_attribute(&mut self, id: NodeId, name: impl Into<QName>, value: impl Into<String>) {
-        self.invalidate_hash();
+        self.invalidate_memos();
         let name = name.into();
         let value = value.into();
         match &mut self.nodes[id.index()].kind {
@@ -423,7 +450,7 @@ impl Document {
         prefix: impl Into<String>,
         uri: impl Into<String>,
     ) {
-        self.invalidate_hash();
+        self.invalidate_memos();
         match &mut self.nodes[id.index()].kind {
             NodeKind::Element {
                 namespace_decls, ..
@@ -464,7 +491,7 @@ impl Document {
     /// Detaches `id` from its parent (the node stays in the arena and can be
     /// re-inserted).
     pub fn detach(&mut self, id: NodeId) {
-        self.invalidate_hash();
+        self.invalidate_memos();
         if let Some(p) = self.nodes[id.index()].parent.take() {
             self.nodes[p.index()].children.retain(|&c| c != id);
         }
@@ -474,7 +501,7 @@ impl Document {
     /// [`append_child`](Document::append_child) or
     /// [`insert_child_at`](Document::insert_child_at).
     pub fn create_detached_element(&mut self, name: impl Into<QName>) -> NodeId {
-        self.invalidate_hash();
+        self.invalidate_memos();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: None,
@@ -492,7 +519,7 @@ impl Document {
     /// [`append_child`](Document::append_child) or
     /// [`insert_child_at`](Document::insert_child_at).
     pub fn create_detached_text(&mut self, text: impl Into<String>) -> NodeId {
-        self.invalidate_hash();
+        self.invalidate_memos();
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeData {
             parent: None,

@@ -41,6 +41,7 @@ pub mod dom;
 pub mod error;
 pub mod escape;
 pub mod hash;
+pub mod index;
 pub mod name;
 pub mod reader;
 pub mod writer;
@@ -49,6 +50,7 @@ pub use builder::ElementBuilder;
 pub use dom::{Attribute, Descendants, Document, NodeId, NodeKind};
 pub use error::{ParseXmlError, TextPos, XmlErrorKind};
 pub use hash::fnv1a64;
+pub use index::DocumentIndex;
 pub use name::{NamespaceDecl, NamespaceStack, QName, XMLNS_NS, XML_NS};
 pub use reader::MAX_DEPTH;
 pub use writer::{fragment_to_string, WriteOptions, Writer};

@@ -1,0 +1,564 @@
+//! Compiled pointer plans evaluated against the per-document index.
+//!
+//! The interpreter in [`eval`] walks `descendants()` for every
+//! `//` step and scans children per axis application — O(document) per
+//! evaluation. A [`CompiledPointer`] analyzes the pointer **once** and, for
+//! the shapes the [`DocumentIndex`] can answer,
+//! evaluates from index buckets in O(matches):
+//!
+//! * shorthand IDs and `element()` starting IDs — one map lookup;
+//! * pure child chains (`/museum/painter/painting[...]`) — right-to-left
+//!   verification of the last step's tag bucket;
+//! * descendant name steps (`//painting[...]`) — the tag bucket, re-ordered
+//!   to the interpreter's parent-grouped document order;
+//! * `[@id='…']` / `[@name='…']` predicates — candidate narrowing through
+//!   the id/name-attribute buckets.
+//!
+//! Anything else (wildcards, attribute/parent/self axes, predicates on
+//! intermediate steps) falls back to the interpreter, so compiled
+//! evaluation is **always** equivalent to [`evaluate`](crate::evaluate) —
+//! a law the proptest suite pins down over random documents and pointers.
+
+use crate::ast::{Axis, ElementScheme, LocationPath, NodeTest, Pointer, Predicate, SchemePart};
+use crate::error::EvalPointerError;
+use crate::eval::{self, Location};
+use navsep_xml::{Document, DocumentIndex, NodeId};
+
+/// A pointer analyzed once for repeated, index-accelerated evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use navsep_xml::Document;
+/// use navsep_xpointer::{parse, evaluate, CompiledPointer};
+///
+/// let doc = Document::parse(r#"<m><p id="guitar" year="1913"/></m>"#)?;
+/// let pointer = parse("xpointer(//p[@id='guitar'])")?;
+/// let compiled = CompiledPointer::compile(&pointer);
+/// assert_eq!(compiled.evaluate(&doc)?, evaluate(&doc, &pointer)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPointer {
+    source: Pointer,
+    plan: PointerPlan,
+}
+
+#[derive(Debug, Clone)]
+enum PointerPlan {
+    Shorthand(String),
+    Schemes(Vec<PartPlan>),
+}
+
+#[derive(Debug, Clone)]
+enum PartPlan {
+    Element(ElementScheme),
+    Path(CompiledPath),
+    Unknown,
+}
+
+impl CompiledPointer {
+    /// Analyzes `pointer` into an evaluation plan.
+    pub fn compile(pointer: &Pointer) -> Self {
+        let plan = match pointer {
+            Pointer::Shorthand(id) => PointerPlan::Shorthand(id.clone()),
+            Pointer::Schemes(parts) => PointerPlan::Schemes(
+                parts
+                    .iter()
+                    .map(|part| match part {
+                        SchemePart::Element(e) => PartPlan::Element(e.clone()),
+                        SchemePart::XPointer(path) => PartPlan::Path(CompiledPath::compile(path)),
+                        SchemePart::Unknown { .. } => PartPlan::Unknown,
+                    })
+                    .collect(),
+            ),
+        };
+        CompiledPointer {
+            source: pointer.clone(),
+            plan,
+        }
+    }
+
+    /// Parses and compiles pointer text in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParsePointerError`](crate::ParsePointerError) from the
+    /// parser.
+    pub fn parse(text: &str) -> Result<Self, crate::ParsePointerError> {
+        Ok(Self::compile(&crate::parser::parse(text)?))
+    }
+
+    /// The pointer this plan was compiled from.
+    pub fn source(&self) -> &Pointer {
+        &self.source
+    }
+
+    /// `true` when at least one scheme part evaluates from the index
+    /// instead of the interpreter (shorthand pointers always do).
+    pub fn uses_index(&self) -> bool {
+        match &self.plan {
+            PointerPlan::Shorthand(_) => true,
+            PointerPlan::Schemes(parts) => parts.iter().any(|p| match p {
+                PartPlan::Element(_) => true,
+                PartPlan::Path(cp) => cp.uses_index(),
+                PartPlan::Unknown => false,
+            }),
+        }
+    }
+
+    /// Evaluates the plan against `doc`.
+    ///
+    /// Result and error behavior are identical to
+    /// [`evaluate`](crate::evaluate) on the source pointer: scheme parts
+    /// are tried left to right, the first non-empty set wins.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalPointerError::NoMatch`] when nothing is selected.
+    /// * [`EvalPointerError::UnsupportedScheme`] when the pointer consists
+    ///   only of schemes this engine cannot evaluate.
+    pub fn evaluate(&self, doc: &Document) -> Result<Vec<Location>, EvalPointerError> {
+        match &self.plan {
+            PointerPlan::Shorthand(id) => match doc.element_by_id(id) {
+                Some(n) => Ok(vec![Location::Node(n)]),
+                None => Err(EvalPointerError::NoMatch(id.clone())),
+            },
+            PointerPlan::Schemes(parts) => {
+                let mut saw_supported = false;
+                for part in parts {
+                    match part {
+                        PartPlan::Element(e) => {
+                            saw_supported = true;
+                            let locs = eval::eval_element_scheme(doc, e);
+                            if !locs.is_empty() {
+                                return Ok(locs);
+                            }
+                        }
+                        PartPlan::Path(path) => {
+                            saw_supported = true;
+                            let locs = path.eval_as_scheme_part(doc);
+                            if !locs.is_empty() {
+                                return Ok(locs);
+                            }
+                        }
+                        PartPlan::Unknown => {}
+                    }
+                }
+                if saw_supported {
+                    Err(EvalPointerError::NoMatch(self.source.to_string()))
+                } else {
+                    let name = match &self.source {
+                        Pointer::Schemes(parts) => match parts.first() {
+                            Some(SchemePart::Unknown { name, .. }) => name.clone(),
+                            _ => String::new(),
+                        },
+                        Pointer::Shorthand(_) => String::new(),
+                    };
+                    Err(EvalPointerError::UnsupportedScheme(name))
+                }
+            }
+        }
+    }
+}
+
+/// A location path analyzed once for index-accelerated evaluation.
+///
+/// Produced standalone via [`CompiledPath::compile`] (template engines
+/// caching `select` expressions) or as part of a [`CompiledPointer`].
+#[derive(Debug, Clone)]
+pub struct CompiledPath {
+    source: LocationPath,
+    plan: PathPlan,
+}
+
+#[derive(Debug, Clone)]
+enum PathPlan {
+    /// A pure child chain of name tests with predicates only on the final
+    /// step: candidates come from the last name's tag bucket and are
+    /// verified right-to-left up the ancestor chain.
+    Chain {
+        names: Vec<String>,
+        predicates: Vec<Predicate>,
+    },
+    /// Exactly `//name[preds]`: the tag bucket re-sorted to the
+    /// interpreter's (parent pre-order, child order) result order.
+    Descendant {
+        name: String,
+        predicates: Vec<Predicate>,
+    },
+    /// Everything else: delegate to the interpreter.
+    Interp,
+}
+
+impl CompiledPath {
+    /// Analyzes `path` into an evaluation plan.
+    pub fn compile(path: &LocationPath) -> Self {
+        CompiledPath {
+            source: path.clone(),
+            plan: plan_for(path),
+        }
+    }
+
+    /// The location path this plan was compiled from.
+    pub fn source(&self) -> &LocationPath {
+        &self.source
+    }
+
+    /// `true` when the plan evaluates from index buckets rather than the
+    /// interpreter.
+    pub fn uses_index(&self) -> bool {
+        !matches!(self.plan, PathPlan::Interp)
+    }
+
+    /// Evaluates with an explicit context node, mirroring
+    /// [`evaluate_from`](crate::evaluate_from): relative paths start at
+    /// `ctx`, absolute paths at the document node.
+    ///
+    /// The index answers whole-document questions, so the fast plans are
+    /// used when the starting point is the document node or the root
+    /// element; other contexts delegate to the interpreter (whose child
+    /// scans are already proportional to the subtree).
+    pub fn evaluate_from(&self, doc: &Document, ctx: NodeId) -> Vec<Location> {
+        if let PathPlan::Interp = self.plan {
+            return eval::evaluate_from(doc, ctx, &self.source);
+        }
+        let base = if self.source.absolute {
+            doc.document_node()
+        } else {
+            ctx
+        };
+        if base == doc.document_node() || Some(base) == doc.root_element() {
+            self.eval_fast(doc, base)
+        } else {
+            eval::evaluate_from(doc, ctx, &self.source)
+        }
+    }
+
+    /// Evaluates as an `xpointer(...)` scheme part: relative paths start
+    /// at the root element, absolute paths at the document node.
+    pub(crate) fn eval_as_scheme_part(&self, doc: &Document) -> Vec<Location> {
+        if let PathPlan::Interp = self.plan {
+            return eval::eval_location_path(doc, &self.source);
+        }
+        let base = if self.source.absolute {
+            doc.document_node()
+        } else {
+            match doc.root_element() {
+                Some(root) => root,
+                None => return Vec::new(),
+            }
+        };
+        self.eval_fast(doc, base)
+    }
+
+    fn eval_fast(&self, doc: &Document, base: NodeId) -> Vec<Location> {
+        let index = doc.index();
+        match &self.plan {
+            PathPlan::Chain { names, predicates } => {
+                let last = names.last().expect("chain plans have at least one step");
+                let candidates = narrowed_candidates(doc, index, last, predicates);
+                let mut matched: Vec<NodeId> = Vec::new();
+                'candidate: for &c in &candidates {
+                    // Verify the ancestor name chain right-to-left, then
+                    // require the node above the first step to be the base.
+                    let mut cur = c;
+                    for name in names.iter().rev().skip(1) {
+                        let Some(p) = doc.parent(cur) else {
+                            continue 'candidate;
+                        };
+                        if doc.name(p).map(|q| q.local() == name) != Some(true) {
+                            continue 'candidate;
+                        }
+                        cur = p;
+                    }
+                    if doc.parent(cur) != Some(base) {
+                        continue 'candidate;
+                    }
+                    matched.push(c);
+                }
+                // Bucket order is document order; same-depth nodes sharing a
+                // parent are contiguous, so per-parent predicate groups are
+                // already adjacent.
+                apply_predicates_grouped(doc, &matched, predicates)
+            }
+            PathPlan::Descendant { name, predicates } => {
+                let candidates = narrowed_candidates(doc, index, name, predicates);
+                let everything = base == doc.document_node();
+                let mut matched: Vec<NodeId> = candidates
+                    .into_iter()
+                    .filter(|&c| match doc.parent(c) {
+                        Some(p) => everything || node_within(doc, p, base),
+                        None => false,
+                    })
+                    .collect();
+                // The interpreter emits `//name` grouped by the context
+                // (parent) node's pre-order position, not in flat document
+                // order; reproduce that exactly.
+                matched.sort_by_key(|&c| {
+                    let parent = doc.parent(c).expect("filtered above");
+                    (index.order_of(parent), index.order_of(c))
+                });
+                apply_predicates_grouped(doc, &matched, predicates)
+            }
+            PathPlan::Interp => unreachable!("handled by the callers"),
+        }
+    }
+}
+
+fn plan_for(path: &LocationPath) -> PathPlan {
+    let steps = &path.steps;
+    if steps.is_empty() {
+        return PathPlan::Interp;
+    }
+    // `//name[preds]` parses to [descendant-or-self::node(), child::name].
+    if steps.len() == 2
+        && steps[0].axis == Axis::DescendantOrSelf
+        && steps[0].node_test == NodeTest::AnyNode
+        && steps[0].predicates.is_empty()
+        && steps[1].axis == Axis::Child
+    {
+        if let NodeTest::Name(name) = &steps[1].node_test {
+            return PathPlan::Descendant {
+                name: name.clone(),
+                predicates: steps[1].predicates.clone(),
+            };
+        }
+    }
+    // Pure child chains of name tests, predicates only on the last step.
+    let chain_shaped = steps
+        .iter()
+        .all(|s| s.axis == Axis::Child && matches!(s.node_test, NodeTest::Name(_)))
+        && steps[..steps.len() - 1]
+            .iter()
+            .all(|s| s.predicates.is_empty());
+    if chain_shaped {
+        let names = steps
+            .iter()
+            .map(|s| match &s.node_test {
+                NodeTest::Name(n) => n.clone(),
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        return PathPlan::Chain {
+            names,
+            predicates: steps[steps.len() - 1].predicates.clone(),
+        };
+    }
+    PathPlan::Interp
+}
+
+/// Step-level candidates for a name test, narrowed through the id /
+/// name-attribute buckets when an `[@id='…']` / `[@name='…']` predicate is
+/// reachable before any positional predicate. The narrowing predicate is a
+/// pure per-node filter, so applying it up front commutes with the other
+/// value filters ahead of it and leaves the later (positional) predicates
+/// operating on exactly the set the interpreter would see.
+fn narrowed_candidates(
+    doc: &Document,
+    index: &DocumentIndex,
+    name: &str,
+    predicates: &[Predicate],
+) -> Vec<NodeId> {
+    for pred in predicates {
+        match pred {
+            Predicate::Position(_) | Predicate::Last => break,
+            Predicate::AttributeEquals(attr, value) if attr == "id" => {
+                return filter_named(doc, index.elements_with_id(value), name);
+            }
+            Predicate::AttributeEquals(attr, value) if attr == "name" => {
+                return filter_named(doc, index.elements_with_name_attr(value), name);
+            }
+            _ => {}
+        }
+    }
+    index.elements_named(name).to_vec()
+}
+
+fn filter_named(doc: &Document, bucket: &[NodeId], name: &str) -> Vec<NodeId> {
+    bucket
+        .iter()
+        .copied()
+        .filter(|&n| doc.name(n).map(|q| q.local() == name).unwrap_or(false))
+        .collect()
+}
+
+/// Applies predicates to `matched` (document-ordered, same-parent runs
+/// contiguous) per parent group, exactly as the interpreter applies them
+/// per context node.
+fn apply_predicates_grouped(
+    doc: &Document,
+    matched: &[NodeId],
+    predicates: &[Predicate],
+) -> Vec<Location> {
+    if predicates.is_empty() {
+        return matched.iter().copied().map(Location::Node).collect();
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < matched.len() {
+        let parent = doc.parent(matched[i]);
+        let mut j = i;
+        while j < matched.len() && doc.parent(matched[j]) == parent {
+            j += 1;
+        }
+        let mut group: Vec<Location> = matched[i..j].iter().copied().map(Location::Node).collect();
+        for pred in predicates {
+            group = eval::apply_predicate(doc, group, pred);
+        }
+        out.extend(group);
+        i = j;
+    }
+    out
+}
+
+/// `true` when `node` is `base` or a descendant of it.
+fn node_within(doc: &Document, mut node: NodeId, base: NodeId) -> bool {
+    loop {
+        if node == base {
+            return true;
+        }
+        match doc.parent(node) {
+            Some(p) => node = p,
+            None => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn museum() -> Document {
+        Document::parse(
+            r#"<museum>
+  <painter id="picasso" name="Pablo Picasso">
+    <painting id="guitar" title="Guitar" year="1913"/>
+    <painting id="guernica" title="Guernica" year="1937"/>
+    <painting id="avignon" title="Les Demoiselles d'Avignon" year="1907"/>
+  </painter>
+  <painter id="dali" name="Salvador Dali">
+    <painting id="memory" title="The Persistence of Memory" year="1931"/>
+  </painter>
+</museum>"#,
+        )
+        .unwrap()
+    }
+
+    #[track_caller]
+    fn assert_equiv(doc: &Document, text: &str) {
+        let pointer = parse(text).unwrap();
+        let compiled = CompiledPointer::compile(&pointer);
+        assert_eq!(
+            compiled.evaluate(doc),
+            crate::evaluate(doc, &pointer),
+            "compiled ≠ interpreter for {text:?}"
+        );
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_museum_forms() {
+        let doc = museum();
+        for text in [
+            "guitar",
+            "missing",
+            "element(picasso/3)",
+            "element(/1/1/2)",
+            "element(nonexistent)",
+            "xpointer(/museum/painter/painting)",
+            "xpointer(/museum/painter[2]/painting[1])",
+            "xpointer(/museum/painter[1]/painting[last()])",
+            "xpointer(//painting[@id='guitar'])",
+            "xpointer(//painting[@id='guitar']/@title)",
+            "xpointer(//painter)",
+            "xpointer(//*[@year])",
+            "xpointer(/museum/*)",
+            "xpointer(painter[1])",
+            "xpointer(painter[@name='Salvador Dali'])",
+            "xpointer(//painting[@year='1931'])",
+            "element(nonexistent) xpointer(//painting[@id='guitar'])",
+            "xmlns(p=urn:x)",
+        ] {
+            assert_equiv(&doc, text);
+        }
+    }
+
+    #[test]
+    fn fast_plans_engage_for_indexable_shapes() {
+        for (text, indexed) in [
+            ("guitar", true),
+            ("element(picasso/3)", true),
+            ("xpointer(/museum/painter/painting)", true),
+            ("xpointer(//painting[@id='guitar'])", true),
+            ("xpointer(painter[1])", true),
+            ("xpointer(//*)", false),
+            ("xpointer(/museum/*)", false),
+            ("xpointer(//painting/@title)", false),
+            ("xmlns(p=urn:x)", false),
+        ] {
+            let compiled = CompiledPointer::parse(text).unwrap();
+            assert_eq!(compiled.uses_index(), indexed, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn descendant_order_matches_interpreter_grouping() {
+        // `//x` emits parent-grouped order, not flat document order; the
+        // compiled plan must reproduce it byte for byte.
+        let doc = Document::parse("<a><b><x id='in-b'/></b><x id='top'/></a>").unwrap();
+        assert_equiv(&doc, "xpointer(//x)");
+        let pointer = parse("xpointer(//x)").unwrap();
+        let locs = CompiledPointer::compile(&pointer).evaluate(&doc).unwrap();
+        let ids: Vec<_> = locs
+            .iter()
+            .map(|l| doc.attribute(l.node(), "id").unwrap())
+            .collect();
+        assert_eq!(ids, ["top", "in-b"]);
+    }
+
+    #[test]
+    fn narrowing_respects_predicate_order() {
+        // A positional predicate before the id filter must disable
+        // narrowing: [2][@id='x'] means "the second painting, if its id is
+        // x" — not "the element with id x".
+        let doc = museum();
+        assert_equiv(&doc, "xpointer(//painting[2][@id='guernica'])");
+        assert_equiv(&doc, "xpointer(//painting[2][@id='guitar'])");
+        // Value filter before a positional one narrows soundly.
+        assert_equiv(&doc, "xpointer(//painting[@id='guernica'][1])");
+        assert_equiv(&doc, "xpointer(/museum/painter[@name='Pablo Picasso'][1])");
+    }
+
+    #[test]
+    fn evaluate_from_matches_interpreter() {
+        let doc = museum();
+        let root = doc.root_element().unwrap();
+        let picasso = doc.element_by_id("picasso").unwrap();
+        for (ctx, text) in [
+            (root, "painter/painting"),
+            (root, "painter[2]"),
+            (picasso, "painting[@id='guitar']"),
+            (picasso, "/museum/painter"),
+            (picasso, "painting[last()]"),
+        ] {
+            let path = crate::parser::parse_location_path(text, 0).unwrap();
+            let compiled = CompiledPath::compile(&path);
+            assert_eq!(
+                compiled.evaluate_from(&doc, ctx),
+                eval::evaluate_from(&doc, ctx, &path),
+                "compiled ≠ interpreter for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_document_yields_no_match() {
+        let doc = Document::new();
+        let compiled = CompiledPointer::parse("xpointer(painter)").unwrap();
+        assert!(matches!(
+            compiled.evaluate(&doc),
+            Err(EvalPointerError::NoMatch(_))
+        ));
+    }
+}

@@ -107,7 +107,7 @@ pub fn resolve_first(doc: &Document, pointer_text: &str) -> Result<NodeId, EvalP
     Ok(locs[0].node())
 }
 
-fn eval_element_scheme(doc: &Document, scheme: &ElementScheme) -> Vec<Location> {
+pub(crate) fn eval_element_scheme(doc: &Document, scheme: &ElementScheme) -> Vec<Location> {
     let mut current: NodeId = match &scheme.start_id {
         Some(id) => match doc.element_by_id(id) {
             Some(n) => n,
@@ -160,7 +160,7 @@ pub fn evaluate_from(doc: &Document, ctx: NodeId, path: &LocationPath) -> Vec<Lo
     eval_steps(doc, start, path)
 }
 
-fn eval_location_path(doc: &Document, path: &LocationPath) -> Vec<Location> {
+pub(crate) fn eval_location_path(doc: &Document, path: &LocationPath) -> Vec<Location> {
     let start: Vec<Location> = if path.absolute {
         vec![Location::Node(doc.document_node())]
     } else {
@@ -252,7 +252,11 @@ fn node_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
     }
 }
 
-fn apply_predicate(doc: &Document, locs: Vec<Location>, pred: &Predicate) -> Vec<Location> {
+pub(crate) fn apply_predicate(
+    doc: &Document,
+    locs: Vec<Location>,
+    pred: &Predicate,
+) -> Vec<Location> {
     match pred {
         Predicate::Position(n) => locs.into_iter().skip(n - 1).take(1).collect(),
         Predicate::Last => match locs.last() {

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod parser;
 
 pub use ast::{Axis, ElementScheme, LocationPath, NodeTest, Pointer, Predicate, SchemePart, Step};
+pub use compile::{CompiledPath, CompiledPointer};
 pub use error::{EvalPointerError, ParsePointerError};
 pub use eval::{evaluate, evaluate_from, resolve_first, Location};
 pub use parser::parse;

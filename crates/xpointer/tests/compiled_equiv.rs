@@ -1,0 +1,209 @@
+//! Equivalence law: compiled pointer evaluation ≡ interpreter evaluation.
+//!
+//! [`CompiledPointer`] promises the *same observable behaviour* as
+//! [`evaluate`] — same locations, same order, same errors — only faster on
+//! index-friendly forms. This suite checks that law over random documents
+//! (with id/name attributes so the index buckets are populated) and random
+//! pointers drawn from every form the compiler plans for, plus forms it must
+//! fall back to the interpreter on.
+
+use navsep_xml::{Document, ElementBuilder, NodeId};
+use navsep_xpointer::{
+    evaluate, evaluate_from, parse, CompiledPath, CompiledPointer, Pointer, SchemePart,
+};
+use proptest::prelude::*;
+
+/// Element names from a small pool so pointers actually match.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("painting".to_string()),
+        Just("room".to_string()),
+    ]
+}
+
+/// Optional id / name attributes from small pools (duplicates included on
+/// purpose: `element_by_id` and the id bucket must agree on the winner).
+fn attrs_strategy() -> impl Strategy<Value = (Option<String>, Option<String>)> {
+    (
+        proptest::option::of("i[0-7]"),
+        proptest::option::of("n[0-3]"),
+    )
+}
+
+fn tree_strategy() -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (name_strategy(), attrs_strategy()).prop_map(|(n, (id, name))| {
+        let mut b = ElementBuilder::new(n.as_str());
+        if let Some(id) = id {
+            b = b.attr("id", id);
+        }
+        if let Some(name) = name {
+            b = b.attr("name", name);
+        }
+        b
+    });
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (
+            name_strategy(),
+            attrs_strategy(),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(n, (id, name), children)| {
+                let mut b = ElementBuilder::new(n.as_str());
+                if let Some(id) = id {
+                    b = b.attr("id", id);
+                }
+                if let Some(name) = name {
+                    b = b.attr("name", name);
+                }
+                b.children(children)
+            })
+    })
+}
+
+/// Id values from the same pool the documents draw on.
+fn id_strategy() -> impl Strategy<Value = String> {
+    "i[0-7]".prop_map(|s| s)
+}
+
+/// Pointer texts covering every compiled plan plus interpreter fallbacks.
+fn pointer_text_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Shorthand (index id lookup).
+        id_strategy(),
+        // element() scheme: child sequences, with and without an id base.
+        proptest::collection::vec(1usize..4, 1..4).prop_map(|seq| format!(
+            "element(/{})",
+            seq.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        )),
+        (id_strategy(), 1usize..4).prop_map(|(i, n)| format!("element({i}/{n})")),
+        // Descendant name tests (index tag bucket).
+        name_strategy().prop_map(|n| format!("xpointer(//{n})")),
+        // Descendant with id / name equality predicates (bucket narrowing).
+        (name_strategy(), id_strategy()).prop_map(|(n, i)| format!("xpointer(//{n}[@id='{i}'])")),
+        (name_strategy(), "n[0-3]").prop_map(|(n, v)| format!("xpointer(//{n}[@name='{v}'])")),
+        // Child chains (compiled without the index).
+        (name_strategy(), name_strategy()).prop_map(|(a, b)| format!("xpointer(/{a}/{b})")),
+        (name_strategy(), name_strategy(), 1usize..4)
+            .prop_map(|(a, b, p)| format!("xpointer(/{a}/{b}[{p}])")),
+        // Positional / attribute predicates on descendants.
+        (name_strategy(), 1usize..4).prop_map(|(n, p)| format!("xpointer(//{n}[{p}])")),
+        name_strategy().prop_map(|n| format!("xpointer(//{n}[last()])")),
+        name_strategy().prop_map(|n| format!("xpointer(//{n}[@id])")),
+        // Interpreter-only shapes: wildcard, relative, multi-part fallback.
+        Just("xpointer(//*)".to_string()),
+        name_strategy().prop_map(|n| format!("xpointer({n})")),
+        (id_strategy(), name_strategy())
+            .prop_map(|(i, n)| format!("element(/9/9)xpointer(//{n}[@id='{i}'])")),
+    ]
+}
+
+proptest! {
+    /// The headline law: for any document and any parsable pointer, the
+    /// compiled evaluation returns exactly the interpreter's result —
+    /// including the error cases (NoMatch vs UnsupportedScheme).
+    #[test]
+    fn compiled_pointer_equals_interpreter(
+        tree in tree_strategy(),
+        text in pointer_text_strategy(),
+    ) {
+        let doc = tree.build_document();
+        let pointer = parse(&text).expect("generated pointers parse");
+        let interpreted = evaluate(&doc, &pointer);
+        let compiled = CompiledPointer::compile(&pointer).evaluate(&doc);
+        prop_assert_eq!(
+            format!("{interpreted:?}"),
+            format!("{compiled:?}"),
+            "pointer {} diverged",
+            text
+        );
+    }
+
+    /// Relative evaluation from arbitrary contexts must also agree (the
+    /// compiled path may only use its fast plan from root contexts; from
+    /// anywhere else it must reproduce the interpreter exactly).
+    #[test]
+    fn compiled_path_equals_interpreter_from_any_context(
+        tree in tree_strategy(),
+        text in pointer_text_strategy(),
+        ctx_pick in 0usize..64,
+    ) {
+        let doc = tree.build_document();
+        let pointer = parse(&text).expect("generated pointers parse");
+        let Pointer::Schemes(parts) = &pointer else { return Ok(()) };
+        let paths: Vec<_> = parts
+            .iter()
+            .filter_map(|p| match p {
+                SchemePart::XPointer(path) => Some(path),
+                _ => None,
+            })
+            .collect();
+        let elements: Vec<NodeId> = doc
+            .descendants(doc.document_node())
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        prop_assume!(!elements.is_empty());
+        let ctx = elements[ctx_pick % elements.len()];
+        for path in paths {
+            let compiled = CompiledPath::compile(path);
+            prop_assert_eq!(
+                compiled.evaluate_from(&doc, ctx),
+                evaluate_from(&doc, ctx, path),
+                "path {} diverged from ctx {:?}",
+                path,
+                ctx
+            );
+        }
+    }
+
+    /// Compilation itself never panics on any parsable input.
+    #[test]
+    fn compile_never_panics(input in "[a-z()/@\\[\\]'=*0-9 ]{0,48}") {
+        if let Ok(pointer) = parse(&input) {
+            let _ = CompiledPointer::compile(&pointer);
+        }
+    }
+}
+
+/// Deterministic sweep on a museum-shaped document: every pointer form the
+/// repo's linkbases use, compiled vs interpreted, including misses.
+#[test]
+fn museum_pointer_sweep() {
+    let doc = Document::parse(
+        r#"<museum>
+             <painter id="picasso" name="cubism">
+               <painting id="guitar"><title>Guitar</title></painting>
+               <painting id="guernica"><title>Guernica</title></painting>
+             </painter>
+             <painter id="miro"><painting id="harlequin"/></painter>
+           </museum>"#,
+    )
+    .unwrap();
+    for text in [
+        "guitar",
+        "nope",
+        "element(/1/1/2)",
+        "element(picasso/2)",
+        "xpointer(//painting)",
+        "xpointer(//painting[@id='guernica'])",
+        "xpointer(//painter[@name='cubism'])",
+        "xpointer(/museum/painter)",
+        "xpointer(/museum/painter[2]/painting)",
+        "xpointer(//painting[last()])",
+        "xpointer(//sculpture)",
+    ] {
+        let pointer = parse(text).unwrap();
+        let interpreted = evaluate(&doc, &pointer);
+        let compiled = CompiledPointer::compile(&pointer).evaluate(&doc);
+        assert_eq!(
+            format!("{interpreted:?}"),
+            format!("{compiled:?}"),
+            "pointer {text} diverged"
+        );
+    }
+}
