@@ -48,16 +48,20 @@ pub mod compiled;
 pub mod error;
 pub mod joinpoint;
 pub mod pointcut;
+pub mod streaming;
 pub mod weaver;
 pub mod xmlspec;
 
-pub use advice::{Advice, AdviceContent, AdvicePosition, ContentFn, Realized};
+pub use advice::{Advice, AdviceContent, AdvicePosition, ContentFn, PageContentFn, Realized};
 pub use aspect::{AdviceRule, Aspect};
 pub use cache::{spec_hash, AspectCache, SpecCache};
 pub use compiled::{CandidatePlan, Candidates, CompiledPointcut, CompiledWeaver};
 pub use error::{ParsePointcutError, WeaveError};
 pub use joinpoint::{join_points, JoinPoint};
-pub use pointcut::{glob_match, Pointcut};
+pub use pointcut::{glob_match, ElementView, Pointcut};
+pub use streaming::{
+    rule_streamability, StreamError, StreamReport, StreamabilityViolation, StreamingWeaver,
+};
 pub use weaver::{WeaveEvent, WeaveReport, Weaver};
 pub use xmlspec::{parse_aspects, AspectSpecError};
 

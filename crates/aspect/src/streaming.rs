@@ -1,0 +1,681 @@
+//! Streaming weaving: reader events in, woven bytes out, no intermediate
+//! [`Document`] for the page.
+//!
+//! The DOM weaver materializes a full tree per page before any advice
+//! applies; per-page memory is O(document). [`StreamingWeaver`] instead
+//! consumes the [`EventReader`] pull stream and applies compiled aspect
+//! rules against a bounded open-element window, so per-page memory is
+//! O(tree depth + rule window): each open element buffers only the bytes
+//! its own `append`/`after` advice will emit when it closes.
+//!
+//! # The streamability rule
+//!
+//! Not every spec can stream. A rule is **streamable** iff
+//!
+//! 1. its position is `before`, `after`, `prepend`, or `append` —
+//!    `replace-content` must discard child markup that was already emitted,
+//!    which a forward-only writer cannot do; and
+//! 2. its content is realizable without the document: a fixed fragment,
+//!    text, or [`AdviceContent::PageGenerated`] (the navigation aspect's
+//!    shape — links depend on *which* page, not on its contents).
+//!    [`AdviceContent::Generated`] sees the whole DOM and forces fallback.
+//!
+//! [`AdviceContent::PageGenerated`]: crate::advice::AdviceContent::PageGenerated
+//! [`AdviceContent::Generated`]: crate::advice::AdviceContent::Generated
+//!
+//! A non-streamable rule can still be **inert for a page**: if its
+//! [`CandidatePlan`] provably resolves to zero candidates (a `page(…)` gate
+//! whose glob misses the page, and intersections/unions thereof), the rule
+//! cannot fire there and the page streams anyway. This is detected
+//! statically from the plan — no document needed. Pages where a
+//! non-streamable rule might fire fall back to
+//! [`CompiledWeaver::weave_page`]; the equivalence law (streaming ≡ DOM
+//! weave, byte-identical) is enforced by a proptest suite over mixed specs.
+//!
+//! Matching parity is structural: both weavers evaluate pointcuts through
+//! [`ElementView`], and the streaming serializer shares the writer's
+//! tag-formatting helpers, so matching and byte layout cannot drift.
+
+use crate::advice::{AdvicePosition, Realized};
+use crate::aspect::AdviceRule;
+use crate::compiled::{CandidatePlan, CompiledWeaver};
+use crate::error::WeaveError;
+use crate::pointcut::{glob_match, ElementView};
+use crate::weaver::{WeaveEvent, WeaveReport};
+use navsep_xml::escape::escape_text;
+use navsep_xml::{
+    fragment_to_string, write_comment_markup, write_pi_markup, write_start_tag_open, Attribute,
+    Document, EventReader, ParseXmlError, QName, XmlEvent, XML_DECLARATION,
+};
+use std::fmt;
+
+/// Why a rule cannot stream (one of the reasons in the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamabilityViolation {
+    /// The aspect carrying the rule.
+    pub aspect: String,
+    /// The rule's index within the aspect.
+    pub rule_index: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+/// Errors from the streaming weave path.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The source bytes failed to lex (never happens for writer output).
+    Xml(ParseXmlError),
+    /// A weave-level failure (shared with the DOM path).
+    Weave(WeaveError),
+    /// The spec has a rule that cannot stream on this page; callers should
+    /// route the page through the DOM weaver instead.
+    NotStreamable(StreamabilityViolation),
+    /// The output sink failed.
+    Sink(fmt::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Xml(e) => write!(f, "streaming weave: {e}"),
+            StreamError::Weave(e) => write!(f, "{e}"),
+            StreamError::NotStreamable(v) => write!(
+                f,
+                "aspect '{}' rule {} cannot stream: {}",
+                v.aspect, v.rule_index, v.reason
+            ),
+            StreamError::Sink(_) => f.write_str("streaming weave: output sink failed"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ParseXmlError> for StreamError {
+    fn from(e: ParseXmlError) -> Self {
+        StreamError::Xml(e)
+    }
+}
+
+impl From<WeaveError> for StreamError {
+    fn from(e: WeaveError) -> Self {
+        StreamError::Weave(e)
+    }
+}
+
+impl From<fmt::Error> for StreamError {
+    fn from(e: fmt::Error) -> Self {
+        StreamError::Sink(e)
+    }
+}
+
+/// Whether one rule can stream, independent of page. `None` means
+/// streamable; `Some(reason)` explains the fallback.
+pub fn rule_streamability(rule: &AdviceRule) -> Option<&'static str> {
+    if rule.advice.position == AdvicePosition::ReplaceContent {
+        return Some("replace-content must rewrite already-emitted child markup");
+    }
+    if rule.advice.content.realize_for_page("").is_none() {
+        return Some("generated content reads the whole document");
+    }
+    None
+}
+
+/// Whether a candidate plan provably resolves to zero candidates on `page`
+/// (so the rule it narrows cannot fire there), knowable without a document.
+fn plan_inert_for_page(plan: &CandidatePlan, page: &str) -> bool {
+    match plan {
+        CandidatePlan::PageGate(glob) => !glob_match(glob, page),
+        CandidatePlan::Intersect(a, b) => {
+            plan_inert_for_page(a, page) || plan_inert_for_page(b, page)
+        }
+        CandidatePlan::Union(a, b) => plan_inert_for_page(a, page) && plan_inert_for_page(b, page),
+        _ => false,
+    }
+}
+
+impl CompiledWeaver {
+    /// Streamability violations for `page`: non-streamable rules that are
+    /// not statically inert there. Empty means the page can stream.
+    pub fn streamability_violations(&self, page: &str) -> Vec<StreamabilityViolation> {
+        let mut out = Vec::new();
+        for (ai, aspect) in self.aspects().iter().enumerate() {
+            for (ri, rule) in aspect.rules().iter().enumerate() {
+                if let Some(reason) = rule_streamability(rule) {
+                    if !plan_inert_for_page(self.rule_plans(ai)[ri].plan(), page) {
+                        out.push(StreamabilityViolation {
+                            aspect: aspect.name().to_string(),
+                            rule_index: ri,
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every rule that might fire on `page` is streamable.
+    pub fn streamable_for_page(&self, page: &str) -> bool {
+        self.streamability_violations(page).is_empty()
+    }
+
+    /// Whether the spec streams on *every* page (no rule needs the DOM).
+    pub fn fully_streamable(&self) -> bool {
+        self.aspects()
+            .iter()
+            .flat_map(|a| a.rules())
+            .all(|r| rule_streamability(r).is_none())
+    }
+
+    /// A streaming weaver borrowing this compiled spec.
+    pub fn streaming(&self) -> StreamingWeaver<'_> {
+        StreamingWeaver { weaver: self }
+    }
+}
+
+/// Report of one streaming weave: the ordinary [`WeaveReport`] plus the
+/// memory instrumentation the bounded-memory law asserts on.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Page, join-point count, and events. Events are in **element order**
+    /// (all rules for an element as it streams past), not the DOM weaver's
+    /// rule-major order; the two are permutations of each other.
+    pub weave: WeaveReport,
+    /// Peak number of simultaneously open elements.
+    pub peak_depth: usize,
+    /// Peak bytes buffered across all open-element windows (`append` +
+    /// `after` advice waiting for its element to close). Bounded by
+    /// depth × rule-window size, never by document size.
+    pub peak_window_bytes: usize,
+}
+
+/// One open element's window: everything the weaver must hold until the
+/// element closes.
+struct Frame {
+    /// Local name (for [`WeaveEvent::element_path`]).
+    local: String,
+    /// `name.as_markup()`, for the close tag.
+    markup: String,
+    /// Whether `>` has been written (the start tag stays open until the
+    /// first child node so childless elements can collapse to `<a/>`).
+    opened: bool,
+    /// Buffered `append` advice bytes, emitted just before the close tag.
+    append_buf: String,
+    /// Whether append advice contributed at least one node (an empty text
+    /// node forces `<a></a>` despite contributing zero bytes).
+    append_nodes: bool,
+    /// Buffered `after` advice bytes, emitted just after the close tag.
+    after_buf: String,
+}
+
+/// The element the stream is currently positioned on, as a pointcut view.
+struct StreamElementView<'a> {
+    page: &'a str,
+    name: &'a QName,
+    attributes: &'a [Attribute],
+    is_root: bool,
+}
+
+impl ElementView for StreamElementView<'_> {
+    fn page(&self) -> &str {
+        self.page
+    }
+
+    fn local_name(&self) -> Option<&str> {
+        Some(self.name.local())
+    }
+
+    fn attr(&self, name: &str) -> Option<&str> {
+        // Same semantics as `Document::attribute`: un-namespaced lookup.
+        self.attributes
+            .iter()
+            .find(|a| a.name().namespace().is_none() && a.name().local() == name)
+            .map(|a| a.value())
+    }
+
+    fn is_root(&self) -> bool {
+        self.is_root
+    }
+}
+
+/// Advice bytes routed around one element as it streams past.
+#[derive(Default)]
+struct ElementAdvice {
+    before: String,
+    prepend: String,
+    prepend_nodes: bool,
+    append: String,
+    append_nodes: bool,
+    after: String,
+}
+
+/// Weaves pages directly from source bytes to woven bytes.
+///
+/// Produced by [`CompiledWeaver::streaming`]. Output is byte-identical to
+/// parsing the source, running [`CompiledWeaver::weave_page`], and
+/// serializing compactly with a declaration (`Document::to_xml_string`) —
+/// the equivalence-law test battery holds the two paths together.
+pub struct StreamingWeaver<'w> {
+    weaver: &'w CompiledWeaver,
+}
+
+impl StreamingWeaver<'_> {
+    /// Weaves `source` for `page`, writing woven bytes into `sink`
+    /// incrementally (declaration first, exactly like
+    /// `Document::to_xml_string`).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::NotStreamable`] when a rule that might fire on this
+    /// page needs the DOM (use [`CompiledWeaver::streamable_for_page`] to
+    /// route such pages to the DOM weaver); [`StreamError::Xml`] on
+    /// malformed source; [`StreamError::Sink`] when the sink fails.
+    pub fn weave_stream<W: fmt::Write>(
+        &self,
+        page: &str,
+        source: &str,
+        sink: &mut W,
+    ) -> Result<StreamReport, StreamError> {
+        if let Some(v) = self
+            .weaver
+            .streamability_violations(page)
+            .into_iter()
+            .next()
+        {
+            return Err(StreamError::NotStreamable(v));
+        }
+        // Rules whose plan is statically empty on this page can never fire;
+        // skipping them is what lets gated non-streamable rules coexist.
+        let live: Vec<Vec<bool>> = self
+            .weaver
+            .aspects()
+            .iter()
+            .enumerate()
+            .map(|(ai, a)| {
+                (0..a.rules().len())
+                    .map(|ri| !plan_inert_for_page(self.weaver.rule_plans(ai)[ri].plan(), page))
+                    .collect()
+            })
+            .collect();
+
+        let mut reader = EventReader::new(source);
+        let mut report = StreamReport {
+            weave: WeaveReport {
+                page: page.to_string(),
+                ..WeaveReport::default()
+            },
+            peak_depth: 0,
+            peak_window_bytes: 0,
+        };
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut window_bytes = 0usize;
+        sink.write_str(XML_DECLARATION)?;
+
+        while let Some(event) = reader.next_event()? {
+            match event {
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    namespace_decls,
+                } => {
+                    report.weave.join_points += 1;
+                    Self::flush_open(&mut stack, sink)?;
+                    let advice = self.collect_advice(
+                        page,
+                        &name,
+                        &attributes,
+                        stack.is_empty(),
+                        &live,
+                        &stack,
+                        &mut report.weave.events,
+                    );
+                    sink.write_str(&advice.before)?;
+                    let mut open = String::new();
+                    write_start_tag_open(&mut open, &name, &namespace_decls, &attributes);
+                    sink.write_str(&open)?;
+                    let frame = Frame {
+                        local: name.local().to_string(),
+                        markup: name.as_markup(),
+                        opened: false,
+                        append_buf: advice.append,
+                        append_nodes: advice.append_nodes,
+                        after_buf: advice.after,
+                    };
+                    window_bytes += frame.append_buf.len() + frame.after_buf.len();
+                    stack.push(frame);
+                    report.peak_depth = report.peak_depth.max(stack.len());
+                    report.peak_window_bytes = report.peak_window_bytes.max(window_bytes);
+                    if advice.prepend_nodes {
+                        let frame = stack.last_mut().expect("just pushed");
+                        frame.opened = true;
+                        sink.write_char('>')?;
+                        sink.write_str(&advice.prepend)?;
+                    }
+                }
+                XmlEvent::EndElement { .. } => {
+                    let frame = stack.pop().expect("reader balances tags");
+                    window_bytes -= frame.append_buf.len() + frame.after_buf.len();
+                    if frame.opened {
+                        sink.write_str(&frame.append_buf)?;
+                        sink.write_str("</")?;
+                        sink.write_str(&frame.markup)?;
+                        sink.write_char('>')?;
+                    } else if frame.append_nodes {
+                        sink.write_char('>')?;
+                        sink.write_str(&frame.append_buf)?;
+                        sink.write_str("</")?;
+                        sink.write_str(&frame.markup)?;
+                        sink.write_char('>')?;
+                    } else {
+                        sink.write_str("/>")?;
+                    }
+                    sink.write_str(&frame.after_buf)?;
+                }
+                XmlEvent::Text(t) => {
+                    Self::flush_open(&mut stack, sink)?;
+                    sink.write_str(&escape_text(&t))?;
+                }
+                XmlEvent::Comment(c) => {
+                    Self::flush_open(&mut stack, sink)?;
+                    let mut buf = String::new();
+                    write_comment_markup(&mut buf, &c);
+                    sink.write_str(&buf)?;
+                }
+                XmlEvent::ProcessingInstruction { target, data } => {
+                    Self::flush_open(&mut stack, sink)?;
+                    let mut buf = String::new();
+                    write_pi_markup(&mut buf, &target, &data);
+                    sink.write_str(&buf)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Convenience wrapper: weave into a fresh `String`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingWeaver::weave_stream`].
+    pub fn weave_to_string(
+        &self,
+        page: &str,
+        source: &str,
+    ) -> Result<(String, StreamReport), StreamError> {
+        let mut out = String::new();
+        let report = self.weave_stream(page, source, &mut out)?;
+        Ok((out, report))
+    }
+
+    /// Writes the deferred `>` of the innermost open start tag, if any.
+    fn flush_open<W: fmt::Write>(stack: &mut [Frame], sink: &mut W) -> Result<(), fmt::Error> {
+        if let Some(frame) = stack.last_mut() {
+            if !frame.opened {
+                frame.opened = true;
+                sink.write_char('>')?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Matches every live rule against the current element (in aspect
+    /// precedence / registration / rule order — the same order the DOM
+    /// weaver applies advice in) and routes realized content into the four
+    /// positional buckets.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_advice(
+        &self,
+        page: &str,
+        name: &QName,
+        attributes: &[Attribute],
+        is_root: bool,
+        live: &[Vec<bool>],
+        stack: &[Frame],
+        events: &mut Vec<WeaveEvent>,
+    ) -> ElementAdvice {
+        let view = StreamElementView {
+            page,
+            name,
+            attributes,
+            is_root,
+        };
+        let mut advice = ElementAdvice::default();
+        let mut element_path: Option<String> = None;
+        for &ai in self.weaver.apply_order() {
+            let aspect = &self.weaver.aspects()[ai];
+            for (ri, rule) in aspect.rules().iter().enumerate() {
+                if !live[ai][ri] || !rule.pointcut.matches_view(&view) {
+                    continue;
+                }
+                let realized = rule
+                    .advice
+                    .content
+                    .realize_for_page(page)
+                    .expect("streamability checked before weaving");
+                let (buf, nodes_flag) = match rule.advice.position {
+                    AdvicePosition::Before => (&mut advice.before, None),
+                    AdvicePosition::Prepend => {
+                        (&mut advice.prepend, Some(&mut advice.prepend_nodes))
+                    }
+                    AdvicePosition::Append => (&mut advice.append, Some(&mut advice.append_nodes)),
+                    AdvicePosition::After => (&mut advice.after, None),
+                    AdvicePosition::ReplaceContent => {
+                        unreachable!("streamability checked before weaving")
+                    }
+                };
+                let contributed = Self::render_realized(realized, buf);
+                if let Some(flag) = nodes_flag {
+                    *flag |= contributed;
+                }
+                let path = element_path.get_or_insert_with(|| {
+                    let mut parts: Vec<&str> = stack.iter().map(|f| f.local.as_str()).collect();
+                    parts.push(name.local());
+                    parts.join("/")
+                });
+                events.push(WeaveEvent {
+                    aspect: aspect.name().to_string(),
+                    rule_index: ri,
+                    position: rule.advice.position,
+                    element_path: path.clone(),
+                });
+            }
+        }
+        advice
+    }
+
+    /// Serializes realized advice into `buf`; returns whether it contributed
+    /// at least one DOM node (an empty text node counts — it forces an
+    /// element to serialize as `<a></a>`, exactly as in the DOM path).
+    fn render_realized(realized: Realized, buf: &mut String) -> bool {
+        match realized {
+            Realized::Text(t) => {
+                buf.push_str(&escape_text(&t));
+                true
+            }
+            Realized::Elements(builders) => {
+                let contributed = !builders.is_empty();
+                for b in builders {
+                    // A scratch arena per realization keeps memory bounded by
+                    // the advice fragment, not by how many times it fires.
+                    let mut scratch = Document::new();
+                    let id = b.build_detached(&mut scratch);
+                    buf.push_str(&fragment_to_string(&scratch, id));
+                }
+                contributed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspect::Aspect;
+    use crate::pointcut::Pointcut;
+    use crate::weaver::Weaver;
+    use navsep_xml::ElementBuilder;
+
+    fn page_src(doc: &str) -> String {
+        Document::parse(doc).unwrap().to_xml_string()
+    }
+
+    fn mixed_streamable() -> CompiledWeaver {
+        Weaver::new()
+            .aspect(Aspect::new("nav").with_precedence(1).page_generated_rule(
+                Pointcut::parse(r#"element("body")"#).unwrap(),
+                AdvicePosition::Append,
+                |page| vec![ElementBuilder::new("nav").text(page.to_string())],
+            ))
+            .aspect(Aspect::new("badges").rule(
+                Pointcut::parse(r#"element("painting") && class("star")"#).unwrap(),
+                AdvicePosition::Prepend,
+                vec![ElementBuilder::new("badge")],
+            ))
+            .aspect(Aspect::new("hr").rule(
+                Pointcut::parse(r#"element("room")"#).unwrap(),
+                AdvicePosition::Before,
+                vec![ElementBuilder::new("hr")],
+            ))
+            .aspect(Aspect::new("audit").text_rule(
+                Pointcut::parse("root()").unwrap(),
+                AdvicePosition::After,
+                "ok",
+            ))
+            .compile()
+    }
+
+    fn museum() -> &'static str {
+        r#"<body><room id="r1"><painting id="g" class="star"><t>G</t></painting><painting id="h"/></room><room id="r2"/></body>"#
+    }
+
+    #[test]
+    fn streaming_matches_dom_weave_bytes() {
+        let w = mixed_streamable();
+        let src = page_src(museum());
+        let doc = Document::parse(&src).unwrap();
+        let (dom, dom_rep) = w.weave_page("p.html", &doc).unwrap();
+        let (streamed, rep) = w.streaming().weave_to_string("p.html", &src).unwrap();
+        assert_eq!(streamed, dom.to_xml_string());
+        assert_eq!(rep.weave.join_points, dom_rep.join_points);
+        // Same multiset of events; only the order differs (element-major vs
+        // rule-major).
+        let mut a = rep.weave.events.clone();
+        let mut b = dom_rep.events.clone();
+        let key = |e: &WeaveEvent| {
+            (
+                e.aspect.clone(),
+                e.rule_index,
+                e.position.to_string(),
+                e.element_path.clone(),
+            )
+        };
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamability_classifies_rules() {
+        let streamable = mixed_streamable();
+        assert!(streamable.fully_streamable());
+        assert!(streamable.streamable_for_page("any.html"));
+
+        let dynamic = Weaver::new()
+            .aspect(Aspect::new("dyn").generated_rule(
+                Pointcut::parse(r#"element("body")"#).unwrap(),
+                AdvicePosition::Append,
+                |_jp| vec![],
+            ))
+            .compile();
+        assert!(!dynamic.fully_streamable());
+        assert!(!dynamic.streamable_for_page("any.html"));
+        let v = &dynamic.streamability_violations("any.html")[0];
+        assert_eq!(v.aspect, "dyn");
+        assert!(v.reason.contains("whole document"));
+
+        let replace = Weaver::new()
+            .aspect(Aspect::new("rc").text_rule(
+                Pointcut::parse(r#"element("t")"#).unwrap(),
+                AdvicePosition::ReplaceContent,
+                "x",
+            ))
+            .compile();
+        assert!(!replace.streamable_for_page("any.html"));
+    }
+
+    #[test]
+    fn page_gated_dynamic_rules_are_inert_elsewhere() {
+        let w = Weaver::new()
+            .aspect(Aspect::new("dyn").generated_rule(
+                Pointcut::parse(r#"page("painter-*") && element("body")"#).unwrap(),
+                AdvicePosition::Append,
+                |_jp| vec![ElementBuilder::new("x")],
+            ))
+            .compile();
+        // The gate misses painting pages: statically inert, streams fine.
+        assert!(w.streamable_for_page("painting-guitar.html"));
+        assert!(!w.streamable_for_page("painter-picasso.html"));
+        let src = page_src("<body><t>hi</t></body>");
+        let (streamed, _) = w
+            .streaming()
+            .weave_to_string("painting-guitar.html", &src)
+            .unwrap();
+        let doc = Document::parse(&src).unwrap();
+        let (dom, _) = w.weave_page("painting-guitar.html", &doc).unwrap();
+        assert_eq!(streamed, dom.to_xml_string());
+        // And calling the streaming path on the gated page is refused.
+        let err = w
+            .streaming()
+            .weave_to_string("painter-picasso.html", &src)
+            .unwrap_err();
+        assert!(matches!(err, StreamError::NotStreamable(_)));
+    }
+
+    #[test]
+    fn empty_elements_collapse_identically() {
+        // Append advice on a self-closed element must force `<a>…</a>`;
+        // untouched empty elements stay `<a/>`.
+        let w = Weaver::new()
+            .aspect(Aspect::new("app").text_rule(
+                Pointcut::parse(r#"id("x")"#).unwrap(),
+                AdvicePosition::Append,
+                "t",
+            ))
+            .compile();
+        let src = page_src(r#"<body><a id="x"/><a id="y"/></body>"#);
+        let (streamed, _) = w.streaming().weave_to_string("p", &src).unwrap();
+        let doc = Document::parse(&src).unwrap();
+        let (dom, _) = w.weave_page("p", &doc).unwrap();
+        assert_eq!(streamed, dom.to_xml_string());
+        assert!(streamed.contains(r#"<a id="x">t</a>"#));
+        assert!(streamed.contains(r#"<a id="y"/>"#));
+    }
+
+    #[test]
+    fn window_stays_bounded_by_depth_not_size() {
+        // Many siblings, advice only on the root: the window holds the
+        // root's append bytes, never the siblings already streamed out.
+        let mut body = String::from("<body>");
+        for i in 0..500 {
+            body.push_str(&format!("<p id=\"p{i}\">text {i}</p>"));
+        }
+        body.push_str("</body>");
+        let w = Weaver::new()
+            .aspect(Aspect::new("nav").rule(
+                Pointcut::parse(r#"element("body")"#).unwrap(),
+                AdvicePosition::Append,
+                vec![ElementBuilder::new("nav").text("end")],
+            ))
+            .compile();
+        let src = page_src(&body);
+        let (streamed, rep) = w.streaming().weave_to_string("p", &src).unwrap();
+        assert!(streamed.len() > 10_000);
+        assert_eq!(rep.peak_depth, 2);
+        assert!(
+            rep.peak_window_bytes < 64,
+            "window {} should hold one <nav> fragment, not the document",
+            rep.peak_window_bytes
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Bounded-memory law for the streaming weaver (ISSUE 7 satellite).
+//!
+//! The streaming weave must hold O(depth + rule window) state — the stack
+//! of open elements plus whatever `append`/`after` advice is waiting for
+//! its element to close — **never** O(document). `StreamReport` instruments
+//! exactly that (`peak_depth`, `peak_window_bytes`); this test drives the
+//! weaver over the ~100k-element `museum_page(400, 50)` scale corpus and a
+//! 10x-smaller control with identical shape, and asserts the peaks are (a)
+//! tiny in absolute terms and (b) *equal* across the two sizes: a tenfold
+//! document carries zero extra buffering.
+
+use navsep_aspect::{AdvicePosition, Aspect, Pointcut, Weaver};
+use navsep_bench::museum_page;
+use navsep_xml::{ElementBuilder, WriteOptions};
+
+/// Streamable advice that bites on every structural level of the corpus:
+/// prepended room headers, appended painting markers, after-badges on the
+/// `class="star"` bucket, and a before-note on cubism rooms.
+fn scale_weaver() -> Weaver {
+    Weaver::new().aspect(
+        Aspect::new("markers")
+            .text_rule(
+                Pointcut::Element("room".to_string()),
+                AdvicePosition::Prepend,
+                "room-header",
+            )
+            .rule(
+                Pointcut::Element("painting".to_string()),
+                AdvicePosition::Append,
+                vec![ElementBuilder::new("seen")],
+            )
+            .rule(
+                Pointcut::HasClass("star".to_string()),
+                AdvicePosition::After,
+                vec![ElementBuilder::new("badge").attr("kind", "star")],
+            )
+            .text_rule(
+                Pointcut::AttrEquals("name".to_string(), "cubism".to_string()),
+                AdvicePosition::Before,
+                "cubism ahead",
+            ),
+    )
+}
+
+/// Streams a `rooms`-sized corpus, returning source length, woven length,
+/// and the instrumented report.
+fn stream(rooms: usize) -> (usize, usize, navsep_aspect::StreamReport) {
+    let page = museum_page(rooms, 50);
+    let source = page.to_xml(&WriteOptions::default().declaration(false));
+    let compiled = scale_weaver().compile();
+    let mut sink = String::new();
+    let report = compiled
+        .streaming()
+        .weave_stream("museum.html", &source, &mut sink)
+        .expect("scale corpus streams");
+    assert!(report.weave.applications() > 0, "advice must fire");
+    (source.len(), sink.len(), report)
+}
+
+#[test]
+fn peak_memory_is_depth_plus_rule_window_not_document_size() {
+    let (small_src, _, small) = stream(40);
+    let (full_src, full_out, full) = stream(400);
+
+    // The full corpus really is the 100k-element scale document, ~10x the
+    // control in bytes.
+    assert_eq!(400 * (1 + 5 * 50) + 1, 100_401);
+    assert!(full_src > 8 * small_src);
+    assert!(full_out > full_src, "woven output carries the advice");
+
+    // Depth bound: museum > room > painting > leaf — four simultaneously
+    // open elements, regardless of how many rooms stream past.
+    assert_eq!(full.peak_depth, 4);
+    assert_eq!(small.peak_depth, full.peak_depth);
+
+    // Window bound: the buffered advice bytes are a property of the rule
+    // set (one `<seen/>` per open painting, one pending `<badge/>`), not
+    // of the document — bit-for-bit identical peaks at 10x the input.
+    assert_eq!(small.peak_window_bytes, full.peak_window_bytes);
+    assert!(
+        full.peak_window_bytes < 256,
+        "rule window blew up: {} bytes",
+        full.peak_window_bytes
+    );
+}
+
+#[test]
+fn instrumented_stream_matches_dom_weave_bytes() {
+    let page = museum_page(40, 50);
+    let source = page.to_xml(&WriteOptions::default().declaration(false));
+    let compiled = scale_weaver().compile();
+    let mut sink = String::new();
+    compiled
+        .streaming()
+        .weave_stream("museum.html", &source, &mut sink)
+        .expect("streams");
+    let (dom, _) = compiled.weave_page("museum.html", &page).expect("weaves");
+    assert_eq!(sink, dom.to_xml_string());
+}

@@ -63,7 +63,8 @@ pub use lint::{lint_sources, SourceLintFinding, SourceLintReport};
 pub use pipeline::{
     navigation_aspect, navigation_aspect_shared, navigation_map, weave_pages_cached,
     weave_separated, weave_separated_cached, weave_separated_cached_with, weave_separated_parallel,
-    weave_separated_with, PageNav, WeaveCache, WovenOutput,
+    weave_separated_streaming, weave_separated_streaming_cached, weave_separated_streaming_with,
+    weave_separated_with, PageNav, StreamedOutput, WeaveCache, WovenOutput,
 };
 pub use publish::{PublishOutcome, SitePublisher, SourceEdit};
 pub use separated::{data_document, separated_sources, separated_sources_with, MUSEUM_TRANSFORM};

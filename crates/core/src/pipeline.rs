@@ -18,14 +18,16 @@
 use crate::error::CoreError;
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
 use crate::layout::{data_to_page, ASPECTS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
+use bytes::Bytes;
 use navsep_aspect::{
-    AdvicePosition, Aspect, AspectCache, CompiledWeaver, Pointcut, SpecCache, WeaveReport, Weaver,
+    AdvicePosition, Aspect, AspectCache, CompiledWeaver, Pointcut, SpecCache, StreamError,
+    StreamReport, WeaveError, WeaveReport, Weaver,
 };
 use navsep_hypermodel::NavLinkKind;
 use navsep_style::Transform;
-use navsep_web::{Resource, Site};
+use navsep_web::{MediaType, Resource, Site};
 use navsep_xlink::{Endpoint, Linkbase, Resolver};
-use navsep_xml::{fnv1a64, ElementBuilder};
+use navsep_xml::{fnv1a64, ElementBuilder, WriteOptions};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -158,11 +160,16 @@ pub fn navigation_aspect(map: BTreeMap<String, PageNav>) -> Aspect {
 
 /// Like [`navigation_aspect`], but over a shared (e.g. cached) map, so a
 /// reweave does not re-expand the linkbase.
+///
+/// The rule is *page-generated*: its content depends only on which page is
+/// being woven, never on the page's contents, so the navigation aspect is
+/// streamable ([`weave_separated_streaming`] weaves it without building a
+/// DOM per page).
 pub fn navigation_aspect_shared(map: Arc<BTreeMap<String, PageNav>>) -> Aspect {
-    Aspect::new("navigation").generated_rule(
+    Aspect::new("navigation").page_generated_rule(
         Pointcut::Element("body".to_string()),
         AdvicePosition::Append,
-        move |jp| map.get(jp.page).map(PageNav::fragments).unwrap_or_default(),
+        move |page| map.get(page).map(PageNav::fragments).unwrap_or_default(),
     )
 }
 
@@ -585,6 +592,265 @@ pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenO
     Ok(WovenOutput { site, reports })
 }
 
+/// Output of the **streaming** pipeline: like [`WovenOutput`], but pages
+/// that streamed were never materialized as a DOM — they are published as
+/// [`Resource::Raw`] bytes (media type `application/xhtml+xml`), already in
+/// exactly the form [`Resource::to_bytes`] would serialize a woven
+/// [`navsep_xml::Document`] to. Pages whose spec needs whole-document
+/// context fell back to the DOM weaver and are published as documents.
+///
+/// The equivalence law (asserted by `tests/streaming_equiv.rs` and the CI
+/// gate) is that for every page, `to_bytes()` here is byte-identical to
+/// `to_bytes()` of the sequential [`weave_separated`] output.
+#[derive(Debug)]
+pub struct StreamedOutput {
+    /// The served site (streamed pages raw, fallback pages as documents,
+    /// plus raw passthroughs).
+    pub site: Site,
+    /// One report per page, in page order. Streamed pages record events in
+    /// element order (a permutation of the DOM weaver's rule-major order);
+    /// join-point and application counts are identical.
+    pub reports: Vec<WeaveReport>,
+    /// Pages woven by the streaming path (no intermediate DOM).
+    pub pages_streamed: usize,
+    /// Pages routed through the DOM weaver by streamability analysis.
+    pub pages_fallback: usize,
+    /// Deepest open-element stack across all streamed pages.
+    pub peak_depth: usize,
+    /// Largest advice window (bytes buffered for open elements) across all
+    /// streamed pages — bounded by depth × rule window, not document size.
+    pub peak_window_bytes: usize,
+}
+
+/// How one page left the streaming pipeline.
+enum PageOut {
+    Streamed {
+        bytes: String,
+        report: StreamReport,
+    },
+    Dom {
+        doc: navsep_xml::Document,
+        report: WeaveReport,
+    },
+}
+
+fn stream_error_to_core(e: StreamError) -> CoreError {
+    match e {
+        StreamError::Xml(e) => CoreError::Xml(e),
+        StreamError::Weave(e) => CoreError::Weave(e),
+        other => CoreError::Pipeline(other.to_string()),
+    }
+}
+
+/// Transforms and weaves one page, streaming when the spec allows it.
+fn stream_or_weave_page(
+    page_path: &str,
+    data_doc: &navsep_xml::Document,
+    transform: &Transform,
+    weaver: &CompiledWeaver,
+) -> Result<PageOut, CoreError> {
+    let base = transform.apply(data_doc)?;
+    if weaver.streamable_for_page(page_path) {
+        // Error parity with the DOM weaver: it rejects rootless pages
+        // before touching any rule, so the streaming path must too (the
+        // reader would otherwise report a parse error instead).
+        if base.root_element().is_none() {
+            return Err(WeaveError::EmptyPage(page_path.to_string()).into());
+        }
+        let source = base.to_xml(&WriteOptions::default().declaration(false));
+        let (bytes, report) = weaver
+            .streaming()
+            .weave_to_string(page_path, &source)
+            .map_err(stream_error_to_core)?;
+        Ok(PageOut::Streamed { bytes, report })
+    } else {
+        let (doc, report) = weaver.weave_page(page_path, &base)?;
+        Ok(PageOut::Dom { doc, report })
+    }
+}
+
+/// Runs the full pipeline **streaming**: pages whose compiled spec passes
+/// streamability analysis go reader-events → woven bytes with no
+/// intermediate DOM; the rest fall back to [`CompiledWeaver::weave_page`].
+/// Pages fan out across `workers` threads over bounded crossbeam channels
+/// (the bound is backpressure: a fast feeder cannot outrun the weavers by
+/// more than the channel capacity).
+///
+/// Output bytes are identical to [`weave_separated`]'s page for page, and
+/// deterministic regardless of `workers`: results are keyed by page path
+/// and assembled in `BTreeMap` order, so scheduling jitter never reorders
+/// the site or the reports.
+///
+/// # Errors
+///
+/// See [`weave_separated`]. When several pages fail, the error reported is
+/// the one for the first failing page in page order (the same page the
+/// sequential pipeline would have stopped at).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_streaming(
+    sources: &Site,
+    workers: usize,
+) -> Result<StreamedOutput, CoreError> {
+    streaming_impl(sources, &[], None, workers)
+}
+
+/// Like [`weave_separated_streaming`], but composes `extra_aspects` with
+/// the navigation aspect (forcing a fresh compile, as
+/// [`weave_separated_with`] does).
+///
+/// # Errors
+///
+/// See [`weave_separated_streaming`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_streaming_with(
+    sources: &Site,
+    extra_aspects: &[Aspect],
+    workers: usize,
+) -> Result<StreamedOutput, CoreError> {
+    streaming_impl(sources, extra_aspects, None, workers)
+}
+
+/// Cached variant of [`weave_separated_streaming`] — compiled specs come
+/// from (and are stored into) `cache`, exactly as in
+/// [`weave_separated_cached`].
+///
+/// # Errors
+///
+/// See [`weave_separated_streaming`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_streaming_cached(
+    sources: &Site,
+    cache: &WeaveCache,
+    workers: usize,
+) -> Result<StreamedOutput, CoreError> {
+    streaming_impl(sources, &[], Some(cache), workers)
+}
+
+fn streaming_impl(
+    sources: &Site,
+    extra_aspects: &[Aspect],
+    cache: Option<&WeaveCache>,
+    workers: usize,
+) -> Result<StreamedOutput, CoreError> {
+    assert!(workers > 0, "need at least one worker");
+    let specs = compile_specs(sources, cache)?;
+    let transform = Arc::clone(&specs.transform);
+    let weaver = match (&specs.weaver, extra_aspects.is_empty()) {
+        (Some(w), true) => Arc::clone(w),
+        _ => {
+            let mut weaver = base_weaver(&specs.nav_map, &specs.site_aspects);
+            for a in extra_aspects {
+                weaver.add_aspect(a.clone());
+            }
+            Arc::new(weaver.compile())
+        }
+    };
+
+    let work: Vec<(String, &navsep_xml::Document)> = sources
+        .iter()
+        .filter(|(path, _)| {
+            *path != LINKBASE_PATH && *path != TRANSFORM_PATH && *path != ASPECTS_PATH
+        })
+        .filter_map(|(path, res)| {
+            let page = data_to_page(path)?;
+            res.document().map(|d| (page, d))
+        })
+        .collect();
+
+    // Worker pool over bounded channels. The feeder paces itself against
+    // the pool (job channel capacity = 2 × workers); the collector drains
+    // results concurrently so a full result channel can never deadlock the
+    // feeder. Results carry their page path, so assembly is deterministic
+    // whatever order workers finish in.
+    type Job<'d> = (String, &'d navsep_xml::Document);
+    let results: BTreeMap<String, Result<PageOut, CoreError>> = std::thread::scope(|scope| {
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<Job<'_>>(workers * 2);
+        let (res_tx, res_rx) =
+            crossbeam::channel::bounded::<(String, Result<PageOut, CoreError>)>(workers * 2);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let transform = &transform;
+            let weaver = &weaver;
+            scope.spawn(move || {
+                while let Ok((page, doc)) = job_rx.recv() {
+                    let out = stream_or_weave_page(&page, doc, transform, weaver);
+                    if res_tx.send((page, out)).is_err() {
+                        break; // collector gone: the run is already over
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(res_tx);
+        scope.spawn(move || {
+            for job in work {
+                if job_tx.send(job).is_err() {
+                    break; // every worker exited early
+                }
+            }
+        });
+        let mut results = BTreeMap::new();
+        while let Ok((page, out)) = res_rx.recv() {
+            results.insert(page, out);
+        }
+        results
+    });
+
+    let mut site = Site::new();
+    let mut reports = Vec::with_capacity(results.len());
+    let mut pages_streamed = 0usize;
+    let mut pages_fallback = 0usize;
+    let mut peak_depth = 0usize;
+    let mut peak_window_bytes = 0usize;
+    for (path, out) in results {
+        // BTreeMap order makes the first error deterministic: it is the
+        // error of the first failing page in page order.
+        match out? {
+            PageOut::Streamed { bytes, report } => {
+                pages_streamed += 1;
+                peak_depth = peak_depth.max(report.peak_depth);
+                peak_window_bytes = peak_window_bytes.max(report.peak_window_bytes);
+                reports.push(report.weave);
+                site.put_resource(
+                    path,
+                    Resource::Raw {
+                        media_type: MediaType::Html,
+                        body: Bytes::from(bytes),
+                    },
+                );
+            }
+            PageOut::Dom { doc, report } => {
+                pages_fallback += 1;
+                reports.push(report);
+                site.put_page(path, doc);
+            }
+        }
+    }
+    for (path, res) in sources.iter() {
+        if let Resource::Raw { .. } = res {
+            site.put_resource(path, res.clone());
+        }
+    }
+    Ok(StreamedOutput {
+        site,
+        reports,
+        pages_streamed,
+        pages_fallback,
+        peak_depth,
+        peak_window_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -919,5 +1185,102 @@ mod parallel_tests {
             separated_sources(&store, &nav, &paper_spec(AccessStructureKind::Index)).unwrap();
         sources.remove(TRANSFORM_PATH);
         assert!(weave_separated_parallel(&sources, 4).is_err());
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::museum::{generated_museum, museum_navigation};
+    use crate::separated::separated_sources;
+    use crate::spec::paper_spec;
+    use navsep_hypermodel::AccessStructureKind;
+
+    fn museum_sources() -> Site {
+        separated_sources(
+            &generated_museum(3, 7, 2, 11),
+            &museum_navigation(),
+            &paper_spec(AccessStructureKind::IndexedGuidedTour),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_site_is_byte_identical_to_sequential() {
+        let sources = museum_sources();
+        let seq = weave_separated(&sources).unwrap();
+        for workers in [1usize, 2, 8] {
+            let streamed = weave_separated_streaming(&sources, workers).unwrap();
+            assert_eq!(streamed.site.len(), seq.site.len());
+            for (path, res) in seq.site.iter() {
+                let got = streamed.site.get(path).unwrap();
+                assert_eq!(
+                    got.to_bytes(),
+                    res.to_bytes(),
+                    "served bytes differ at {path} with {workers} workers"
+                );
+                assert_eq!(got.media_type(), res.media_type());
+            }
+            // The navigation aspect is page-generated, so the standard
+            // pipeline streams every page — no DOM is ever built.
+            assert_eq!(streamed.pages_fallback, 0);
+            assert_eq!(streamed.pages_streamed, seq.reports.len());
+            assert_eq!(streamed.reports.len(), seq.reports.len());
+            assert!(streamed.peak_depth > 0);
+        }
+    }
+
+    #[test]
+    fn streamed_reports_match_sequential_counts() {
+        let sources = museum_sources();
+        let seq = weave_separated(&sources).unwrap();
+        let streamed = weave_separated_streaming(&sources, 3).unwrap();
+        for (s, d) in streamed.reports.iter().zip(&seq.reports) {
+            assert_eq!(s.page, d.page, "reports must come back in page order");
+            assert_eq!(s.join_points, d.join_points);
+            assert_eq!(s.applications(), d.applications());
+        }
+    }
+
+    #[test]
+    fn dynamic_extra_aspect_falls_back_to_dom_weaver() {
+        let sources = museum_sources();
+        let stamp =
+            Aspect::new("stamp").generated_rule(Pointcut::Root, AdvicePosition::Prepend, |jp| {
+                vec![ElementBuilder::new("span").text(jp.page.to_string())]
+            });
+        let seq = weave_separated_with(&sources, std::slice::from_ref(&stamp)).unwrap();
+        let streamed =
+            weave_separated_streaming_with(&sources, std::slice::from_ref(&stamp), 2).unwrap();
+        // Document-dependent advice on every page: streamability analysis
+        // routes all of them through the DOM weaver…
+        assert_eq!(streamed.pages_streamed, 0);
+        assert_eq!(streamed.pages_fallback, seq.reports.len());
+        // …and the output is still identical.
+        for (path, res) in seq.site.iter() {
+            let got = streamed.site.get(path).unwrap();
+            assert_eq!(got.to_bytes(), res.to_bytes(), "{path}");
+        }
+    }
+
+    #[test]
+    fn streaming_propagates_errors() {
+        let mut sources = museum_sources();
+        sources.remove(TRANSFORM_PATH);
+        assert!(matches!(
+            weave_separated_streaming(&sources, 4),
+            Err(CoreError::Pipeline(msg)) if msg.contains("transform.xml")
+        ));
+    }
+
+    #[test]
+    fn streaming_cached_reuses_compiled_specs() {
+        let sources = museum_sources();
+        let cache = WeaveCache::new();
+        let first = weave_separated_streaming_cached(&sources, &cache, 2).unwrap();
+        let again = weave_separated_streaming_cached(&sources, &cache, 2).unwrap();
+        assert_eq!(first.site.len(), again.site.len());
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 4);
     }
 }

@@ -32,7 +32,9 @@ use crate::audit::audit_site;
 use crate::error::CoreError;
 use crate::layout::data_to_page;
 use crate::lint::lint_sources;
-use crate::pipeline::{weave_pages_cached, weave_separated_cached, WeaveCache};
+use crate::pipeline::{
+    weave_pages_cached, weave_separated_cached, weave_separated_streaming_cached, WeaveCache,
+};
 use navsep_web::{IncrementalPublish, Resource, ShardedSiteStore, Site};
 use navsep_xml::Document;
 use std::collections::BTreeSet;
@@ -235,6 +237,48 @@ impl SitePublisher {
     /// staged); otherwise as [`commit`](Self::commit).
     pub fn commit_audited(&mut self, roots: &[&str]) -> Result<PublishOutcome, CoreError> {
         self.commit_inner(Some(roots))
+    }
+
+    /// Like [`commit`](Self::commit), but the weave is always a **full
+    /// streaming publish** fanned out over `workers` threads
+    /// ([`weave_separated_streaming_cached`]): pages whose compiled spec
+    /// passes streamability analysis go straight from reader events to
+    /// woven bytes, the rest fall back to the DOM weaver. Served bytes are
+    /// identical to [`commit`](Self::commit)'s, page for page, whatever
+    /// `workers` is, and the batch is still exactly one generation bump.
+    ///
+    /// # Errors
+    ///
+    /// As [`commit`](Self::commit): on error nothing is published, the
+    /// sources are unchanged, and the batch stays staged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn commit_streaming(&mut self, workers: usize) -> Result<PublishOutcome, CoreError> {
+        let mut next = self.sources.clone();
+        for edit in &self.staged {
+            edit.apply(&mut next);
+        }
+        if self.staged.iter().any(Self::edits_spec) {
+            self.cache.clear();
+        }
+        let woven = weave_separated_streaming_cached(&next, &self.cache, workers)?;
+        let store_publish = self.store.publish_incremental(&woven.site);
+        let edits_applied = self.staged.len();
+        self.staged.clear();
+        self.sources = next;
+        let resources_published = woven.site.len();
+        let pages_rewoven = woven.reports.len();
+        self.last_woven = Some(woven.site);
+        Ok(PublishOutcome {
+            generation: store_publish.generation,
+            edits_applied,
+            resources_published,
+            pages_rewoven,
+            pages_reused: 0,
+            store_publish,
+        })
     }
 
     /// Lints the sources **as the staged batch would leave them**, without

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod events;
 pub mod hash;
 pub mod index;
 pub mod name;
@@ -49,11 +50,15 @@ pub mod writer;
 pub use builder::ElementBuilder;
 pub use dom::{Attribute, Descendants, Document, NodeId, NodeKind};
 pub use error::{ParseXmlError, TextPos, XmlErrorKind};
+pub use events::{EventReader, XmlEvent};
 pub use hash::fnv1a64;
 pub use index::DocumentIndex;
 pub use name::{NamespaceDecl, NamespaceStack, QName, XMLNS_NS, XML_NS};
 pub use reader::MAX_DEPTH;
-pub use writer::{fragment_to_string, WriteOptions, Writer};
+pub use writer::{
+    fragment_to_string, write_comment_markup, write_pi_markup, write_start_tag_open, WriteOptions,
+    Writer, XML_DECLARATION,
+};
 
 #[cfg(test)]
 mod tests {

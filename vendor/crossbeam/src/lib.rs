@@ -17,6 +17,11 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled whenever queue space frees up (a value is popped or the
+        /// last receiver disconnects); bounded senders block on it.
+        space: Condvar,
+        /// `None` for unbounded channels, `Some(cap)` for bounded ones.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -72,23 +77,30 @@ pub mod channel {
         }
     }
 
-    /// Creates a channel of unbounded capacity.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender(shared.clone()), Receiver(shared))
     }
 
-    /// Creates a channel of bounded capacity.
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Creates a channel of bounded capacity: `send` blocks while the queue
+    /// holds `cap` values, waking when a receiver pops one (backpressure).
     ///
-    /// The shim does not apply backpressure; the bound is accepted for API
-    /// compatibility and the queue behaves as unbounded.
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// Unlike real crossbeam there is no zero-capacity rendezvous mode; a
+    /// `cap` of 0 is treated as 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap.max(1)))
     }
 
     impl<T> Clone for Sender<T> {
@@ -115,17 +127,34 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Senders blocked on a full bounded queue must wake to
+                // observe the disconnect.
+                self.0.space.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Sends `value`, failing only if every receiver has disconnected.
+        ///
+        /// On a bounded channel this blocks while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.0.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.0.cap {
+                while queue.len() >= cap {
+                    if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self.0.space.wait(queue).unwrap_or_else(|e| e.into_inner());
+                }
+                if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.0.ready.notify_one();
@@ -139,6 +168,7 @@ pub mod channel {
             let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.0.space.notify_one();
                     return Ok(value);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -152,7 +182,10 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    self.0.space.notify_one();
+                    Ok(value)
+                }
                 None if self.0.senders.load(Ordering::SeqCst) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -167,6 +200,7 @@ pub mod channel {
             let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.0.space.notify_one();
                     return Ok(value);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -219,6 +253,43 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_receiver_drains() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Arc;
+
+            let (tx, rx) = bounded(2);
+            let sent = Arc::new(AtomicUsize::new(0));
+            let sent_in_thread = sent.clone();
+            let producer = std::thread::spawn(move || {
+                for i in 0..6 {
+                    tx.send(i).unwrap();
+                    sent_in_thread.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // The producer can run at most `cap` sends ahead of the consumer.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(sent.load(Ordering::SeqCst) <= 2, "capacity not enforced");
+            let mut got = Vec::new();
+            for value in rx.iter() {
+                got.push(value);
+                // Never more than cap queued beyond what we've consumed.
+                assert!(sent.load(Ordering::SeqCst) <= got.len() + 2);
+            }
+            producer.join().unwrap();
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        }
+
+        #[test]
+        fn blocked_bounded_send_errors_when_receivers_gone() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u8).unwrap();
+            let blocked = std::thread::spawn(move || tx.send(2u8));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(rx);
+            assert_eq!(blocked.join().unwrap(), Err(SendError(2u8)));
         }
     }
 }
