@@ -31,6 +31,20 @@ pub enum CoreError {
     /// locators) and refused to weave at all — cheaper than discovering
     /// them in the woven output.
     SourceLint(crate::lint::SourceLintReport),
+    /// A weave worker panicked on one page. The panic was absorbed by the
+    /// pipeline's per-page `catch_unwind`; the remaining pages completed
+    /// and the pool drained normally.
+    WorkerPanic {
+        /// The page being woven when the worker panicked (`"<worker>"` if
+        /// a worker died outside any page).
+        path: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An injected fault surfaced ([`fault`](crate::fault) subsystem).
+    /// Considered *transient* by [`RetryPolicy`](crate::publish::RetryPolicy),
+    /// since fault budgets model recoverable conditions.
+    Fault(crate::fault::FaultError),
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +60,10 @@ impl fmt::Display for CoreError {
             CoreError::SourceLint(report) => {
                 write!(f, "source lint rejected publish: {report}")
             }
+            CoreError::WorkerPanic { path, message } => {
+                write!(f, "weave worker panicked on {path}: {message}")
+            }
+            CoreError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -58,8 +76,18 @@ impl StdError for CoreError {
             CoreError::XLink(e) => Some(e),
             CoreError::Template(e) => Some(e),
             CoreError::Weave(e) => Some(e),
-            CoreError::Pipeline(_) | CoreError::Audit(_) | CoreError::SourceLint(_) => None,
+            CoreError::Fault(e) => Some(e),
+            CoreError::Pipeline(_)
+            | CoreError::Audit(_)
+            | CoreError::SourceLint(_)
+            | CoreError::WorkerPanic { .. } => None,
         }
+    }
+}
+
+impl From<crate::fault::FaultError> for CoreError {
+    fn from(e: crate::fault::FaultError) -> Self {
+        CoreError::Fault(e)
     }
 }
 

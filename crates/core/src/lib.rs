@@ -43,6 +43,7 @@ pub mod audit;
 pub mod derive;
 pub mod equiv;
 pub mod error;
+pub mod fault;
 pub mod fragments;
 pub mod impact;
 pub mod layout;
@@ -58,15 +59,18 @@ pub use audit::{audit_site, AuditFinding, AuditReport};
 pub use derive::{derive_site, DerivedNode, DerivedSite};
 pub use equiv::{assert_site_equivalent, dom_equivalent, explain_difference};
 pub use error::CoreError;
+pub use fault::{FaultError, FaultKind, FaultPlan, FaultRule};
 pub use impact::{diff_lines, myers_distance, DiffStats, FileImpact, FileStatus, ImpactReport};
 pub use lint::{lint_sources, SourceLintFinding, SourceLintReport};
 pub use pipeline::{
     navigation_aspect, navigation_aspect_shared, navigation_map, weave_pages_cached,
     weave_separated, weave_separated_cached, weave_separated_cached_with, weave_separated_parallel,
-    weave_separated_streaming, weave_separated_streaming_cached, weave_separated_streaming_with,
-    weave_separated_with, PageNav, StreamedOutput, WeaveCache, WovenOutput,
+    weave_separated_parallel_faulted, weave_separated_streaming, weave_separated_streaming_cached,
+    weave_separated_streaming_cached_faulted, weave_separated_streaming_faulted,
+    weave_separated_streaming_with, weave_separated_with, PageNav, StreamedOutput, WeaveCache,
+    WovenOutput,
 };
-pub use publish::{PublishOutcome, SitePublisher, SourceEdit};
+pub use publish::{PublishOutcome, RetryPolicy, SitePublisher, SourceEdit};
 pub use separated::{data_document, separated_sources, separated_sources_with, MUSEUM_TRANSFORM};
 pub use spec::{by_movement, by_painter, contextual_spec, paper_spec, FamilySpec, SiteSpec};
 pub use tangled::{page_skeleton, tangled_site};

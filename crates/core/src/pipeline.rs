@@ -16,12 +16,13 @@
 //! DOM-equivalent to the tangled baseline.
 
 use crate::error::CoreError;
+use crate::fault::{self, FaultPlan};
 use crate::fragments::{index_list, nav_block, IndexItem, NavAnchor};
 use crate::layout::{data_to_page, ASPECTS_PATH, LINKBASE_PATH, TRANSFORM_PATH};
 use bytes::Bytes;
 use navsep_aspect::{
-    AdvicePosition, Aspect, AspectCache, CompiledWeaver, Pointcut, SpecCache, StreamError,
-    StreamReport, WeaveError, WeaveReport, Weaver,
+    AdvicePosition, Aspect, AspectCache, CompiledWeaver, Pointcut, SpecCache, StreamReport,
+    WeaveError, WeaveReport, Weaver,
 };
 use navsep_hypermodel::NavLinkKind;
 use navsep_style::Transform;
@@ -29,7 +30,19 @@ use navsep_web::{MediaType, Resource, Site};
 use navsep_xlink::{Endpoint, Linkbase, Resolver};
 use navsep_xml::{fnv1a64, ElementBuilder, WriteOptions};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Renders a `catch_unwind` payload for [`CoreError::WorkerPanic`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The navigation destined for one page, accumulated from the linkbase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -521,14 +534,67 @@ fn weave_impl(
 /// threads. Output is identical to the sequential pipeline (asserted by
 /// tests); reports are returned in page order.
 ///
+/// Every page weave runs under `catch_unwind`: a panicking page becomes
+/// [`CoreError::WorkerPanic`] for that page only — the other workers
+/// finish their slices and the scope drains normally.
+///
 /// # Errors
 ///
-/// See [`weave_separated`]. The first error from any worker aborts the run.
+/// See [`weave_separated`]. When several pages fail (error or panic), the
+/// error reported is the one for the first failing page in page order —
+/// the same page the sequential pipeline would have stopped at.
 ///
 /// # Panics
 ///
 /// Panics if `workers` is zero.
 pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenOutput, CoreError> {
+    weave_separated_parallel_faulted(sources, workers, None)
+}
+
+/// Transforms and weaves one page with panic isolation: a panic anywhere in
+/// the transform or weave (organic or injected) becomes
+/// [`CoreError::WorkerPanic`] for this page instead of unwinding the
+/// worker.
+fn weave_page_isolated(
+    page_path: &str,
+    data_doc: &navsep_xml::Document,
+    transform: &Transform,
+    weaver: &CompiledWeaver,
+    faults: Option<&FaultPlan>,
+) -> Result<(navsep_xml::Document, WeaveReport), CoreError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        fault::fire(faults, fault::sites::WEAVE_PAGE, page_path).map_err(CoreError::from)?;
+        let base = transform.apply(data_doc)?;
+        weaver.weave_page(page_path, &base).map_err(CoreError::from)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(CoreError::WorkerPanic {
+            path: page_path.to_string(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// [`weave_separated_parallel`] with a [`FaultPlan`] threaded through: each
+/// page consults `faults` at [`fault::sites::WEAVE_PAGE`] before weaving.
+/// With `None` the behavior (and output, byte for byte) is exactly
+/// [`weave_separated_parallel`].
+///
+/// # Errors
+///
+/// See [`weave_separated_parallel`]; injected `Error`/`Disconnect` faults
+/// surface as [`CoreError::Fault`], injected panics as
+/// [`CoreError::WorkerPanic`], both with first-failing-page ordering.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_parallel_faulted(
+    sources: &Site,
+    workers: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<WovenOutput, CoreError> {
     assert!(workers > 0, "need at least one worker");
     let specs = compile_specs(sources, None)?;
     let transform = &specs.transform;
@@ -548,8 +614,11 @@ pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenO
         })
         .collect();
 
-    type WovenPage = (String, navsep_xml::Document, WeaveReport);
-    let results: Vec<Result<Vec<WovenPage>, CoreError>> = std::thread::scope(|scope| {
+    type PageResult = (
+        String,
+        Result<(navsep_xml::Document, WeaveReport), CoreError>,
+    );
+    let results: Vec<PageResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let transform = &transform;
@@ -557,26 +626,50 @@ pub fn weave_separated_parallel(sources: &Site, workers: usize) -> Result<WovenO
             let chunk: Vec<&(String, &navsep_xml::Document)> =
                 work.iter().skip(w).step_by(workers).collect();
             handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(chunk.len());
+                let mut out: Vec<PageResult> = Vec::with_capacity(chunk.len());
                 for (page_path, data_doc) in chunk {
-                    let base = transform.apply(data_doc)?;
-                    let (woven, report) = weaver.weave_page(page_path, &base)?;
-                    out.push((page_path.clone(), woven, report));
+                    let woven = weave_page_isolated(page_path, data_doc, transform, weaver, faults);
+                    out.push((page_path.clone(), woven));
                 }
-                Ok(out)
+                out
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("weave worker panicked"))
-            .collect()
+        let mut all = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => all.extend(part),
+                // Unreachable while the per-page catch_unwind holds, but a
+                // worker lost some other way must not abort the process:
+                // surface it as a (first-ordered) error and keep draining.
+                Err(payload) => all.push((
+                    String::new(),
+                    Err(CoreError::WorkerPanic {
+                        path: "<worker>".to_string(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                )),
+            }
+        }
+        all
     });
 
     let mut pages: BTreeMap<String, (navsep_xml::Document, WeaveReport)> = BTreeMap::new();
-    for result in results {
-        for (path, doc, report) in result? {
-            pages.insert(path, (doc, report));
+    let mut first_error: Option<(String, CoreError)> = None;
+    for (path, result) in results {
+        match result {
+            Ok(woven) => {
+                pages.insert(path, woven);
+            }
+            Err(error) => match &first_error {
+                // Keep the error of the first failing page in page order —
+                // the page the sequential pipeline would have stopped at.
+                Some((seen, _)) if *seen <= path => {}
+                _ => first_error = Some((path, error)),
+            },
         }
+    }
+    if let Some((_, error)) = first_error {
+        return Err(error);
     }
     let mut site = Site::new();
     let mut reports = Vec::with_capacity(pages.len());
@@ -615,6 +708,12 @@ pub struct StreamedOutput {
     pub pages_streamed: usize,
     /// Pages routed through the DOM weaver by streamability analysis.
     pub pages_fallback: usize,
+    /// Pages that *failed* in the streaming weaver (organic error or
+    /// injected fault) and were degraded to the DOM weaver instead of
+    /// erroring. Disjoint from `pages_fallback` (an analysis decision) and
+    /// `pages_streamed`; zero whenever no fault plan is armed and the
+    /// sources are healthy.
+    pub pages_degraded: usize,
     /// Deepest open-element stack across all streamed pages.
     pub peak_depth: usize,
     /// Largest advice window (bytes buffered for open elements) across all
@@ -632,23 +731,30 @@ enum PageOut {
         doc: navsep_xml::Document,
         report: WeaveReport,
     },
-}
-
-fn stream_error_to_core(e: StreamError) -> CoreError {
-    match e {
-        StreamError::Xml(e) => CoreError::Xml(e),
-        StreamError::Weave(e) => CoreError::Weave(e),
-        other => CoreError::Pipeline(other.to_string()),
-    }
+    /// The streaming weave failed (organic error or injected fault) and the
+    /// page was re-woven through the DOM weaver instead.
+    Degraded {
+        doc: navsep_xml::Document,
+        report: WeaveReport,
+    },
 }
 
 /// Transforms and weaves one page, streaming when the spec allows it.
+///
+/// A failure *inside the streaming weaver* — a [`StreamError`] or an
+/// injected [`fault::sites::STREAM_PAGE`] fault — degrades the page to the
+/// DOM weaver instead of erroring: the DOM weaver is the spec side of the
+/// streaming ≡ DOM equivalence law, so the degraded output is exactly what
+/// the law demands, and only a DOM-weave failure surfaces as the page's
+/// error (preserving error parity with the sequential pipeline).
 fn stream_or_weave_page(
     page_path: &str,
     data_doc: &navsep_xml::Document,
     transform: &Transform,
     weaver: &CompiledWeaver,
+    faults: Option<&FaultPlan>,
 ) -> Result<PageOut, CoreError> {
+    fault::fire(faults, fault::sites::WEAVE_PAGE, page_path).map_err(CoreError::from)?;
     let base = transform.apply(data_doc)?;
     if weaver.streamable_for_page(page_path) {
         // Error parity with the DOM weaver: it rejects rootless pages
@@ -657,12 +763,19 @@ fn stream_or_weave_page(
         if base.root_element().is_none() {
             return Err(WeaveError::EmptyPage(page_path.to_string()).into());
         }
-        let source = base.to_xml(&WriteOptions::default().declaration(false));
-        let (bytes, report) = weaver
-            .streaming()
-            .weave_to_string(page_path, &source)
-            .map_err(stream_error_to_core)?;
-        Ok(PageOut::Streamed { bytes, report })
+        let injected: Result<(), fault::FaultError> =
+            fault::fire(faults, fault::sites::STREAM_PAGE, page_path);
+        if injected.is_ok() {
+            let source = base.to_xml(&WriteOptions::default().declaration(false));
+            match weaver.streaming().weave_to_string(page_path, &source) {
+                Ok((bytes, report)) => return Ok(PageOut::Streamed { bytes, report }),
+                Err(_stream_error) => {
+                    // Fall through to the DOM weaver below.
+                }
+            }
+        }
+        let (doc, report) = weaver.weave_page(page_path, &base)?;
+        Ok(PageOut::Degraded { doc, report })
     } else {
         let (doc, report) = weaver.weave_page(page_path, &base)?;
         Ok(PageOut::Dom { doc, report })
@@ -694,7 +807,52 @@ pub fn weave_separated_streaming(
     sources: &Site,
     workers: usize,
 ) -> Result<StreamedOutput, CoreError> {
-    streaming_impl(sources, &[], None, workers)
+    streaming_impl(sources, &[], None, workers, None)
+}
+
+/// [`weave_separated_streaming`] with a [`FaultPlan`] threaded through:
+/// pages consult `faults` at [`fault::sites::WEAVE_PAGE`] (panic / slow /
+/// error before any weave), [`fault::sites::STREAM_PAGE`] (streaming-weave
+/// failure, degraded to the DOM weaver), and
+/// [`fault::sites::CHANNEL_DISCONNECT`] (a worker abandons its channels;
+/// the in-hand page is lost and reported). With `None` the behavior is
+/// exactly [`weave_separated_streaming`].
+///
+/// # Errors
+///
+/// See [`weave_separated_streaming`]; additionally [`CoreError::WorkerPanic`]
+/// for injected panics (first-failing-page ordering preserved) and
+/// [`CoreError::Pipeline`] when disconnected workers lost pages.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_streaming_faulted(
+    sources: &Site,
+    workers: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<StreamedOutput, CoreError> {
+    streaming_impl(sources, &[], None, workers, faults)
+}
+
+/// Cached variant of [`weave_separated_streaming_faulted`] (what
+/// [`SitePublisher::commit_streaming`](crate::SitePublisher::commit_streaming)
+/// runs under an armed plan).
+///
+/// # Errors
+///
+/// See [`weave_separated_streaming_faulted`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn weave_separated_streaming_cached_faulted(
+    sources: &Site,
+    cache: &WeaveCache,
+    workers: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<StreamedOutput, CoreError> {
+    streaming_impl(sources, &[], Some(cache), workers, faults)
 }
 
 /// Like [`weave_separated_streaming`], but composes `extra_aspects` with
@@ -713,7 +871,7 @@ pub fn weave_separated_streaming_with(
     extra_aspects: &[Aspect],
     workers: usize,
 ) -> Result<StreamedOutput, CoreError> {
-    streaming_impl(sources, extra_aspects, None, workers)
+    streaming_impl(sources, extra_aspects, None, workers, None)
 }
 
 /// Cached variant of [`weave_separated_streaming`] — compiled specs come
@@ -732,7 +890,7 @@ pub fn weave_separated_streaming_cached(
     cache: &WeaveCache,
     workers: usize,
 ) -> Result<StreamedOutput, CoreError> {
-    streaming_impl(sources, &[], Some(cache), workers)
+    streaming_impl(sources, &[], Some(cache), workers, None)
 }
 
 fn streaming_impl(
@@ -740,6 +898,7 @@ fn streaming_impl(
     extra_aspects: &[Aspect],
     cache: Option<&WeaveCache>,
     workers: usize,
+    faults: Option<&FaultPlan>,
 ) -> Result<StreamedOutput, CoreError> {
     assert!(workers > 0, "need at least one worker");
     let specs = compile_specs(sources, cache)?;
@@ -772,6 +931,7 @@ fn streaming_impl(
     // feeder. Results carry their page path, so assembly is deterministic
     // whatever order workers finish in.
     type Job<'d> = (String, &'d navsep_xml::Document);
+    let expected = work.len();
     let results: BTreeMap<String, Result<PageOut, CoreError>> = std::thread::scope(|scope| {
         let (job_tx, job_rx) = crossbeam::channel::bounded::<Job<'_>>(workers * 2);
         let (res_tx, res_rx) =
@@ -783,7 +943,29 @@ fn streaming_impl(
             let weaver = &weaver;
             scope.spawn(move || {
                 while let Ok((page, doc)) = job_rx.recv() {
-                    let out = stream_or_weave_page(&page, doc, transform, weaver);
+                    if let Some(plan) = faults {
+                        if plan
+                            .decide(fault::sites::CHANNEL_DISCONNECT, &page)
+                            .is_some()
+                        {
+                            // A crashed worker: drop both channel ends and
+                            // exit with the in-hand job unreported. The
+                            // remaining workers absorb the queue; the
+                            // collector detects the lost page by count.
+                            return;
+                        }
+                    }
+                    // Isolate panics per page, not per worker: the worker
+                    // survives to take the next job either way.
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        stream_or_weave_page(&page, doc, transform, weaver, faults)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(CoreError::WorkerPanic {
+                            path: page.clone(),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    });
                     if res_tx.send((page, out)).is_err() {
                         break; // collector gone: the run is already over
                     }
@@ -806,10 +988,22 @@ fn streaming_impl(
         results
     });
 
+    // Workers that disconnected took their in-hand pages with them (and if
+    // *all* workers disconnected, the feeder dropped the rest). Unless a
+    // page-level error will already surface below, report the loss
+    // explicitly rather than returning a silently smaller site.
+    if results.len() != expected && !results.values().any(|r| r.is_err()) {
+        return Err(CoreError::Pipeline(format!(
+            "{} page(s) lost to disconnected weave workers",
+            expected - results.len()
+        )));
+    }
+
     let mut site = Site::new();
     let mut reports = Vec::with_capacity(results.len());
     let mut pages_streamed = 0usize;
     let mut pages_fallback = 0usize;
+    let mut pages_degraded = 0usize;
     let mut peak_depth = 0usize;
     let mut peak_window_bytes = 0usize;
     for (path, out) in results {
@@ -834,6 +1028,11 @@ fn streaming_impl(
                 reports.push(report);
                 site.put_page(path, doc);
             }
+            PageOut::Degraded { doc, report } => {
+                pages_degraded += 1;
+                reports.push(report);
+                site.put_page(path, doc);
+            }
         }
     }
     for (path, res) in sources.iter() {
@@ -846,6 +1045,7 @@ fn streaming_impl(
         reports,
         pages_streamed,
         pages_fallback,
+        pages_degraded,
         peak_depth,
         peak_window_bytes,
     })

@@ -30,15 +30,96 @@
 
 use crate::audit::audit_site;
 use crate::error::CoreError;
+use crate::fault::{self, FaultPlan};
 use crate::layout::data_to_page;
 use crate::lint::lint_sources;
 use crate::pipeline::{
-    weave_pages_cached, weave_separated_cached, weave_separated_streaming_cached, WeaveCache,
+    panic_message, weave_pages_cached, weave_separated_cached,
+    weave_separated_streaming_cached_faulted, WeaveCache,
 };
 use navsep_web::{IncrementalPublish, Resource, ShardedSiteStore, Site};
 use navsep_xml::Document;
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Capped exponential backoff for **transient** commit failures.
+///
+/// A failure is transient when it came from the fault subsystem:
+/// [`CoreError::Fault`] (an injected error, e.g. a failed store publish)
+/// or [`CoreError::WorkerPanic`] (an absorbed panic). Injected fault
+/// budgets model recoverable conditions — a rule with
+/// [`times(n)`](crate::fault::FaultRule::times) stops firing once spent —
+/// so retrying them is exactly what a production supervisor would do.
+/// Organic pipeline errors (bad XML, dangling locators, audit findings)
+/// are deterministic and are **never** retried.
+///
+/// The delay before retry `k` (0-based) is `base_delay × 2^k`, capped at
+/// `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries). `0` is treated as 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 2ms base, 50ms cap — negligible for healthy
+    /// commits (no transient failure ever means no sleep at all).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The capped exponential delay before 0-based retry `attempt`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay)
+    }
+
+    fn is_transient(error: &CoreError) -> bool {
+        matches!(error, CoreError::Fault(_) | CoreError::WorkerPanic { .. })
+    }
+
+    /// Runs `attempt_fn` until it succeeds, fails non-transiently, or the
+    /// attempt budget is spent; returns the value plus how many retries it
+    /// took.
+    fn run_counted<T>(
+        &self,
+        mut attempt_fn: impl FnMut() -> Result<T, CoreError>,
+    ) -> Result<(T, u32), CoreError> {
+        let mut retries = 0u32;
+        loop {
+            match attempt_fn() {
+                Ok(value) => return Ok((value, retries)),
+                Err(error) if Self::is_transient(&error) && retries + 1 < self.max_attempts => {
+                    std::thread::sleep(self.backoff(retries));
+                    retries += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
 
 /// One staged change to the separated sources.
 #[derive(Debug, Clone)]
@@ -124,6 +205,9 @@ pub struct PublishOutcome {
     /// What the store-level incremental publish did (entry reuse, shard
     /// swaps) — see [`IncrementalPublish`].
     pub store_publish: IncrementalPublish,
+    /// Transient failures absorbed by the [`RetryPolicy`] before this
+    /// commit succeeded (always 0 with no faults armed).
+    pub retries: u32,
 }
 
 /// Owns the separated authoring and republishes it — batched, cached, and
@@ -171,6 +255,10 @@ pub struct SitePublisher {
     /// their memoized content hash, so the store's diff is O(1) per
     /// reused page).
     last_woven: Option<Site>,
+    /// Fault plan threaded into the weave; `None` (the default) costs one
+    /// branch per page.
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl SitePublisher {
@@ -183,7 +271,40 @@ impl SitePublisher {
             cache: WeaveCache::new(),
             staged: Vec::new(),
             last_woven: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Arms a [`FaultPlan`] on this publisher (builder style). The plan is
+    /// consulted at the publisher-level `weave.page` site on every commit
+    /// and threaded into the streaming weave; arm the same plan on the
+    /// store ([`ShardedSiteStore::arm_faults`]) to also hit the
+    /// `store.publish` site.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets or clears the armed [`FaultPlan`] in place.
+    pub fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+    }
+
+    /// Replaces the [`RetryPolicy`] (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the [`RetryPolicy`] in place.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The policy applied to transient commit failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Stages an edit for the next commit (builder style, chainable).
@@ -241,7 +362,8 @@ impl SitePublisher {
 
     /// Like [`commit`](Self::commit), but the weave is always a **full
     /// streaming publish** fanned out over `workers` threads
-    /// ([`weave_separated_streaming_cached`]): pages whose compiled spec
+    /// ([`weave_separated_streaming_cached`](crate::pipeline::weave_separated_streaming_cached)):
+    /// pages whose compiled spec
     /// passes streamability analysis go straight from reader events to
     /// woven bytes, the rest fall back to the DOM weaver. Served bytes are
     /// identical to [`commit`](Self::commit)'s, page for page, whatever
@@ -263,8 +385,30 @@ impl SitePublisher {
         if self.staged.iter().any(Self::edits_spec) {
             self.cache.clear();
         }
-        let woven = weave_separated_streaming_cached(&next, &self.cache, workers)?;
-        let store_publish = self.store.publish_incremental(&woven.site);
+        let retry = self.retry;
+        let faults = self.faults.clone();
+        let ((woven, store_publish), retries) = retry.run_counted(|| {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let woven = weave_separated_streaming_cached_faulted(
+                    &next,
+                    &self.cache,
+                    workers,
+                    faults.as_deref(),
+                )?;
+                let store_publish = self
+                    .store
+                    .try_publish_incremental(&woven.site)
+                    .map_err(CoreError::from)?;
+                Ok((woven, store_publish))
+            }));
+            match attempt {
+                Ok(result) => result,
+                Err(payload) => Err(CoreError::WorkerPanic {
+                    path: "<commit>".to_string(),
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        })?;
         let edits_applied = self.staged.len();
         self.staged.clear();
         self.sources = next;
@@ -278,6 +422,7 @@ impl SitePublisher {
             pages_rewoven,
             pages_reused: 0,
             store_publish,
+            retries,
         })
     }
 
@@ -381,26 +526,56 @@ impl SitePublisher {
         if spec_changed {
             self.cache.clear();
         }
-        let (woven_site, pages_rewoven, pages_reused) = match &self.last_woven {
-            // Data/raw-only batches reweave O(K): every untouched page is
-            // the previous weave's document, cloned with its memoized
-            // content hash.
-            Some(prev) if !spec_changed => self.incremental_weave(&next, prev)?,
-            // First commit, or a spec changed: any page may differ — weave
-            // the whole site.
-            _ => {
-                let woven = weave_separated_cached(&next, &self.cache)?;
-                let pages_rewoven = woven.reports.len();
-                (woven.site, pages_rewoven, 0)
-            }
-        };
-        if let Some(roots) = audit_roots {
-            let report = audit_site(&woven_site, roots);
-            if !report.is_clean() {
-                return Err(CoreError::Audit(report));
-            }
-        }
-        let store_publish = self.store.publish_incremental(&woven_site);
+        // The weave + store publish run inside the retry loop, with a
+        // `catch_unwind` so an injected (or organic) panic becomes a
+        // retriable [`CoreError::WorkerPanic`] instead of tearing down the
+        // caller. Every attempt starts from the same immutable `next`;
+        // `self` is only mutated after the whole attempt succeeds, so a
+        // retried commit is indistinguishable from a first-try one.
+        let retry = self.retry;
+        let faults = self.faults.clone();
+        let ((woven_site, pages_rewoven, pages_reused, store_publish), retries) = retry
+            .run_counted(|| {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    fault::fire(
+                        faults.as_deref(),
+                        fault::sites::WEAVE_PAGE,
+                        "publisher.commit",
+                    )
+                    .map_err(CoreError::from)?;
+                    let (woven_site, pages_rewoven, pages_reused) = match &self.last_woven {
+                        // Data/raw-only batches reweave O(K): every
+                        // untouched page is the previous weave's document,
+                        // cloned with its memoized content hash.
+                        Some(prev) if !spec_changed => self.incremental_weave(&next, prev)?,
+                        // First commit, or a spec changed: any page may
+                        // differ — weave the whole site.
+                        _ => {
+                            let woven = weave_separated_cached(&next, &self.cache)?;
+                            let pages_rewoven = woven.reports.len();
+                            (woven.site, pages_rewoven, 0)
+                        }
+                    };
+                    if let Some(roots) = audit_roots {
+                        let report = audit_site(&woven_site, roots);
+                        if !report.is_clean() {
+                            return Err(CoreError::Audit(report));
+                        }
+                    }
+                    let store_publish = self
+                        .store
+                        .try_publish_incremental(&woven_site)
+                        .map_err(CoreError::from)?;
+                    Ok((woven_site, pages_rewoven, pages_reused, store_publish))
+                }));
+                match attempt {
+                    Ok(result) => result,
+                    Err(payload) => Err(CoreError::WorkerPanic {
+                        path: "<commit>".to_string(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            })?;
         let edits_applied = self.staged.len();
         self.staged.clear();
         self.sources = next;
@@ -413,6 +588,7 @@ impl SitePublisher {
             pages_rewoven,
             pages_reused,
             store_publish,
+            retries,
         })
     }
 }

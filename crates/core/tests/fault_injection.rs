@@ -1,0 +1,358 @@
+//! Targeted fault-injection tests: each named failure mode of the weave
+//! pipeline and the publisher, driven deterministically through
+//! [`navsep_core::fault`].
+//!
+//! The chaos battery (`tests/chaos.rs`) sweeps random plans over random
+//! sites; this suite pins down the individual contracts it relies on —
+//! panic isolation with sequential-identical first-error ordering,
+//! streaming degradation byte-identity, explicit loss reporting for
+//! disconnected workers, transactional store publishes, and the retry
+//! policy's transient/permanent split.
+
+use navsep_core::fault::{sites, FaultKind, FaultPlan, FaultRule};
+use navsep_core::museum::{museum_navigation, paper_museum};
+use navsep_core::pipeline::{
+    weave_separated, weave_separated_parallel_faulted, weave_separated_streaming,
+    weave_separated_streaming_faulted,
+};
+use navsep_core::publish::{RetryPolicy, SitePublisher, SourceEdit};
+use navsep_core::separated::separated_sources;
+use navsep_core::spec::paper_spec;
+use navsep_core::CoreError;
+use navsep_hypermodel::AccessStructureKind;
+use navsep_web::{ShardedSiteStore, Site};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Keeps injected panics out of the test log. The pipeline's
+/// `catch_unwind` absorbs them, but the default panic hook would still
+/// print a backtrace per injected panic; chain a hook that stays silent
+/// for payloads the fault subsystem produced and defers to the previous
+/// hook for everything else (a *real* panic must stay loud).
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains("injected fault") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn paper_sources() -> Site {
+    separated_sources(
+        &paper_museum(),
+        &museum_navigation(),
+        &paper_spec(AccessStructureKind::Index),
+    )
+    .unwrap()
+}
+
+fn assert_sites_byte_identical(reference: &Site, got: &Site, what: &str) {
+    assert_eq!(reference.len(), got.len(), "{what}: site size differs");
+    for (path, res) in reference.iter() {
+        let other = got
+            .get(path)
+            .unwrap_or_else(|| panic!("{what}: missing {path}"));
+        assert_eq!(
+            res.to_bytes(),
+            other.to_bytes(),
+            "{what}: bytes differ at {path}"
+        );
+    }
+}
+
+#[test]
+fn disarmed_faulted_paths_are_byte_identical_to_plain_ones() {
+    let sources = paper_sources();
+    let reference = weave_separated(&sources).unwrap();
+    for workers in [1, 2, 8] {
+        let parallel = weave_separated_parallel_faulted(&sources, workers, None).unwrap();
+        assert_sites_byte_identical(
+            &reference.site,
+            &parallel.site,
+            &format!("parallel/{workers} disarmed"),
+        );
+        let streamed = weave_separated_streaming_faulted(&sources, workers, None).unwrap();
+        assert_sites_byte_identical(
+            &reference.site,
+            &streamed.site,
+            &format!("streaming/{workers} disarmed"),
+        );
+        assert_eq!(streamed.pages_degraded, 0);
+    }
+}
+
+#[test]
+fn injected_panic_surfaces_as_worker_panic_for_that_page() {
+    quiet_injected_panics();
+    let sources = paper_sources();
+    let plan = FaultPlan::new(7)
+        .rule(FaultRule::at(sites::WEAVE_PAGE, FaultKind::Panic).matching("guitar"));
+    for workers in [1, 2, 8] {
+        let err = weave_separated_parallel_faulted(&sources, workers, Some(&plan)).unwrap_err();
+        match err {
+            CoreError::WorkerPanic { path, message } => {
+                assert_eq!(path, "guitar.html", "workers={workers}");
+                assert!(message.contains("injected fault"), "workers={workers}");
+            }
+            other => panic!("expected WorkerPanic, got {other} (workers={workers})"),
+        }
+    }
+}
+
+#[test]
+fn first_error_matches_sequential_stop_page_when_every_page_fails() {
+    quiet_injected_panics();
+    let sources = paper_sources();
+    // The page the sequential pipeline stops at is the first in page
+    // order; with every page panicking, the parallel pipeline must report
+    // that same page whatever the worker count or finish order.
+    let first_page = weave_separated(&sources).unwrap().reports[0].page.clone();
+    let plan = FaultPlan::new(11).rule(FaultRule::at(sites::WEAVE_PAGE, FaultKind::Panic));
+    for workers in [1, 2, 8] {
+        let err = weave_separated_parallel_faulted(&sources, workers, Some(&plan)).unwrap_err();
+        match err {
+            CoreError::WorkerPanic { path, .. } => {
+                assert_eq!(path, first_page, "workers={workers}")
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn injected_error_surfaces_as_fault_error() {
+    let sources = paper_sources();
+    let plan = FaultPlan::new(3).rule(
+        FaultRule::at(sites::WEAVE_PAGE, FaultKind::Error("disk on fire".into()))
+            .matching("guitar"),
+    );
+    let err = weave_separated_parallel_faulted(&sources, 2, Some(&plan)).unwrap_err();
+    match err {
+        CoreError::Fault(f) => {
+            assert!(f.to_string().contains("disk on fire"));
+            assert!(f.to_string().contains("guitar"));
+        }
+        other => panic!("expected Fault, got {other}"),
+    }
+    assert!(plan.fired() >= 1);
+}
+
+#[test]
+fn streaming_faults_degrade_to_dom_weaver_byte_identically() {
+    let sources = paper_sources();
+    let reference = weave_separated(&sources).unwrap();
+    let clean = weave_separated_streaming(&sources, 2).unwrap();
+    assert!(clean.pages_streamed > 0, "fixture must have streamed pages");
+    // Fail the streaming weaver on EVERY page: all previously-streamed
+    // pages must degrade to the DOM weaver, and the site must still be
+    // byte-identical to the sequential output.
+    let plan = FaultPlan::new(5).rule(FaultRule::at(
+        sites::STREAM_PAGE,
+        FaultKind::Error("stream torn".into()),
+    ));
+    for workers in [1, 2, 8] {
+        let degraded = weave_separated_streaming_faulted(&sources, workers, Some(&plan)).unwrap();
+        assert_eq!(
+            degraded.pages_degraded, clean.pages_streamed,
+            "workers={workers}"
+        );
+        assert_eq!(degraded.pages_streamed, 0, "workers={workers}");
+        assert_sites_byte_identical(
+            &reference.site,
+            &degraded.site,
+            &format!("degraded/{workers}"),
+        );
+    }
+}
+
+#[test]
+fn disconnected_workers_lose_pages_loudly_not_silently() {
+    let sources = paper_sources();
+    // Every worker disconnects on its first job: all in-hand pages are
+    // lost, the feeder's sends fail once every receiver is gone, and the
+    // pipeline must report the loss as an explicit error — and terminate.
+    let plan = FaultPlan::new(13).rule(FaultRule::at(
+        sites::CHANNEL_DISCONNECT,
+        FaultKind::Disconnect,
+    ));
+    for workers in [1, 2, 8] {
+        let err = weave_separated_streaming_faulted(&sources, workers, Some(&plan)).unwrap_err();
+        match err {
+            CoreError::Pipeline(msg) => {
+                assert!(
+                    msg.contains("lost to disconnected weave workers"),
+                    "workers={workers}: {msg}"
+                );
+            }
+            other => panic!("expected Pipeline loss error, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn single_disconnect_loses_only_the_in_hand_page() {
+    let sources = paper_sources();
+    // One worker of several dies once; the survivors drain the queue, so
+    // exactly one page is missing.
+    let plan = FaultPlan::new(17)
+        .rule(FaultRule::at(sites::CHANNEL_DISCONNECT, FaultKind::Disconnect).times(1));
+    let err = weave_separated_streaming_faulted(&sources, 4, Some(&plan)).unwrap_err();
+    match err {
+        CoreError::Pipeline(msg) => {
+            assert!(msg.contains("1 page(s) lost"), "{msg}");
+        }
+        other => panic!("expected Pipeline loss error, got {other}"),
+    }
+}
+
+fn publisher_over(store: &Arc<ShardedSiteStore>) -> SitePublisher {
+    SitePublisher::new(paper_sources(), Arc::clone(store))
+}
+
+#[test]
+fn transient_store_fault_is_retried_and_commit_succeeds() {
+    let store = Arc::new(ShardedSiteStore::new(8));
+    // Two injected commit failures, budget-limited: attempts 1 and 2 fail,
+    // attempt 3 lands. Default policy allows exactly that.
+    store.arm_faults(Arc::new(
+        FaultPlan::new(23).rule(
+            FaultRule::at(
+                sites::STORE_PUBLISH,
+                FaultKind::Error("leader flapped".into()),
+            )
+            .times(2),
+        ),
+    ));
+    let mut publisher = publisher_over(&store);
+    let outcome = publisher.commit().unwrap();
+    assert_eq!(outcome.retries, 2);
+    assert_eq!(outcome.generation, 1);
+    assert_eq!(store.generation(), 1, "exactly one epoch despite retries");
+}
+
+#[test]
+fn exhausted_retry_budget_surfaces_the_fault_and_publishes_nothing() {
+    let store = Arc::new(ShardedSiteStore::new(8));
+    store.arm_faults(Arc::new(FaultPlan::new(29).rule(FaultRule::at(
+        sites::STORE_PUBLISH,
+        FaultKind::Error("partition".into()),
+    ))));
+    let mut publisher = publisher_over(&store);
+    publisher.stage(SourceEdit::put_raw("museum.css", "/* staged */"));
+    let err = publisher.commit().unwrap_err();
+    assert!(matches!(err, CoreError::Fault(_)), "got {err}");
+    assert_eq!(store.generation(), 0, "failed commit published nothing");
+    assert_eq!(publisher.staged_len(), 1, "batch stays staged for retry");
+    // Heal the store: the SAME staged batch commits cleanly.
+    store.disarm_faults();
+    let outcome = publisher.commit().unwrap();
+    assert_eq!(outcome.generation, 1);
+    assert_eq!(outcome.edits_applied, 1);
+}
+
+#[test]
+fn publisher_weave_panic_fault_is_retried() {
+    quiet_injected_panics();
+    let store = Arc::new(ShardedSiteStore::new(8));
+    let plan = Arc::new(
+        FaultPlan::new(31).rule(
+            FaultRule::at(sites::WEAVE_PAGE, FaultKind::Panic)
+                .matching("publisher.commit")
+                .times(1),
+        ),
+    );
+    let mut publisher = publisher_over(&store).with_faults(plan);
+    let outcome = publisher.commit().unwrap();
+    assert_eq!(outcome.retries, 1, "one panic absorbed, second try landed");
+    assert_eq!(store.generation(), 1);
+}
+
+#[test]
+fn retry_policy_none_fails_on_first_transient_fault() {
+    let store = Arc::new(ShardedSiteStore::new(8));
+    store.arm_faults(Arc::new(FaultPlan::new(37).rule(
+        FaultRule::at(sites::STORE_PUBLISH, FaultKind::Error("blip".into())).times(1),
+    )));
+    let mut publisher = publisher_over(&store).with_retry_policy(RetryPolicy::none());
+    assert!(publisher.commit().is_err(), "no retries: first blip fatal");
+    // The single-shot budget is spent, so a manual retry succeeds.
+    assert_eq!(publisher.commit().unwrap().generation, 1);
+}
+
+#[test]
+fn organic_errors_are_never_retried() {
+    // A dangling-locator audit failure is deterministic: retrying it would
+    // just burn the backoff budget. `retries` must be 0 on the error path —
+    // observable as the commit failing immediately even with a huge budget.
+    let store = Arc::new(ShardedSiteStore::new(8));
+    let mut publisher = publisher_over(&store).with_retry_policy(RetryPolicy {
+        max_attempts: 100,
+        base_delay: Duration::from_secs(60),
+        max_delay: Duration::from_secs(60),
+    });
+    publisher.stage(SourceEdit::remove("picasso.xml"));
+    let start = std::time::Instant::now();
+    let err = publisher.commit_audited(&["index.html"]).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "organic failure must not sleep through retry backoff"
+    );
+    assert!(
+        matches!(err, CoreError::SourceLint(_) | CoreError::Audit(_)),
+        "got {err}"
+    );
+}
+
+#[test]
+fn streaming_commit_degrades_under_stream_faults_and_still_publishes() {
+    let reference_store = Arc::new(ShardedSiteStore::new(8));
+    let mut reference = publisher_over(&reference_store);
+    reference.commit().unwrap();
+
+    let store = Arc::new(ShardedSiteStore::new(8));
+    let plan = Arc::new(FaultPlan::new(41).rule(FaultRule::at(
+        sites::STREAM_PAGE,
+        FaultKind::Error("stream torn".into()),
+    )));
+    let mut publisher = publisher_over(&store).with_faults(plan);
+    let outcome = publisher.commit_streaming(2).unwrap();
+    assert_eq!(outcome.generation, 1);
+    // Every page degraded, yet the served bytes equal the DOM commit's at
+    // every published path.
+    let reference_site = weave_separated(reference.sources()).unwrap().site;
+    assert!(reference_site.len() > 0);
+    for (path, res) in reference_site.iter() {
+        let reference_read = reference_store.get(path).unwrap();
+        assert_eq!(reference_read.resource().to_bytes(), res.to_bytes());
+        let got = store.get(path).unwrap();
+        assert_eq!(
+            reference_read.resource().to_bytes(),
+            got.resource().to_bytes(),
+            "degraded streaming commit differs at {path}"
+        );
+    }
+}
+
+#[test]
+fn slow_faults_delay_but_do_not_fail() {
+    let sources = paper_sources();
+    let plan = FaultPlan::new(43).rule(
+        FaultRule::at(sites::WEAVE_PAGE, FaultKind::Slow(Duration::from_millis(5)))
+            .matching("guitar"),
+    );
+    let reference = weave_separated(&sources).unwrap();
+    let woven = weave_separated_parallel_faulted(&sources, 2, Some(&plan)).unwrap();
+    assert_sites_byte_identical(&reference.site, &woven.site, "slow fault");
+    assert!(plan.fired() >= 1, "the slow site must have been consulted");
+}

@@ -91,6 +91,8 @@ impl Status {
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
     /// 500.
     pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// 503.
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     /// The numeric code.
     pub fn code(self) -> u16 {
@@ -102,6 +104,11 @@ impl Status {
         (200..300).contains(&self.0)
     }
 
+    /// `true` for 5xx.
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
     /// The standard reason phrase.
     pub fn reason(self) -> &'static str {
         match self.0 {
@@ -109,6 +116,7 @@ impl Status {
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -153,6 +161,25 @@ impl Response {
             status: Status::METHOD_NOT_ALLOWED,
             headers: Vec::new(),
             body: Bytes::new(),
+        }
+    }
+
+    /// A 500 response with a plain-text detail body.
+    pub fn server_error(detail: &str) -> Self {
+        Response {
+            status: Status::INTERNAL_SERVER_ERROR,
+            headers: vec![("content-type".to_string(), "text/plain".to_string())],
+            body: Bytes::from(format!("internal server error: {detail}")),
+        }
+    }
+
+    /// A 503 response with a plain-text reason body. The serving contract
+    /// (see the `ServerPool` docs) adds `x-navsep-retry-after` on top.
+    pub fn unavailable(reason: &str) -> Self {
+        Response {
+            status: Status::SERVICE_UNAVAILABLE,
+            headers: vec![("content-type".to_string(), "text/plain".to_string())],
+            body: Bytes::from(format!("service unavailable: {reason}")),
         }
     }
 
@@ -242,5 +269,24 @@ mod tests {
     fn not_found_mentions_path() {
         let r = Response::not_found("/ghost.xml");
         assert!(r.body_text().contains("/ghost.xml"));
+    }
+
+    #[test]
+    fn error_helpers_carry_status_and_reason() {
+        let unavailable = Response::unavailable("queue full");
+        assert_eq!(unavailable.status(), Status::SERVICE_UNAVAILABLE);
+        assert!(unavailable.status().is_server_error());
+        assert!(!unavailable.status().is_success());
+        assert!(unavailable.body_text().contains("queue full"));
+        assert_eq!(
+            Status::SERVICE_UNAVAILABLE.to_string(),
+            "503 Service Unavailable"
+        );
+
+        let error = Response::server_error("handler panicked");
+        assert_eq!(error.status(), Status::INTERNAL_SERVER_ERROR);
+        assert!(error.status().is_server_error());
+        assert!(error.body_text().contains("handler panicked"));
+        assert!(!Status::NOT_FOUND.is_server_error());
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod fault;
 pub mod history;
 pub mod http;
 pub mod server;
@@ -58,12 +59,13 @@ pub use agent::{
     anchors_under, links_of, resolve_href, ActivatedPage, AgentError, LoadedPage, UiLink,
     UiLinkKind, UserAgent,
 };
+pub use fault::{FaultError, FaultHit, FaultInjectingHandler, FaultKind, FaultPlan, FaultRule};
 pub use history::{
     page_slug, Freshness, HistoryClock, HistoryEntry, JointEntry, JointHistory, RouteGuard,
     RouteViolation, SessionHistory,
 };
 pub use http::{Method, Request, Response, Status};
-pub use server::{Handler, ServerPool, SiteHandler};
+pub use server::{Handler, PoolConfig, ServerPool, SiteHandler, RETRY_AFTER_HEADER, SHED_HEADER};
 pub use session::{NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};
 pub use store::{
@@ -90,5 +92,7 @@ mod tests {
         assert_send_sync::<JointHistory>();
         assert_send_sync::<HistoryClock>();
         assert_send_sync::<RouteGuard>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<ServerPool>();
     }
 }

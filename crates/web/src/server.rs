@@ -5,14 +5,42 @@
 //! site, the way a 2002-era document server would. `crossbeam` channels move
 //! requests in and responses out; `parking_lot::RwLock` guards the site so
 //! publishes (re-weaves) can swap content while reads continue.
+//!
+//! ## Overload and failure contract
+//!
+//! [`ServerPool`] is hardened for overload and worker failure:
+//!
+//! * the request queue is **bounded** ([`PoolConfig::queue_capacity`]);
+//!   [`ServerPool::request`] sheds excess load with a **503** carrying
+//!   [`RETRY_AFTER_HEADER`] (and [`SHED_HEADER`] naming the reason), while
+//!   [`ServerPool::request_blocking`] applies condvar backpressure instead;
+//! * an optional **per-request deadline** ([`PoolConfig::deadline`]) sheds
+//!   requests that waited in the queue longer than the deadline, again as
+//!   503 + retry-after;
+//! * a worker whose handler **panics** answers that request with a 500,
+//!   exits, and is **respawned** by the pool supervisor — the pool keeps
+//!   serving after any number of absorbed panics;
+//! * [`ServerPool::shutdown`] is **graceful**: in-flight requests complete,
+//!   queued-but-unstarted ones are shed with a 503, and every accepted
+//!   request is answered before shutdown returns.
 
 use crate::http::{Method, Request, Response};
 use crate::site::Site;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Header on every 503: how long the client should wait before retrying,
+/// in milliseconds (custom header, hence not the RFC seconds granularity).
+pub const RETRY_AFTER_HEADER: &str = "x-navsep-retry-after";
+
+/// Header on every 503 naming why the request was shed: `queue-full`,
+/// `deadline`, or `draining`.
+pub const SHED_HEADER: &str = "x-navsep-shed";
 
 /// Anything that can answer requests.
 pub trait Handler: Send + Sync {
@@ -75,12 +103,131 @@ impl Handler for SiteHandler {
     }
 }
 
-enum Job {
-    Work(Request, Sender<Response>),
-    Shutdown,
+/// Sizing and robustness knobs for a [`ServerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker thread count (must be nonzero).
+    pub workers: usize,
+    /// Bound on queued-but-unstarted requests; [`ServerPool::request`]
+    /// sheds beyond it, [`ServerPool::request_blocking`] blocks.
+    pub queue_capacity: usize,
+    /// If set, a request that waited in the queue longer than this is shed
+    /// with a 503 instead of being handled.
+    pub deadline: Option<Duration>,
+    /// Advertised in [`RETRY_AFTER_HEADER`] on every shed response.
+    pub retry_after: Duration,
 }
 
-/// A fixed-size worker pool dispatching requests to a shared [`Handler`].
+impl PoolConfig {
+    /// Defaults for `workers` threads: a `workers * 64` queue, no
+    /// deadline, 50ms advertised retry.
+    pub fn new(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            queue_capacity: workers.max(1) * 64,
+            deadline: None,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the queue bound (builder style).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-request queue deadline (builder style).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the advertised retry-after (builder style).
+    pub fn retry_after(mut self, retry_after: Duration) -> Self {
+        self.retry_after = retry_after;
+        self
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+enum Event {
+    /// A worker absorbed a handler panic and exited; spawn a replacement.
+    WorkerExited,
+    /// The pool is shutting down.
+    Stop,
+}
+
+struct PoolShared {
+    handler: Arc<dyn Handler>,
+    events: Sender<Event>,
+    draining: AtomicBool,
+    deadline: Option<Duration>,
+    retry_after_ms: u64,
+    panics_absorbed: AtomicU64,
+    requests_shed: AtomicU64,
+    requests_timed_out: AtomicU64,
+    workers_spawned: AtomicU64,
+}
+
+impl PoolShared {
+    fn shed_response(&self, reason: &str) -> Response {
+        Response::unavailable(reason)
+            .with_header(RETRY_AFTER_HEADER, self.retry_after_ms.to_string())
+            .with_header(SHED_HEADER, reason)
+    }
+}
+
+fn spawn_worker(id: u64, shared: Arc<PoolShared>, jobs: Receiver<Job>) -> JoinHandle<()> {
+    shared.workers_spawned.fetch_add(1, Ordering::SeqCst);
+    std::thread::Builder::new()
+        .name(format!("navsep-worker-{id}"))
+        .spawn(move || {
+            while let Ok(job) = jobs.recv() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                    let _ = job.reply.send(shared.shed_response("draining"));
+                    continue;
+                }
+                if let Some(deadline) = shared.deadline {
+                    if job.enqueued.elapsed() > deadline {
+                        shared.requests_timed_out.fetch_add(1, Ordering::SeqCst);
+                        let _ = job.reply.send(shared.shed_response("deadline"));
+                        continue;
+                    }
+                }
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| shared.handler.handle(&job.request)));
+                match outcome {
+                    Ok(response) => {
+                        let _ = job.reply.send(response);
+                    }
+                    Err(_) => {
+                        // The request that took the worker down still gets an
+                        // explicit answer, then the worker exits and the
+                        // supervisor replaces it (a fresh thread is the only
+                        // state we can vouch for after a panic).
+                        shared.panics_absorbed.fetch_add(1, Ordering::SeqCst);
+                        let _ = job.reply.send(
+                            Response::server_error("request handler panicked")
+                                .with_header(RETRY_AFTER_HEADER, shared.retry_after_ms.to_string()),
+                        );
+                        let _ = shared.events.send(Event::WorkerExited);
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn worker thread")
+}
+
+/// A fixed-size worker pool dispatching requests to a shared [`Handler`],
+/// with bounded queueing, load shedding, deadlines, panic respawn, and
+/// graceful shutdown (see the [module docs](self) for the contract).
 ///
 /// # Examples
 ///
@@ -98,95 +245,219 @@ enum Job {
 /// # Ok::<(), navsep_xml::ParseXmlError>(())
 /// ```
 pub struct ServerPool {
-    jobs: Sender<Job>,
-    workers: Vec<JoinHandle<()>>,
+    jobs: Option<Sender<Job>>,
+    supervisor: Option<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+    workers: usize,
 }
 
 impl std::fmt::Debug for ServerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerPool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers)
             .finish()
     }
 }
 
 impl ServerPool {
-    /// Starts `workers` threads serving through `handler`.
+    /// Starts `workers` threads serving through `handler`, with
+    /// [`PoolConfig::new`] defaults.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn start<H: Handler + 'static>(handler: Arc<H>, workers: usize) -> Self {
-        assert!(workers > 0, "a server pool needs at least one worker");
-        let (tx, rx) = channel::unbounded::<Job>();
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let rx: Receiver<Job> = rx.clone();
-            let handler = Arc::clone(&handler);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("navsep-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            match job {
-                                Job::Work(request, reply) => {
-                                    let response = handler.handle(&request);
-                                    let _ = reply.send(response);
+        Self::start_with(handler, PoolConfig::new(workers))
+    }
+
+    /// Starts a pool with explicit sizing/robustness knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    pub fn start_with<H: Handler + 'static>(handler: Arc<H>, config: PoolConfig) -> Self {
+        assert!(
+            config.workers > 0,
+            "a server pool needs at least one worker"
+        );
+        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+        let (events_tx, events_rx) = channel::unbounded::<Event>();
+        let shared = Arc::new(PoolShared {
+            handler: handler as Arc<dyn Handler>,
+            events: events_tx,
+            draining: AtomicBool::new(false),
+            deadline: config.deadline,
+            retry_after_ms: config.retry_after.as_millis() as u64,
+            panics_absorbed: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            requests_timed_out: AtomicU64::new(0),
+            workers_spawned: AtomicU64::new(0),
+        });
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let jobs_rx = jobs_rx.clone();
+            let workers = config.workers;
+            std::thread::Builder::new()
+                .name("navsep-pool-supervisor".to_string())
+                .spawn(move || {
+                    let mut next_id: u64 = 0;
+                    let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+                    for _ in 0..workers {
+                        handles.push(spawn_worker(next_id, Arc::clone(&shared), jobs_rx.clone()));
+                        next_id += 1;
+                    }
+                    while let Ok(event) = events_rx.recv() {
+                        match event {
+                            Event::WorkerExited => {
+                                if shared.draining.load(Ordering::SeqCst) {
+                                    continue;
                                 }
-                                Job::Shutdown => break,
+                                handles.push(spawn_worker(
+                                    next_id,
+                                    Arc::clone(&shared),
+                                    jobs_rx.clone(),
+                                ));
+                                next_id += 1;
                             }
+                            Event::Stop => break,
                         }
-                    })
-                    .expect("failed to spawn worker thread"),
-            );
-        }
+                    }
+                    // Graceful drain: workers exit once the (now
+                    // disconnected) queue is empty.
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    // If every worker panicked away during the drain, queued
+                    // jobs may remain; answer them so no client ever hangs.
+                    while let Ok(job) = jobs_rx.try_recv() {
+                        shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                        let _ = job.reply.send(shared.shed_response("draining"));
+                    }
+                })
+                .expect("failed to spawn pool supervisor")
+        };
+
         ServerPool {
-            jobs: tx,
-            workers: handles,
+            jobs: Some(jobs_tx),
+            supervisor: Some(supervisor),
+            shared,
+            workers: config.workers,
         }
     }
 
     /// Submits a request; the response arrives on the returned channel.
+    ///
+    /// Never blocks: if the bounded queue is full the request is **shed**
+    /// immediately and the channel yields a 503 with
+    /// [`RETRY_AFTER_HEADER`]. Every returned channel yields exactly one
+    /// response.
     pub fn request(&self, request: Request) -> Receiver<Response> {
         let (tx, rx) = channel::bounded(1);
-        self.jobs
-            .send(Job::Work(request, tx))
-            .expect("server pool has shut down");
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let Some(jobs) = &self.jobs else {
+            self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+            let _ = job.reply.send(self.shared.shed_response("draining"));
+            return rx;
+        };
+        match jobs.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                let _ = job.reply.send(self.shared.shed_response("queue-full"));
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                let _ = job.reply.send(self.shared.shed_response("draining"));
+            }
+        }
         rx
     }
 
-    /// Convenience: submit and wait.
-    pub fn request_sync(&self, request: Request) -> Response {
-        self.request(request)
-            .recv()
-            .expect("worker dropped the response")
-    }
-
-    /// Number of worker threads.
-    pub fn workers(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Stops all workers and joins them.
-    pub fn shutdown(mut self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.jobs.send(Job::Shutdown);
+    /// Submits a request, **blocking** while the queue is full (condvar
+    /// backpressure) instead of shedding. Deadlines still apply from the
+    /// moment the request is accepted into the queue.
+    pub fn request_blocking(&self, request: Request) -> Receiver<Response> {
+        let (tx, rx) = channel::bounded(1);
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match &self.jobs {
+            Some(jobs) => {
+                if let Err(send_error) = jobs.send(job) {
+                    let job = send_error.0;
+                    self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                    let _ = job.reply.send(self.shared.shed_response("draining"));
+                }
+            }
+            None => {
+                self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
+                let _ = job.reply.send(self.shared.shed_response("draining"));
+            }
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        rx
+    }
+
+    /// Convenience: submit (blocking at capacity) and wait.
+    pub fn request_sync(&self, request: Request) -> Response {
+        self.request_blocking(request)
+            .recv()
+            .expect("server pool dropped a response")
+    }
+
+    /// Number of worker threads the pool was configured with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Handler panics absorbed (each cost one worker, since respawned).
+    pub fn panics_absorbed(&self) -> u64 {
+        self.shared.panics_absorbed.load(Ordering::SeqCst)
+    }
+
+    /// Requests shed with a 503 (queue-full or draining; excludes
+    /// deadline timeouts).
+    pub fn requests_shed(&self) -> u64 {
+        self.shared.requests_shed.load(Ordering::SeqCst)
+    }
+
+    /// Requests shed because they out-waited the configured deadline.
+    pub fn requests_timed_out(&self) -> u64 {
+        self.shared.requests_timed_out.load(Ordering::SeqCst)
+    }
+
+    /// Total worker threads ever spawned (initial + respawns).
+    pub fn workers_spawned(&self) -> u64 {
+        self.shared.workers_spawned.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully stops the pool: in-flight requests complete, queued ones
+    /// are shed with a 503, and all threads are joined before returning.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Disconnect the queue so workers exit once it is drained.
+        drop(self.jobs.take());
+        let _ = self.shared.events.send(Event::Stop);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
 
 impl Drop for ServerPool {
     fn drop(&mut self) {
-        // Best-effort teardown when shutdown() was not called explicitly.
-        for _ in 0..self.workers.len() {
-            let _ = self.jobs.send(Job::Shutdown);
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        // Same graceful teardown when shutdown() was not called explicitly.
+        self.shutdown_inner();
     }
 }
 

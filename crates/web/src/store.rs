@@ -54,12 +54,13 @@
 //! ring while older *unpinned* epochs are evicted first (the ring stays
 //! bounded: if every candidate is pinned the oldest goes anyway).
 
+use crate::fault::{self, FaultError, FaultKind, FaultPlan};
 use crate::http::{Method, Request, Response};
 use crate::server::Handler;
 use crate::site::{Resource, Site};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Response header carrying the generation that served a request.
@@ -280,6 +281,12 @@ pub struct ShardedSiteStore {
     pins: Mutex<BTreeMap<u64, usize>>,
     /// Ring capacity (≥ 1).
     retain: usize,
+    /// Fast-path flag for [`arm_faults`](Self::arm_faults); when false the
+    /// fault subsystem costs one relaxed load per transactional publish.
+    faults_armed: AtomicBool,
+    /// The armed plan, consulted at `fault::sites::STORE_PUBLISH` by
+    /// [`try_publish_incremental`](Self::try_publish_incremental).
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl ShardedSiteStore {
@@ -321,6 +328,58 @@ impl ShardedSiteStore {
             retained: RwLock::new(VecDeque::new()),
             pins: Mutex::new(BTreeMap::new()),
             retain,
+            faults_armed: AtomicBool::new(false),
+            faults: RwLock::new(None),
+        }
+    }
+
+    /// Arms `plan` for the transactional publish path: every subsequent
+    /// [`try_publish_incremental`](Self::try_publish_incremental) consults
+    /// it at [`fault::sites::STORE_PUBLISH`]. Disarmed stores pay a single
+    /// relaxed atomic load.
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+        self.faults_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms any armed fault plan.
+    pub fn disarm_faults(&self) {
+        self.faults_armed.store(false, Ordering::SeqCst);
+        *self.faults.write() = None;
+    }
+
+    /// Consults the armed plan (if any) at the `store.publish` site. Called
+    /// under the publish lock after rendering, before any epoch retention
+    /// or shard swap — so an injected failure aborts a publish with the old
+    /// epoch fully intact.
+    fn consult_publish_faults(&self) -> Result<(), FaultError> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let plan = self.faults.read().clone();
+        let Some(plan) = plan else { return Ok(()) };
+        match plan.decide(fault::sites::STORE_PUBLISH, "commit") {
+            None => Ok(()),
+            Some(FaultKind::Panic) => {
+                panic!(
+                    "injected fault: panic at {} [commit]",
+                    fault::sites::STORE_PUBLISH
+                )
+            }
+            Some(FaultKind::Slow(delay)) => {
+                std::thread::sleep(delay);
+                Ok(())
+            }
+            Some(FaultKind::Error(message)) => Err(FaultError::new(
+                fault::sites::STORE_PUBLISH,
+                "commit",
+                message,
+            )),
+            Some(FaultKind::Disconnect) => Err(FaultError::new(
+                fault::sites::STORE_PUBLISH,
+                "commit",
+                "disconnect",
+            )),
         }
     }
 
@@ -427,7 +486,33 @@ impl ShardedSiteStore {
     ///
     /// A publish that changes nothing still advances the global
     /// generation (the epoch ring records it), but no shard is touched.
+    ///
+    /// This path never consults an armed fault plan (and thus cannot
+    /// fail); the transactional entry point for chaos testing is
+    /// [`try_publish_incremental`](Self::try_publish_incremental).
     pub fn publish_incremental(&self, site: &Site) -> IncrementalPublish {
+        match self.publish_incremental_impl(site, false) {
+            Ok(publish) => publish,
+            Err(_) => unreachable!("publish_incremental never consults fault plans"),
+        }
+    }
+
+    /// [`publish_incremental`](Self::publish_incremental), but consulting
+    /// any [armed](Self::arm_faults) fault plan at
+    /// [`fault::sites::STORE_PUBLISH`] — under the publish lock, after the
+    /// diff and render, **before** any epoch retention or shard swap. An
+    /// `Err` therefore guarantees the store still serves the old epoch:
+    /// same generation, same retained ring, no shard touched. Generations
+    /// stay monotone across any mix of failed and successful publishes.
+    pub fn try_publish_incremental(&self, site: &Site) -> Result<IncrementalPublish, FaultError> {
+        self.publish_incremental_impl(site, true)
+    }
+
+    fn publish_incremental_impl(
+        &self,
+        site: &Site,
+        consult_faults: bool,
+    ) -> Result<IncrementalPublish, FaultError> {
         let n = self.shards.len();
         let _swap_guard = self.publish_lock.lock();
         let generation = self.generation.load(Ordering::Acquire) + 1;
@@ -477,6 +562,12 @@ impl ShardedSiteStore {
                 epoch_shards.push(Arc::clone(&previous[idx]));
             }
         }
+        // The last moment a publish can abort cleanly: nothing below this
+        // point may fail, because retention and shard swaps must land
+        // together.
+        if consult_faults {
+            self.consult_publish_faults()?;
+        }
         // Retain before swapping, as in `publish`: a generation-N stamp a
         // reader observes must already be servable through `get_at`.
         self.push_epoch(Epoch {
@@ -489,13 +580,13 @@ impl ShardedSiteStore {
             }
         }
         self.generation.store(generation, Ordering::Release);
-        IncrementalPublish {
+        Ok(IncrementalPublish {
             generation,
             pages_reused,
             pages_rendered,
             shards_swapped,
             shards_skipped: n - shards_swapped,
-        }
+        })
     }
 
     /// Appends the epoch to the ring, evicting past capacity. Eviction is
@@ -936,6 +1027,34 @@ mod tests {
         // Reads keep the stamp of the last change.
         assert_eq!(store.get("a.xml").unwrap().generation(), 1);
         assert_eq!(store.retained_generations(), [1, 2]);
+    }
+
+    #[test]
+    fn failed_try_publish_leaves_old_epoch_fully_intact() {
+        use crate::fault::{sites, FaultRule};
+
+        let store = ShardedSiteStore::from_site(4, &site("v1"));
+        let before_body = store.get("a.xml").unwrap().body().to_vec();
+        store.arm_faults(Arc::new(FaultPlan::new(7).rule(
+            FaultRule::at(sites::STORE_PUBLISH, FaultKind::Error("disk full".into())).times(1),
+        )));
+
+        let err = store.try_publish_incremental(&site("v2")).unwrap_err();
+        assert_eq!(err.site, sites::STORE_PUBLISH);
+        // Old epoch intact: generation, ring, and served bytes unchanged.
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.retained_generations(), [1]);
+        assert_eq!(store.get("a.xml").unwrap().body().to_vec(), before_body);
+
+        // The injected budget is spent: the retry succeeds and generations
+        // stay monotone across the failed attempt.
+        let stats = store.try_publish_incremental(&site("v2")).unwrap();
+        assert_eq!(stats.generation, 2);
+        assert!(String::from_utf8_lossy(&store.get("a.xml").unwrap().body()).contains("v2"));
+
+        // Disarmed again: the plain path never consults the plan.
+        store.disarm_faults();
+        assert_eq!(store.publish_incremental(&site("v3")).generation, 3);
     }
 
     #[test]

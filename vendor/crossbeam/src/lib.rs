@@ -42,6 +42,42 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// All receivers have disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Returns the value that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(value) | TrySendError::Disconnected(value) => value,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -113,6 +149,14 @@ pub mod channel {
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
             if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // The notification must be ordered with the receivers'
+                // predicate checks, which happen under the queue mutex: a
+                // receiver that loaded `senders == 1` and is about to park in
+                // `ready.wait` would miss a notify issued between the two.
+                // Taking (and releasing) the lock forces the decrement above
+                // to be visible to any receiver that parks after this point.
+                let guard = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+                drop(guard);
                 self.0.ready.notify_all();
             }
         }
@@ -128,8 +172,14 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Senders blocked on a full bounded queue must wake to
-                // observe the disconnect.
+                // Senders blocked on a full bounded queue must wake to observe
+                // the disconnect. As in `Sender::drop`, the wakeup must be
+                // ordered with the senders' capacity loop, which re-checks
+                // `receivers` under the queue mutex: notifying without the
+                // lock can race a sender that checked `receivers` but has not
+                // yet parked in `space.wait`, leaving it blocked forever.
+                let guard = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+                drop(guard);
                 self.0.space.notify_all();
             }
         }
@@ -153,6 +203,27 @@ pub mod channel {
                 }
                 if self.0.receivers.load(Ordering::SeqCst) == 0 {
                     return Err(SendError(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Attempts to send without blocking: fails with
+        /// [`TrySendError::Full`] instead of waiting for queue space.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             queue.push_back(value);
@@ -290,6 +361,60 @@ pub mod channel {
             std::thread::sleep(std::time::Duration::from_millis(50));
             drop(rx);
             assert_eq!(blocked.join().unwrap(), Err(SendError(2u8)));
+        }
+
+        /// Regression test for a lost-wakeup race: `Receiver::drop` used to
+        /// decrement `receivers` and notify the capacity condvar *without*
+        /// holding the queue mutex, so a sender that had just re-checked
+        /// `receivers` inside its capacity loop could park in `space.wait`
+        /// after the notification fired and block forever. Every sender
+        /// blocked on a full queue must wake with `SendError` when the last
+        /// receiver drops.
+        #[test]
+        fn receiver_drop_wakes_every_blocked_sender() {
+            for round in 0..50 {
+                let (tx, rx) = bounded(1);
+                tx.send(0u32).unwrap();
+                let blocked: Vec<_> = (1..=3)
+                    .map(|i| {
+                        let tx = tx.clone();
+                        std::thread::spawn(move || tx.send(i))
+                    })
+                    .collect();
+                // Vary the interleaving a little between rounds: sometimes the
+                // senders are parked, sometimes still racing toward the wait.
+                if round % 2 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                drop(rx);
+                for handle in blocked {
+                    // A hang here (the pre-fix behavior) fails the test via
+                    // the harness timeout rather than an assert.
+                    let result = handle.join().unwrap();
+                    assert!(matches!(result, Err(SendError(_))));
+                }
+            }
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(tx.try_send(1u8), Ok(()));
+            assert_eq!(tx.try_send(2u8), Err(TrySendError::Full(2u8)));
+            assert_eq!(rx.recv(), Ok(1u8));
+            assert_eq!(tx.try_send(3u8), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4u8), Err(TrySendError::Disconnected(4u8)));
+            assert_eq!(TrySendError::Full(5u8).into_inner(), 5u8);
+        }
+
+        #[test]
+        fn try_send_is_unbounded_on_unbounded_channels() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u32 {
+                tx.try_send(i).unwrap();
+            }
+            assert_eq!(rx.iter().take(100).count(), 100);
         }
     }
 }
