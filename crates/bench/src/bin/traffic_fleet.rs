@@ -1,0 +1,649 @@
+//! Traffic fleet: a million-request, ten-thousand-session scenario sweep
+//! against the sharded serving stack, with one scenario driven over the
+//! real TCP front end.
+//!
+//! Each scenario models a distinct traffic shape the ROADMAP's serving
+//! item calls for:
+//!
+//! | scenario | shape |
+//! |----------|-------|
+//! | `zipf` | page popularity follows a zipf(1.1) law — a few hot pages, a long tail |
+//! | `back_button` | readers replay history entries with `x-navsep-at-generation` (the retention ring) and revalidate with `x-navsep-if-generation` |
+//! | `crawler` | full-site sweeps, every path in order, GET and HEAD |
+//! | `flash_crowd` | thousands of sessions hammer one page (one shard) at once |
+//! | `publish_storm` | publishes land mid-traffic; sessions observe generation churn |
+//! | `wire` | the zipf mix over real TCP keep-alive connections through `HttpListener` |
+//!
+//! Per-scenario requests, shed rate, and served p50/p99 land in
+//! `BENCH_traffic.json` (merge-writer format, one section per scenario
+//! plus a `fleet` section with totals and the honest core count).
+//!
+//! Usage: `cargo run --release -p navsep-bench --bin traffic_fleet [-- --smoke]`
+//! (`--smoke`, or `TRAFFIC_FLEET_SMOKE=1`, is the CI-sized run — it still
+//! completes ≥1M requests across ≥10k sessions; the full run quadruples
+//! per-session request counts).
+
+use navsep_bench::{banner, print_table, record_bench_section_in, traffic_json_path};
+use navsep_web::wire::{read_response, serialize_request};
+use navsep_web::{
+    HttpListener, ListenerConfig, PoolConfig, Request, ServerPool, ShardedSiteHandler,
+    ShardedSiteStore, Site, AT_GENERATION_HEADER, DEGRADED_HEADER, GENERATION_HEADER,
+    IF_GENERATION_HEADER, STALE_HEADER,
+};
+use navsep_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pages in the served corpus (plus `index.html` and `style.css`).
+const PAGES: usize = 400;
+/// Generations published before traffic starts.
+const WARM_GENERATIONS: u64 = 6;
+/// Retained-epoch ring depth — smaller than the publish churn, so
+/// back-button time travel really hits the horizon sometimes.
+const RETENTION: usize = 4;
+/// Client threads per scenario (logical sessions are multiplexed on top).
+const CLIENT_THREADS: usize = 4;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("TRAFFIC_FLEET_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn page_path(i: usize) -> String {
+    format!("page-{i:03}.xml")
+}
+
+/// The corpus at a given content revision.
+fn corpus(revision: u64) -> Site {
+    let mut site = Site::new();
+    for i in 0..PAGES {
+        site.put_document(
+            &page_path(i),
+            Document::parse(&format!(
+                "<exhibit id=\"e{i}\" rev=\"{revision}\"><title>Exhibit {i}</title>\
+                 <body>wing {} case {}</body></exhibit>",
+                i % 12,
+                i % 37,
+            ))
+            .expect("corpus page is well-formed"),
+        );
+    }
+    site.put_page(
+        "index.html",
+        Document::parse(&format!(
+            "<html><body><h1>Museum rev {revision}</h1></body></html>"
+        ))
+        .expect("index is well-formed"),
+    );
+    site.put_css("style.css", "body { margin: 0 }");
+    site
+}
+
+/// Cumulative zipf(1.1) weights over the page ranks, for integer sampling.
+fn zipf_cdf() -> Vec<u64> {
+    let mut cdf = Vec::with_capacity(PAGES);
+    let mut total = 0u64;
+    for rank in 0..PAGES {
+        total += (1e9 / ((rank + 1) as f64).powf(1.1)) as u64;
+        cdf.push(total);
+    }
+    cdf
+}
+
+fn sample_zipf(cdf: &[u64], rng: &mut StdRng) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let pick = rng.gen_range(0u64..total);
+    cdf.partition_point(|&c| c <= pick)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// What one scenario hands back: counts plus the served-latency
+/// distribution in microseconds.
+struct ScenarioResult {
+    name: &'static str,
+    sessions: usize,
+    requests: usize,
+    shed: usize,
+    /// Scenario-specific extras (degraded time travels, stale verdicts…).
+    notes: Vec<(&'static str, u64)>,
+    latencies_us: Vec<u64>,
+}
+
+impl ScenarioResult {
+    fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
+        }
+    }
+
+    fn finish(mut self) -> Self {
+        self.latencies_us.sort_unstable();
+        self
+    }
+
+    fn p50(&self) -> u64 {
+        percentile(&self.latencies_us, 50.0)
+    }
+
+    fn p99(&self) -> u64 {
+        percentile(&self.latencies_us, 99.0)
+    }
+
+    fn json(&self) -> String {
+        let notes = self
+            .notes
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {v}"))
+            .collect::<String>();
+        format!(
+            "{{\"sessions\": {}, \"requests\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
+             \"served_p50_us\": {}, \"served_p99_us\": {}{notes}}}",
+            self.sessions,
+            self.requests,
+            self.shed,
+            self.shed_rate(),
+            self.p50(),
+            self.p99(),
+        )
+    }
+}
+
+/// Drives `sessions` logical sessions, each issuing `per_session` requests
+/// built by `make` (called with session id, step, rng), in pipelined
+/// bursts of `burst` per client thread. Sessions are partitioned across
+/// [`CLIENT_THREADS`] threads and interleaved round-robin, so every
+/// session in a thread's slice is mid-stream concurrently for the whole
+/// scenario.
+fn drive<F>(
+    name: &'static str,
+    pool: &ServerPool,
+    sessions: usize,
+    per_session: usize,
+    burst: usize,
+    seed: u64,
+    make: F,
+) -> ScenarioResult
+where
+    F: Fn(usize, usize, &mut StdRng) -> Request + Sync,
+{
+    let make = &make;
+    let outcomes: Vec<(bool, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 32);
+                    let slice: Vec<usize> =
+                        (0..sessions).filter(|s| s % CLIENT_THREADS == t).collect();
+                    let mut out = Vec::with_capacity(slice.len() * per_session);
+                    // Round-robin across the slice: step 0 for every
+                    // session, then step 1, … — all sessions stay live.
+                    for step in 0..per_session {
+                        for chunk in slice.chunks(burst) {
+                            let sent: Vec<_> = chunk
+                                .iter()
+                                .map(|&s| {
+                                    let request = make(s, step, &mut rng);
+                                    (Instant::now(), pool.request(request))
+                                })
+                                .collect();
+                            for (start, reply) in sent {
+                                let response = reply.recv().expect("pool always answers");
+                                out.push((
+                                    response.status().is_success(),
+                                    start.elapsed().as_micros() as u64,
+                                ));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let requests = outcomes.len();
+    let shed = outcomes.iter().filter(|(ok, _)| !ok).count();
+    ScenarioResult {
+        name,
+        sessions,
+        requests,
+        shed,
+        notes: Vec::new(),
+        latencies_us: outcomes
+            .into_iter()
+            .filter(|(ok, _)| *ok)
+            .map(|(_, us)| us)
+            .collect(),
+    }
+    .finish()
+}
+
+/// Back-button readers: each session remembers the last few
+/// `(path, generation)` pairs it was served and replays them with
+/// `x-navsep-at-generation` (the Brewster–Jeffrey back stack over the
+/// retention ring), revalidating with `x-navsep-if-generation`. Closed
+/// loop (burst 1) because every next request depends on the last answer.
+/// A background publisher churns the store throughout, so the ring
+/// really moves: old enough replays degrade (explicitly) and their
+/// conditional checks come back stale.
+fn back_button_scenario(
+    pool: &ServerPool,
+    store: &Arc<ShardedSiteStore>,
+    cdf: &[u64],
+    sessions: usize,
+    per_session: usize,
+) -> ScenarioResult {
+    struct Tally {
+        outcomes: Vec<(bool, u64)>,
+        degraded: u64,
+        stale: u64,
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        {
+            let store = Arc::clone(store);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut revision = store.generation();
+                while !stop.load(Ordering::Acquire) {
+                    revision += 1;
+                    store.publish_incremental(&corpus(revision));
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            });
+        }
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xBACC ^ (t as u64) << 32);
+                    let slice: Vec<usize> =
+                        (0..sessions).filter(|s| s % CLIENT_THREADS == t).collect();
+                    // Per-session memory: a small ring of served entries.
+                    let mut memory: Vec<Vec<(String, u64)>> = vec![Vec::new(); slice.len()];
+                    let mut tally = Tally {
+                        outcomes: Vec::with_capacity(slice.len() * per_session),
+                        degraded: 0,
+                        stale: 0,
+                    };
+                    for step in 0..per_session {
+                        for (i, _) in slice.iter().enumerate() {
+                            let ring = &mut memory[i];
+                            let replay = !ring.is_empty() && rng.gen_range(0u32..100) < 50;
+                            let request = if replay {
+                                let (path, generation) =
+                                    ring[rng.gen_range(0usize..ring.len())].clone();
+                                Request::get(path)
+                                    .header(AT_GENERATION_HEADER, generation.to_string())
+                                    .header(IF_GENERATION_HEADER, generation.to_string())
+                            } else {
+                                Request::get(page_path(sample_zipf(cdf, &mut rng)))
+                            };
+                            let path = request.path().to_string();
+                            let start = Instant::now();
+                            let response =
+                                pool.request(request).recv().expect("pool always answers");
+                            let ok = response.status().is_success();
+                            tally
+                                .outcomes
+                                .push((ok, start.elapsed().as_micros() as u64));
+                            if response.header_value(DEGRADED_HEADER).is_some() {
+                                tally.degraded += 1;
+                            }
+                            if response.header_value(STALE_HEADER) == Some("stale") {
+                                tally.stale += 1;
+                            }
+                            if ok && !replay {
+                                if let Some(generation) = response
+                                    .header_value(GENERATION_HEADER)
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                {
+                                    ring.push((path, generation));
+                                    if ring.len() > 8 {
+                                        ring.remove(0);
+                                    }
+                                }
+                            }
+                            let _ = step;
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        let tallies = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        stop.store(true, Ordering::Release);
+        tallies
+    });
+    let mut outcomes = Vec::new();
+    let mut degraded = 0u64;
+    let mut stale = 0u64;
+    for tally in tallies {
+        outcomes.extend(tally.outcomes);
+        degraded += tally.degraded;
+        stale += tally.stale;
+    }
+    let requests = outcomes.len();
+    let shed = outcomes.iter().filter(|(ok, _)| !ok).count();
+    ScenarioResult {
+        name: "back_button",
+        sessions,
+        requests,
+        shed,
+        notes: vec![
+            ("degraded_time_travels", degraded),
+            ("stale_verdicts", stale),
+        ],
+        latencies_us: outcomes
+            .into_iter()
+            .filter(|(ok, _)| *ok)
+            .map(|(_, us)| us)
+            .collect(),
+    }
+    .finish()
+}
+
+/// The zipf mix over real TCP keep-alive connections: each client thread
+/// holds one connection through the [`HttpListener`] and runs its sessions
+/// closed-loop over it — every byte crosses the loopback socket.
+fn wire_scenario(
+    listener: &HttpListener,
+    cdf: &[u64],
+    sessions: usize,
+    per_session: usize,
+) -> ScenarioResult {
+    let addr = listener.local_addr();
+    let outcomes: Vec<(bool, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x3132 ^ (t as u64) << 32);
+                    let slice = (0..sessions).filter(|s| s % CLIENT_THREADS == t).count();
+                    let stream = TcpStream::connect(addr).expect("connect to listener");
+                    let mut reader =
+                        BufReader::new(stream.try_clone().expect("clone client socket"));
+                    let mut writer = stream;
+                    let mut out = Vec::with_capacity(slice * per_session);
+                    for _ in 0..per_session {
+                        for s in 0..slice {
+                            let head = s % 7 == 0;
+                            let page = sample_zipf(cdf, &mut rng);
+                            let request = if head {
+                                Request::head(page_path(page))
+                            } else {
+                                Request::get(page_path(page))
+                            };
+                            let start = Instant::now();
+                            writer.write_all(&serialize_request(&request)).unwrap();
+                            writer.flush().unwrap();
+                            let response =
+                                read_response(&mut reader, head).expect("listener always answers");
+                            out.push((
+                                (200..300).contains(&response.status),
+                                start.elapsed().as_micros() as u64,
+                            ));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("wire client thread"))
+            .collect()
+    });
+    let requests = outcomes.len();
+    let shed = outcomes.iter().filter(|(ok, _)| !ok).count();
+    ScenarioResult {
+        name: "wire",
+        sessions,
+        requests,
+        shed,
+        notes: Vec::new(),
+        latencies_us: outcomes
+            .into_iter()
+            .filter(|(ok, _)| *ok)
+            .map(|(_, us)| us)
+            .collect(),
+    }
+    .finish()
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let scale = if smoke { 1 } else { 4 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The served store: a warm history of generations over a bounded ring.
+    let store = Arc::new(ShardedSiteStore::with_retention(16, RETENTION));
+    for revision in 1..=WARM_GENERATIONS {
+        store.publish(&corpus(revision));
+    }
+    let handler = Arc::new(ShardedSiteHandler::new(Arc::clone(&store)));
+    let pool = ServerPool::start_with(
+        Arc::clone(&handler),
+        PoolConfig::new(CLIENT_THREADS).queue_capacity(1024),
+    );
+    let listener = HttpListener::bind(
+        "127.0.0.1:0",
+        Arc::clone(&handler),
+        ListenerConfig::new(CLIENT_THREADS),
+    )
+    .expect("bind traffic listener");
+    let cdf = zipf_cdf();
+
+    banner(&format!(
+        "traffic_fleet — scenario sweep over {PAGES}+2 paths, {WARM_GENERATIONS} warm \
+         generations, ring of {RETENTION}, {cores} core(s){}",
+        if smoke { " (smoke)" } else { "" }
+    ));
+
+    let started = Instant::now();
+    let mut results: Vec<ScenarioResult> = Vec::new();
+
+    // zipf: popularity-skewed reads, the bread-and-butter load.
+    results.push(drive(
+        "zipf",
+        &pool,
+        4000,
+        100 * scale,
+        32,
+        0x21BF,
+        |_, _, rng| Request::get(page_path(sample_zipf(&cdf, rng))),
+    ));
+
+    // back_button: history replays through the retention ring.
+    results.push(back_button_scenario(&pool, &store, &cdf, 3000, 100 * scale));
+
+    // crawler: full-site sweeps in path order, every 4th crawler HEADs.
+    let all_paths: Vec<String> = (0..PAGES)
+        .map(page_path)
+        .chain(["index.html".to_string(), "style.css".to_string()])
+        .collect();
+    let sweep = all_paths.len();
+    results.push(drive(
+        "crawler",
+        &pool,
+        240,
+        sweep * scale,
+        64,
+        0xC4A1,
+        |s, step, _| {
+            let path = all_paths[step % sweep].clone();
+            if s % 4 == 0 {
+                Request::head(path)
+            } else {
+                Request::get(path)
+            }
+        },
+    ));
+
+    // flash_crowd: everyone on one page — one shard takes the spike.
+    results.push(drive(
+        "flash_crowd",
+        &pool,
+        2500,
+        60 * scale,
+        64,
+        0xF1A5,
+        |_, _, _| Request::get(page_path(7)),
+    ));
+
+    // publish_storm: publishes land mid-traffic; readers carry
+    // if-generation so the churn is observable in the responses.
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let publishes = std::thread::scope(|scope| {
+            let publisher = {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut published = 0u64;
+                    let mut revision = store.generation();
+                    while !stop.load(Ordering::Acquire) {
+                        revision += 1;
+                        store.publish_incremental(&corpus(revision));
+                        published += 1;
+                    }
+                    published
+                })
+            };
+            let result = drive(
+                "publish_storm",
+                &pool,
+                1000,
+                60 * scale,
+                16,
+                0x5702,
+                |_, _, rng| {
+                    Request::get(page_path(sample_zipf(&cdf, rng)))
+                        .header(IF_GENERATION_HEADER, WARM_GENERATIONS.to_string())
+                },
+            );
+            stop.store(true, Ordering::Release);
+            let published = publisher.join().expect("publisher thread");
+            let mut result = result;
+            result.notes.push(("publishes_landed", published));
+            results.push(result);
+            published
+        });
+        assert!(publishes >= 1, "the storm must land at least one publish");
+    }
+
+    // wire: the same mix over real TCP through the HttpListener.
+    results.push(wire_scenario(&listener, &cdf, 680, 80 * scale));
+
+    let elapsed = started.elapsed();
+
+    // Report.
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.sessions.to_string(),
+                r.requests.to_string(),
+                format!("{:.2}%", r.shed_rate() * 100.0),
+                format!("{}us", r.p50()),
+                format!("{}us", r.p99()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["scenario", "sessions", "requests", "shed", "p50", "p99"],
+        &rows,
+    );
+
+    let total_requests: usize = results.iter().map(|r| r.requests).sum();
+    let total_sessions: usize = results.iter().map(|r| r.sessions).sum();
+    let total_shed: usize = results.iter().map(|r| r.shed).sum();
+    let throughput = total_requests as f64 / elapsed.as_secs_f64();
+    println!();
+    println!(
+        "fleet: {total_requests} requests across {total_sessions} sessions in {elapsed:.2?} \
+         ({throughput:.0} req/s), {total_shed} shed, final generation {}",
+        store.generation()
+    );
+    println!(
+        "wire front end: {} connections accepted, {} requests served over TCP",
+        listener.connections_accepted(),
+        listener.requests_served(),
+    );
+
+    // Record every scenario plus the fleet totals.
+    let path = traffic_json_path();
+    for result in &results {
+        record_bench_section_in(&path, result.name, &result.json());
+    }
+    record_bench_section_in(
+        &path,
+        "fleet",
+        &format!(
+            "{{\"requests\": {total_requests}, \"sessions\": {total_sessions}, \
+             \"shed\": {total_shed}, \"elapsed_s\": {:.2}, \"req_per_s\": {throughput:.0}, \
+             \"cores\": {cores}, \"smoke\": {smoke}}}",
+            elapsed.as_secs_f64(),
+        ),
+    );
+    println!("recorded: {}", path.display());
+
+    // Acceptance gates (hold in smoke and full mode alike).
+    assert!(
+        total_requests >= 1_000_000,
+        "fleet must complete at least 1M requests (got {total_requests})"
+    );
+    assert!(
+        total_sessions >= 10_000,
+        "fleet must span at least 10k sessions (got {total_sessions})"
+    );
+    let wire = results.iter().find(|r| r.name == "wire").expect("wire ran");
+    assert!(
+        wire.shed == 0 || wire.shed < wire.requests,
+        "the wire path must answer"
+    );
+    let back = results
+        .iter()
+        .find(|r| r.name == "back_button")
+        .expect("back_button ran");
+    let note = |name: &str| {
+        back.notes
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert!(
+        note("degraded_time_travels") >= 1,
+        "churn must push some replays past the retention horizon"
+    );
+    assert!(
+        note("stale_verdicts") >= 1,
+        "churn must make some conditional checks come back stale"
+    );
+    assert!(
+        store.generation() > WARM_GENERATIONS,
+        "the publish storm must advance the generation"
+    );
+    pool.shutdown();
+    listener.shutdown();
+    println!("\nOK — every request answered; per-scenario numbers recorded.");
+}

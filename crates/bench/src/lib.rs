@@ -138,6 +138,11 @@ pub fn bench_json_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_weave.json")
 }
 
+/// Where the traffic fleet records its per-scenario serving numbers.
+pub fn traffic_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_traffic.json")
+}
+
 /// Records one named section (a JSON object literal) into
 /// `BENCH_weave.json`, preserving every other section. The file keeps one
 /// section per line so different benches can merge their results without a
@@ -147,10 +152,19 @@ pub fn bench_json_path() -> PathBuf {
 ///
 /// Panics if the file cannot be written.
 pub fn record_bench_section(section: &str, json_object: &str) {
-    let path = bench_json_path();
-    let existing = std::fs::read_to_string(&path).ok();
+    record_bench_section_in(&bench_json_path(), section, json_object);
+}
+
+/// [`record_bench_section`] against an arbitrary merge-file path (e.g.
+/// [`traffic_json_path`]) — same one-section-per-line format.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn record_bench_section_in(path: &std::path::Path, section: &str, json_object: &str) {
+    let existing = std::fs::read_to_string(path).ok();
     let merged = merge_bench_sections(existing.as_deref(), section, json_object);
-    std::fs::write(&path, merged).expect("write BENCH_weave.json");
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
 /// Pure merge behind [`record_bench_section`]: replaces (or appends) one

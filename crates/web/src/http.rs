@@ -1,20 +1,63 @@
 //! HTTP-shaped request/response messages.
 //!
-//! No sockets: navsep simulates the web tier deterministically (the paper's
-//! evaluation is about document structure, not wire protocols). The message
-//! shapes mirror HTTP/1.1 closely enough that a socket transport could be
-//! bolted on without touching consumers.
+//! These are the in-process message shapes every handler consumes. They
+//! mirror HTTP/1.1 closely enough that the real socket transport — the
+//! [`wire`](crate::wire) parser/serializer and the
+//! [`listener`](crate::listener) accept loop — maps onto them without any
+//! translation layer, and the wire responses are byte-derivable from these
+//! (the equivalence law in `crates/web/tests/wire_equiv.rs` holds the two
+//! paths identical).
 
 use bytes::Bytes;
 use std::fmt;
 
-/// Request methods (the subset a read-only site serves).
+/// Request methods.
+///
+/// A read-only site *serves* only `GET` and `HEAD`, but the wire layer must
+/// be able to **represent** anything a client sends: an unrepresentable
+/// method would force the parser to drop the connection, where the correct
+/// answer is a `405 Method Not Allowed`
+/// ([`Response::method_not_allowed`]). Unrecognized tokens parse as
+/// [`Method::Other`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Retrieve a resource.
     Get,
     /// Retrieve headers only.
     Head,
+    /// `POST` — parsed, answered 405 by the site handlers.
+    Post,
+    /// `PUT` — parsed, answered 405.
+    Put,
+    /// `DELETE` — parsed, answered 405.
+    Delete,
+    /// `OPTIONS` — parsed, answered 405.
+    Options,
+    /// Any other token (`PATCH`, `TRACE`, `BREW`, …) — parsed, answered
+    /// 405. The raw token is not retained; nothing downstream needs it.
+    Other,
+}
+
+impl Method {
+    /// Parses a wire method token. Never fails: unknown tokens become
+    /// [`Method::Other`] so the request stays representable and the
+    /// handler can answer 405 instead of the connection being dropped.
+    pub fn parse(token: &str) -> Method {
+        match token {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            _ => Method::Other,
+        }
+    }
+
+    /// `true` for the methods a read-only site actually serves.
+    pub fn is_supported(self) -> bool {
+        matches!(self, Method::Get | Method::Head)
+    }
 }
 
 impl fmt::Display for Method {
@@ -22,6 +65,11 @@ impl fmt::Display for Method {
         f.write_str(match self {
             Method::Get => "GET",
             Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Other => "OTHER",
         })
     }
 }
@@ -35,6 +83,17 @@ pub struct Request {
 }
 
 impl Request {
+    /// A request with an explicit method (the wire layer's entry point;
+    /// in-process callers usually want [`get`](Request::get) or
+    /// [`head`](Request::head)).
+    pub fn new(method: Method, path: impl Into<String>) -> Self {
+        Request {
+            method,
+            path: path.into(),
+            headers: Vec::new(),
+        }
+    }
+
     /// A GET request for `path`.
     pub fn get(path: impl Into<String>) -> Self {
         Request {
@@ -76,6 +135,12 @@ impl Request {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// All headers in insertion order (the wire serializer emits them
+    /// verbatim).
+    pub fn headers(&self) -> &[(String, String)] {
+        &self.headers
+    }
 }
 
 /// Response status codes (the subset the site server produces).
@@ -85,6 +150,8 @@ pub struct Status(u16);
 impl Status {
     /// 200.
     pub const OK: Status = Status(200);
+    /// 400.
+    pub const BAD_REQUEST: Status = Status(400);
     /// 404.
     pub const NOT_FOUND: Status = Status(404);
     /// 405.
@@ -113,6 +180,7 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self.0 {
             200 => "OK",
+            400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
@@ -129,58 +197,89 @@ impl fmt::Display for Status {
 }
 
 /// A response: status, headers, body.
+///
+/// A HEAD response carries no body bytes but still **advertises** the
+/// length the corresponding GET would transmit:
+/// [`without_body`](Response::without_body) records it, and
+/// [`content_length`](Response::content_length) is what a wire serializer
+/// must put in the `content-length` header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     status: Status,
     headers: Vec<(String, String)>,
     body: Bytes,
+    /// The would-be body length a bodiless (HEAD) response advertises.
+    /// `None` while the body is still attached.
+    advertised_len: Option<u64>,
 }
 
 impl Response {
+    fn with_body(status: Status, headers: Vec<(String, String)>, body: Bytes) -> Self {
+        Response {
+            status,
+            headers,
+            body,
+            advertised_len: None,
+        }
+    }
+
     /// A 200 response with a content type and body.
     pub fn ok(content_type: &str, body: Bytes) -> Self {
-        Response {
-            status: Status::OK,
-            headers: vec![("content-type".to_string(), content_type.to_string())],
+        Response::with_body(
+            Status::OK,
+            vec![("content-type".to_string(), content_type.to_string())],
             body,
-        }
+        )
+    }
+
+    /// A 400 response with a plain-text detail body (malformed wire
+    /// requests).
+    pub fn bad_request(detail: &str) -> Self {
+        Response::with_body(
+            Status::BAD_REQUEST,
+            vec![("content-type".to_string(), "text/plain".to_string())],
+            Bytes::from(format!("bad request: {detail}")),
+        )
     }
 
     /// A 404 response.
     pub fn not_found(path: &str) -> Self {
-        Response {
-            status: Status::NOT_FOUND,
-            headers: vec![("content-type".to_string(), "text/plain".to_string())],
-            body: Bytes::from(format!("not found: {path}")),
-        }
+        Response::with_body(
+            Status::NOT_FOUND,
+            vec![("content-type".to_string(), "text/plain".to_string())],
+            Bytes::from(format!("not found: {path}")),
+        )
     }
 
-    /// A 405 response.
+    /// A 405 response advertising the methods a read-only site serves.
     pub fn method_not_allowed() -> Self {
-        Response {
-            status: Status::METHOD_NOT_ALLOWED,
-            headers: Vec::new(),
-            body: Bytes::new(),
-        }
+        Response::with_body(
+            Status::METHOD_NOT_ALLOWED,
+            vec![
+                ("content-type".to_string(), "text/plain".to_string()),
+                ("allow".to_string(), "GET, HEAD".to_string()),
+            ],
+            Bytes::from("method not allowed"),
+        )
     }
 
     /// A 500 response with a plain-text detail body.
     pub fn server_error(detail: &str) -> Self {
-        Response {
-            status: Status::INTERNAL_SERVER_ERROR,
-            headers: vec![("content-type".to_string(), "text/plain".to_string())],
-            body: Bytes::from(format!("internal server error: {detail}")),
-        }
+        Response::with_body(
+            Status::INTERNAL_SERVER_ERROR,
+            vec![("content-type".to_string(), "text/plain".to_string())],
+            Bytes::from(format!("internal server error: {detail}")),
+        )
     }
 
     /// A 503 response with a plain-text reason body. The serving contract
     /// (see the `ServerPool` docs) adds `x-navsep-retry-after` on top.
     pub fn unavailable(reason: &str) -> Self {
-        Response {
-            status: Status::SERVICE_UNAVAILABLE,
-            headers: vec![("content-type".to_string(), "text/plain".to_string())],
-            body: Bytes::from(format!("service unavailable: {reason}")),
-        }
+        Response::with_body(
+            Status::SERVICE_UNAVAILABLE,
+            vec![("content-type".to_string(), "text/plain".to_string())],
+            Bytes::from(format!("service unavailable: {reason}")),
+        )
     }
 
     /// Adds a header (builder style). Later values of a repeated header do
@@ -214,13 +313,35 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
+    /// All headers in insertion order (the wire serializer emits them
+    /// verbatim, then appends the framing headers).
+    pub fn headers(&self) -> &[(String, String)] {
+        &self.headers
+    }
+
     /// The `content-type` header, if present.
     pub fn content_type(&self) -> Option<&str> {
         self.header_value("content-type")
     }
 
-    /// Drops the body (for HEAD).
+    /// The length to advertise in a `content-length` header: the recorded
+    /// would-be length for a bodiless HEAD response, the actual body
+    /// length otherwise.
+    pub fn content_length(&self) -> u64 {
+        self.advertised_len.unwrap_or(self.body.len() as u64)
+    }
+
+    /// Drops the body (for HEAD), **recording its length** so
+    /// [`content_length`](Response::content_length) still advertises what
+    /// the corresponding GET would transmit — without this a wire
+    /// serializer could only emit `content-length: 0`, which is wrong for
+    /// HEAD.
     pub fn without_body(mut self) -> Self {
+        // An already-bodiless response keeps its first recording (the
+        // GET body length), it is not re-zeroed.
+        if self.advertised_len.is_none() {
+            self.advertised_len = Some(self.body.len() as u64);
+        }
         self.body = Bytes::new();
         self
     }
@@ -255,6 +376,45 @@ mod tests {
         assert_eq!(r.body_text(), "a{}");
         let head = r.without_body();
         assert!(head.body().is_empty());
+    }
+
+    #[test]
+    fn without_body_advertises_the_would_be_length() {
+        let r = Response::ok("text/plain", Bytes::from("hello world"));
+        assert_eq!(r.content_length(), 11);
+        let head = r.without_body();
+        assert!(head.body().is_empty());
+        assert_eq!(head.content_length(), 11, "HEAD advertises the GET length");
+        // Idempotent: stripping again keeps the original recording.
+        let head = head.without_body();
+        assert_eq!(head.content_length(), 11);
+    }
+
+    #[test]
+    fn method_parse_never_fails() {
+        assert_eq!(Method::parse("GET"), Method::Get);
+        assert_eq!(Method::parse("HEAD"), Method::Head);
+        assert_eq!(Method::parse("POST"), Method::Post);
+        assert_eq!(Method::parse("DELETE"), Method::Delete);
+        assert_eq!(Method::parse("BREW"), Method::Other);
+        assert_eq!(
+            Method::parse("get"),
+            Method::Other,
+            "methods are case-sensitive"
+        );
+        assert!(Method::Get.is_supported());
+        assert!(Method::Head.is_supported());
+        assert!(!Method::Post.is_supported());
+        assert!(!Method::Other.is_supported());
+    }
+
+    #[test]
+    fn method_not_allowed_advertises_alternatives() {
+        let r = Response::method_not_allowed();
+        assert_eq!(r.status(), Status::METHOD_NOT_ALLOWED);
+        assert_eq!(r.header_value("allow"), Some("GET, HEAD"));
+        assert_eq!(Status::BAD_REQUEST.to_string(), "400 Bad Request");
+        assert!(Response::bad_request("junk").body_text().contains("junk"));
     }
 
     #[test]

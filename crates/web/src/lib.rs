@@ -6,8 +6,12 @@
 //!
 //! * [`Site`] — in-memory path→resource store (implements
 //!   [`navsep_xlink::DocumentProvider`]);
-//! * [`Request`]/[`Response`] — HTTP-shaped messages (no sockets; the
-//!   evaluation is about document structure, not wire protocols);
+//! * [`Request`]/[`Response`] — HTTP-shaped messages shared by in-process
+//!   callers and the wire;
+//! * [`wire`]/[`HttpListener`] — the network front end: an HTTP/1.1
+//!   parser/serializer and a `TcpListener` accept loop with keep-alive and
+//!   graceful drain, equivalence-tested byte-for-byte against the
+//!   in-process handlers;
 //! * [`SiteHandler`]/[`ServerPool`] — a concurrent worker-pool server with
 //!   atomic re-publish (for re-weaving under load);
 //! * [`ShardedSiteStore`]/[`ShardedSiteHandler`] — the scale path: pages
@@ -50,10 +54,12 @@ pub mod agent;
 pub mod fault;
 pub mod history;
 pub mod http;
+pub mod listener;
 pub mod server;
 pub mod session;
 pub mod site;
 pub mod store;
+pub mod wire;
 
 pub use agent::{
     anchors_under, links_of, resolve_href, ActivatedPage, AgentError, LoadedPage, UiLink,
@@ -65,6 +71,7 @@ pub use history::{
     RouteViolation, SessionHistory,
 };
 pub use http::{Method, Request, Response, Status};
+pub use listener::{HttpListener, ListenerConfig};
 pub use server::{Handler, PoolConfig, ServerPool, SiteHandler, RETRY_AFTER_HEADER, SHED_HEADER};
 pub use session::{NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};
@@ -73,6 +80,7 @@ pub use store::{
     ShardedSiteStore, AT_GENERATION_HEADER, DEFAULT_RETENTION, DEGRADED_HEADER, GENERATION_HEADER,
     IF_GENERATION_HEADER, STALE_HEADER,
 };
+pub use wire::{WireError, WireLimits, WireRequest, WireResponse};
 
 #[cfg(test)]
 mod tests {

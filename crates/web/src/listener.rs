@@ -1,0 +1,408 @@
+//! The TCP front end: accept loop, per-connection threads, keep-alive,
+//! and graceful drain — bridging sockets into the [`ServerPool`] contract.
+//!
+//! [`HttpListener::bind`] owns a [`ServerPool`] over any [`Handler`] and a
+//! `TcpListener` accept loop. Each accepted connection gets a thread that
+//! reads requests with [`wire::read_request_with`](crate::wire), submits
+//! them through the pool's **non-blocking** [`ServerPool::request`] — so
+//! queue-full/deadline sheds surface on the wire as the same 503 +
+//! `x-navsep-retry-after` an in-process client sees — and serializes the
+//! answer back with [`wire::write_response`](crate::wire). Connections are
+//! reused per HTTP/1.1 keep-alive semantics ([`WireRequest::wants_keep_alive`]).
+//!
+//! ## Drain contract
+//!
+//! [`HttpListener::shutdown`] is graceful and mirrors the pool's own
+//! contract: the accept loop stops (woken by a self-connect), connection
+//! threads finish the request they are mid-way through — socket reads use
+//! a short timeout ([`ListenerConfig::poll_interval`]) so idle keep-alive
+//! connections notice the stop flag without losing parse state — and the
+//! pool drains last, so every request accepted off the wire is answered
+//! before `shutdown` returns.
+//!
+//! Malformed bytes never kill the process: parse failures answer 400 (when
+//! there is anything to answer) and close that one connection.
+
+use crate::http::Method;
+use crate::server::{Handler, PoolConfig, ServerPool};
+use crate::wire::{self, WireError, WireLimits, WireRequest};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Sizing knobs for an [`HttpListener`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListenerConfig {
+    /// Configuration for the owned [`ServerPool`].
+    pub pool: PoolConfig,
+    /// Parser bounds applied to every connection.
+    pub limits: WireLimits,
+    /// Socket read timeout: how often a blocked read re-checks the stop
+    /// flag. Smaller drains faster; larger polls less.
+    pub poll_interval: Duration,
+}
+
+impl ListenerConfig {
+    /// A config serving with `workers` pool workers and default bounds.
+    pub fn new(workers: usize) -> Self {
+        ListenerConfig {
+            pool: PoolConfig::new(workers),
+            limits: WireLimits::default(),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Counters and flags shared by the acceptor and connection threads.
+struct ListenerShared {
+    pool: ServerPool,
+    stop: AtomicBool,
+    limits: WireLimits,
+    poll_interval: Duration,
+    connections_accepted: AtomicU64,
+    requests_served: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// A running HTTP front end bound to a local TCP address.
+pub struct HttpListener {
+    addr: SocketAddr,
+    shared: Arc<ListenerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpListener")
+            .field("addr", &self.addr)
+            .field("connections_accepted", &self.connections_accepted())
+            .field("requests_served", &self.requests_served())
+            .finish()
+    }
+}
+
+impl HttpListener {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving `handler` behind a freshly started [`ServerPool`].
+    pub fn bind<H: Handler + 'static>(
+        addr: &str,
+        handler: Arc<H>,
+        config: ListenerConfig,
+    ) -> io::Result<HttpListener> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ListenerShared {
+            pool: ServerPool::start_with(handler, config.pool),
+            stop: AtomicBool::new(false),
+            limits: config.limits,
+            poll_interval: config.poll_interval,
+            connections_accepted: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("navsep-acceptor".to_string())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn acceptor thread")
+        };
+        Ok(HttpListener {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted since bind.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.connections_accepted.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered over the wire (including 400s and sheds).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::SeqCst)
+    }
+
+    /// Malformed requests answered with a 400 (or dropped mid-line).
+    pub fn bad_requests(&self) -> u64 {
+        self.shared.bad_requests.load(Ordering::SeqCst)
+    }
+
+    /// Requests the owned pool shed with a 503.
+    pub fn requests_shed(&self) -> u64 {
+        self.shared.pool.requests_shed() + self.shared.pool.requests_timed_out()
+    }
+
+    /// Gracefully stops: no new connections, in-flight requests answered,
+    /// all threads joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor sits in a blocking accept(); a throwaway
+        // self-connection wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for HttpListener {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accepts connections until the stop flag is set, spawning one thread per
+/// connection and joining them all (acceptor exit = full drain).
+fn accept_loop(listener: TcpListener, shared: Arc<ListenerShared>) {
+    let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        shared.connections_accepted.fetch_add(1, Ordering::SeqCst);
+        let handle = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("navsep-conn".to_string())
+                .spawn(move || serve_connection(stream, shared))
+        };
+        let mut connections = connections.lock().expect("connection registry");
+        if let Ok(handle) = handle {
+            connections.push(handle);
+        }
+        // Reap finished threads so a long-lived listener's registry stays
+        // proportional to *live* connections, not total ever accepted.
+        let mut live = Vec::with_capacity(connections.len());
+        for handle in connections.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        *connections = live;
+    }
+    for handle in connections
+        .into_inner()
+        .expect("connection registry")
+        .drain(..)
+    {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection: read → pool → write, looping while keep-alive
+/// holds and the listener is not draining.
+fn serve_connection(stream: TcpStream, shared: Arc<ListenerShared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.poll_interval)).is_err() {
+        return;
+    }
+    let reader_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match wire::read_request_with(&mut reader, &shared.limits, &shared.stop) {
+            Ok(request) => {
+                let head = request.method() == Method::Head;
+                let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
+                let response = answer(&request, &shared);
+                shared.requests_served.fetch_add(1, Ordering::SeqCst);
+                if wire::write_response(&mut writer, &response, head, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(response) = error.response() {
+                    shared.bad_requests.fetch_add(1, Ordering::SeqCst);
+                    shared.requests_served.fetch_add(1, Ordering::SeqCst);
+                    let _ = wire::write_response(&mut writer, &response, false, false);
+                } else if matches!(error, WireError::Io(_)) {
+                    shared.bad_requests.fetch_add(1, Ordering::SeqCst);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Bridges one parsed request into the pool. Non-blocking submit, so
+/// overload sheds exactly as it does in-process; a reply channel dropped
+/// without an answer degrades to a 503 rather than killing the connection
+/// thread.
+fn answer(request: &WireRequest, shared: &ListenerShared) -> crate::http::Response {
+    let reply = shared.pool.request(request.to_request());
+    reply
+        .recv()
+        .unwrap_or_else(|_| crate::http::Response::unavailable("reply-dropped"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Request, Response};
+    use crate::server::SiteHandler;
+    use crate::site::Site;
+    use crate::wire::read_response;
+    use navsep_xml::Document;
+    use std::io::Write;
+
+    fn site() -> Site {
+        let mut s = Site::new();
+        s.put_document("a.xml", Document::parse("<a>hello</a>").unwrap());
+        s.put_css("style.css", "a { x: y }");
+        s
+    }
+
+    fn listener() -> HttpListener {
+        HttpListener::bind(
+            "127.0.0.1:0",
+            Arc::new(SiteHandler::new(site())),
+            ListenerConfig::new(2),
+        )
+        .expect("bind ephemeral port")
+    }
+
+    fn roundtrip(listener: &HttpListener, raw: &[u8], head: bool) -> crate::wire::WireResponse {
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        stream.write_all(raw).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader, head).unwrap()
+    }
+
+    #[test]
+    fn serves_a_get_over_tcp() {
+        let listener = listener();
+        let response = roundtrip(&listener, b"GET /a.xml HTTP/1.1\r\n\r\n", false);
+        assert_eq!(response.status, 200);
+        assert!(String::from_utf8_lossy(&response.body).contains("<a>hello</a>"));
+        assert_eq!(listener.requests_served(), 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let listener = listener();
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        for _ in 0..3 {
+            stream.write_all(b"GET /a.xml HTTP/1.1\r\n\r\n").unwrap();
+        }
+        stream
+            .write_all(b"GET /style.css HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            let response = read_response(&mut reader, false).unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header_value("connection"), Some("keep-alive"));
+        }
+        let last = read_response(&mut reader, false).unwrap();
+        assert_eq!(last.status, 200);
+        assert_eq!(last.header_value("connection"), Some("close"));
+        assert_eq!(listener.connections_accepted(), 1);
+        assert_eq!(listener.requests_served(), 4);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn malformed_bytes_answer_400_and_close() {
+        let listener = listener();
+        let response = roundtrip(&listener, b"total garbage\r\n\r\n", false);
+        assert_eq!(response.status, 400);
+        assert_eq!(response.header_value("connection"), Some("close"));
+        assert_eq!(listener.bad_requests(), 1);
+        // The listener survives: a well-formed request still works.
+        let ok = roundtrip(&listener, b"GET /a.xml HTTP/1.1\r\n\r\n", false);
+        assert_eq!(ok.status, 200);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn unknown_methods_answer_405_over_tcp() {
+        let listener = listener();
+        let response = roundtrip(&listener, b"BREW /a.xml HTTP/1.1\r\n\r\n", false);
+        assert_eq!(response.status, 405);
+        assert_eq!(response.header_value("allow"), Some("GET, HEAD"));
+        listener.shutdown();
+    }
+
+    #[test]
+    fn head_advertises_length_without_body() {
+        let handler = Arc::new(SiteHandler::new(site()));
+        let listener =
+            HttpListener::bind("127.0.0.1:0", Arc::clone(&handler), ListenerConfig::new(2))
+                .unwrap();
+        let get_len = handler.handle(&Request::get("a.xml")).body().len();
+        let response = roundtrip(&listener, b"HEAD /a.xml HTTP/1.1\r\n\r\n", true);
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.header_value("content-length"),
+            Some(get_len.to_string().as_str()),
+            "the would-be GET length"
+        );
+        assert!(response.body.is_empty());
+        listener.shutdown();
+    }
+
+    #[test]
+    fn wire_bytes_match_the_in_process_handler() {
+        let handler = Arc::new(SiteHandler::new(site()));
+        let listener =
+            HttpListener::bind("127.0.0.1:0", Arc::clone(&handler), ListenerConfig::new(2))
+                .unwrap();
+        for (raw, request) in [
+            (
+                &b"GET /a.xml HTTP/1.1\r\nconnection: close\r\n\r\n"[..],
+                Request::get("/a.xml"),
+            ),
+            (
+                b"GET /ghost.xml HTTP/1.1\r\nconnection: close\r\n\r\n",
+                Request::get("/ghost.xml"),
+            ),
+        ] {
+            let expected: Response = handler.handle(&request);
+            let got = roundtrip(&listener, raw, false);
+            assert_eq!(got.status, expected.status().code());
+            assert_eq!(got.body, expected.body().as_ref());
+        }
+        listener.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_new_work() {
+        let listener = listener();
+        // An idle keep-alive connection must not wedge the drain.
+        let idle = TcpStream::connect(listener.local_addr()).unwrap();
+        let served = roundtrip(&listener, b"GET /a.xml HTTP/1.1\r\n\r\n", false);
+        assert_eq!(served.status, 200);
+        listener.shutdown();
+        drop(idle);
+    }
+}

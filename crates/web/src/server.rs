@@ -39,7 +39,8 @@ use std::time::{Duration, Instant};
 pub const RETRY_AFTER_HEADER: &str = "x-navsep-retry-after";
 
 /// Header on every 503 naming why the request was shed: `queue-full`,
-/// `deadline`, or `draining`.
+/// `deadline`, `draining`, or `reply-dropped` (a reply channel closed
+/// without an answer — degraded to a shed instead of a client panic).
 pub const SHED_HEADER: &str = "x-navsep-shed";
 
 /// Anything that can answer requests.
@@ -89,16 +90,24 @@ impl SiteHandler {
 impl Handler for SiteHandler {
     fn handle(&self, request: &Request) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
+        if !request.method().is_supported() {
+            return Response::method_not_allowed();
+        }
+        // Normalize at the handler boundary: wire requests arrive as
+        // `/a.xml`, in-process callers and site keys use `a.xml`. Every
+        // downstream use (lookup AND the 404 body) sees the bare key, so
+        // the two spellings produce byte-identical responses.
+        let path = request.path().trim_start_matches('/');
         let site = self.site.read();
-        match site.get(request.path()) {
+        match site.get(path) {
             Some(res) => {
                 let response = Response::ok(res.media_type().as_str(), res.to_bytes());
                 match request.method() {
-                    Method::Get => response,
                     Method::Head => response.without_body(),
+                    _ => response,
                 }
             }
-            None => Response::not_found(request.path()),
+            None => Response::not_found(path),
         }
     }
 }
@@ -405,10 +414,22 @@ impl ServerPool {
     }
 
     /// Convenience: submit (blocking at capacity) and wait.
+    ///
+    /// The pool contract is that every accepted request is answered, but a
+    /// client must not be able to *panic* on a contract violation — if the
+    /// reply channel is ever dropped without a send (a pool bug, or a
+    /// future refactor missing a path), the caller gets an explicit 503
+    /// shed response ([`SHED_HEADER`]` : reply-dropped`) instead.
     pub fn request_sync(&self, request: Request) -> Response {
-        self.request_blocking(request)
+        self.await_reply(self.request_blocking(request))
+    }
+
+    /// Resolves a reply channel into a response, degrading a dropped
+    /// channel to a 503 instead of panicking.
+    fn await_reply(&self, reply: Receiver<Response>) -> Response {
+        reply
             .recv()
-            .expect("server pool dropped a response")
+            .unwrap_or_else(|_| self.shared.shed_response("reply-dropped"))
     }
 
     /// Number of worker threads the pool was configured with.
@@ -491,6 +512,55 @@ mod tests {
         let h = SiteHandler::new(site());
         let r = h.handle(&Request::get("ghost.xml"));
         assert_eq!(r.status().code(), 404);
+    }
+
+    #[test]
+    fn slashed_and_bare_paths_serve_identically() {
+        let h = SiteHandler::new(site());
+        assert_eq!(
+            h.handle(&Request::get("/a.xml")),
+            h.handle(&Request::get("a.xml"))
+        );
+        assert_eq!(
+            h.handle(&Request::head("/a.xml")),
+            h.handle(&Request::head("a.xml"))
+        );
+        // Including the 404 body, which names the path.
+        assert_eq!(
+            h.handle(&Request::get("/ghost.xml")),
+            h.handle(&Request::get("ghost.xml"))
+        );
+        assert!(h.handle(&Request::get("/a.xml")).status().is_success());
+    }
+
+    #[test]
+    fn unsupported_methods_answer_405() {
+        let h = SiteHandler::new(site());
+        for method in [
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Options,
+            Method::Other,
+        ] {
+            let r = h.handle(&Request::new(method, "a.xml"));
+            assert_eq!(r.status().code(), 405, "{method}");
+            assert_eq!(r.header_value("allow"), Some("GET, HEAD"));
+        }
+    }
+
+    #[test]
+    fn dropped_reply_channel_degrades_to_shed_not_panic() {
+        let pool = ServerPool::start(Arc::new(SiteHandler::new(site())), 1);
+        // Simulate the contract violation directly: a reply channel whose
+        // sender is gone without ever sending.
+        let (tx, rx) = channel::bounded::<Response>(1);
+        drop(tx);
+        let response = pool.await_reply(rx);
+        assert_eq!(response.status().code(), 503);
+        assert_eq!(response.header_value(SHED_HEADER), Some("reply-dropped"));
+        assert!(response.header_value(RETRY_AFTER_HEADER).is_some());
+        pool.shutdown();
     }
 
     #[test]

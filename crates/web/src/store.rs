@@ -777,6 +777,14 @@ impl ShardedSiteHandler {
 impl Handler for ShardedSiteHandler {
     fn handle(&self, request: &Request) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
+        if !request.method().is_supported() {
+            return Response::method_not_allowed();
+        }
+        // Normalize at the handler boundary: wire requests arrive as
+        // `/a.xml`, store keys are bare (`a.xml`). Lookups and the 404
+        // body both see the bare key, so the two spellings produce
+        // byte-identical responses.
+        let path = request.path().trim_start_matches('/');
         // Time travel: a client replaying a history entry names the
         // generation it recorded. Served from the retained-epoch ring;
         // past the horizon — or on a value we cannot even parse — we
@@ -785,12 +793,12 @@ impl Handler for ShardedSiteHandler {
             Some(value) => match value
                 .parse::<u64>()
                 .ok()
-                .and_then(|generation| self.store.get_at(request.path(), generation))
+                .and_then(|generation| self.store.get_at(path, generation))
             {
                 Some(read) => (Some(read), false),
-                None => (self.store.get(request.path()), true),
+                None => (self.store.get(path), true),
             },
-            None => (self.store.get(request.path()), false),
+            None => (self.store.get(path), false),
         };
         match read {
             Some(read) => {
@@ -814,11 +822,11 @@ impl Handler for ShardedSiteHandler {
                     response = response.with_header(STALE_HEADER, verdict);
                 }
                 match request.method() {
-                    Method::Get => response,
                     Method::Head => response.without_body(),
+                    _ => response,
                 }
             }
-            None => Response::not_found(request.path()),
+            None => Response::not_found(path),
         }
     }
 }
@@ -936,6 +944,53 @@ mod tests {
             handler.handle(&Request::get("ghost.xml")).status().code(),
             404
         );
+    }
+
+    #[test]
+    fn slashed_and_bare_paths_serve_identically() {
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site("norm")));
+        store.publish(&site("norm2"));
+        let handler = ShardedSiteHandler::new(store);
+        let shapes = [
+            Request::get("a.xml"),
+            Request::head("a.xml"),
+            Request::get("ghost.xml"),
+            Request::get("a.xml").header(AT_GENERATION_HEADER, "1"),
+            Request::get("a.xml").header(IF_GENERATION_HEADER, "1"),
+        ];
+        for bare in shapes {
+            let slashed = {
+                let mut r = Request::new(bare.method(), format!("/{}", bare.path()));
+                for (name, value) in bare.headers() {
+                    r = r.header(name.clone(), value.clone());
+                }
+                r
+            };
+            assert_eq!(
+                handler.handle(&bare),
+                handler.handle(&slashed),
+                "{} {}",
+                bare.method(),
+                bare.path()
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_methods_answer_405() {
+        let store = Arc::new(ShardedSiteStore::from_site(4, &site("m")));
+        let handler = ShardedSiteHandler::new(store);
+        for method in [
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Options,
+            Method::Other,
+        ] {
+            let r = handler.handle(&Request::new(method, "/a.xml"));
+            assert_eq!(r.status().code(), 405, "{method}");
+            assert_eq!(r.header_value("allow"), Some("GET, HEAD"));
+        }
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! The HTTP/1.1 wire layer: request parsing and response serialization.
+//!
+//! This module is the byte-level half of the network front end (the socket
+//! half is [`listener`](crate::listener)): it reads one HTTP/1.1 request —
+//! request line, headers, `content-length`-framed body — off any
+//! [`BufRead`], maps it onto the in-process [`Request`] every handler already
+//! consumes, and serializes a [`Response`] back into transmitted bytes.
+//!
+//! ## Contract
+//!
+//! * **Malformed input is a clean 400, never a panic and never a dropped
+//!   connection without an answer.** Every parse failure is a typed
+//!   [`WireError`]; [`WireError::response`] says what (if anything) to
+//!   write before closing. The proptest battery in
+//!   `crates/web/tests/wire_proptest.rs` drives random garbage, oversized
+//!   and duplicate headers, and truncated bodies through the parser.
+//! * **Bounded everything.** Request line, header count, cumulative header
+//!   bytes, and body length all have hard limits ([`WireLimits`]); inputs
+//!   past them are 400s, not allocations.
+//! * **Unknown methods parse.** `POST /a.xml HTTP/1.1` is a well-formed
+//!   request for a method the site does not serve — it reaches the handler
+//!   (as [`Method::Post`] / [`Method::Other`]) and is answered `405`, it
+//!   does not kill the connection.
+//! * **HEAD frames honestly.** Serialization advertises
+//!   [`Response::content_length`] — the recorded would-be length for a
+//!   bodiless HEAD response — and transmits no body bytes.
+//!
+//! The serialized response is deterministic: status line, the response's
+//! own headers in insertion order, then `content-length` and `connection`.
+//! That determinism is what lets the equivalence suite assert wire bytes
+//! against in-process handler calls byte for byte.
+
+use crate::http::{Method, Request, Response};
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Hard bounds the parser enforces before allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Longest accepted request line, in bytes.
+    pub max_request_line: usize,
+    /// Most accepted header lines per request.
+    pub max_headers: usize,
+    /// Longest accepted single header line, in bytes.
+    pub max_header_line: usize,
+    /// Largest accepted `content-length` body.
+    pub max_body: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits {
+            max_request_line: 8 * 1024,
+            max_headers: 64,
+            max_header_line: 8 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong reading one request off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Clean EOF at a request boundary — the client is done; close
+    /// silently.
+    Closed,
+    /// The listener is draining; stop reading and close.
+    ShuttingDown,
+    /// EOF or I/O failure mid-request (including a body shorter than its
+    /// `content-length`).
+    Truncated,
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// The version is not HTTP/1.0 or HTTP/1.1.
+    BadVersion(String),
+    /// A header line has no `:` or an empty/whitespace-bearing name.
+    BadHeader(String),
+    /// More header lines than [`WireLimits::max_headers`].
+    TooManyHeaders,
+    /// A line longer than its limit.
+    LineTooLong,
+    /// `content-length` is not a decimal integer, or appears more than
+    /// once (request smuggling guard: conflicting lengths are never
+    /// reconciled, they are rejected).
+    BadContentLength(String),
+    /// `transfer-encoding` framing is not implemented; reject rather than
+    /// misframe.
+    UnsupportedTransferEncoding,
+    /// A body larger than [`WireLimits::max_body`].
+    BodyTooLarge(u64),
+    /// An I/O error outside EOF handling.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::ShuttingDown => write!(f, "listener shutting down"),
+            WireError::Truncated => write!(f, "request truncated"),
+            WireError::BadRequestLine(line) => write!(f, "malformed request line: {line:?}"),
+            WireError::BadVersion(version) => write!(f, "unsupported version: {version:?}"),
+            WireError::BadHeader(line) => write!(f, "malformed header: {line:?}"),
+            WireError::TooManyHeaders => write!(f, "too many headers"),
+            WireError::LineTooLong => write!(f, "line too long"),
+            WireError::BadContentLength(value) => write!(f, "bad content-length: {value:?}"),
+            WireError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported")
+            }
+            WireError::BodyTooLarge(len) => write!(f, "body too large: {len} bytes"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// The response to write before closing the connection, if any: a 400
+    /// for malformed requests, nothing for clean closes, shutdown, and
+    /// transport-level failures (there is no one left to read it).
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            WireError::Closed | WireError::ShuttingDown | WireError::Io(_) => None,
+            WireError::Truncated => Some(Response::bad_request("truncated request")),
+            other => Some(Response::bad_request(&other.to_string())),
+        }
+    }
+}
+
+/// One parsed wire request: the in-process [`Request`] plus the wire
+/// details (version, body) the handler does not consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    method: Method,
+    target: String,
+    http11: bool,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl WireRequest {
+    /// The parsed method (never fails — unknown tokens are
+    /// [`Method::Other`]).
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The request target as sent (e.g. `/a.xml`), query string stripped.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// `true` for HTTP/1.1 (keep-alive by default), `false` for HTTP/1.0.
+    pub fn is_http11(&self) -> bool {
+        self.http11
+    }
+
+    /// The framed request body (empty without a `content-length`).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 unless `connection: close`, HTTP/1.0 only with an
+    /// explicit `connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header_value("connection") {
+            Some(value) if value.eq_ignore_ascii_case("close") => false,
+            Some(value) if value.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// Maps onto the in-process [`Request`] the handlers consume, headers
+    /// carried verbatim.
+    pub fn to_request(&self) -> Request {
+        let mut request = Request::new(self.method, self.target.clone());
+        for (name, value) in &self.headers {
+            request = request.header(name.clone(), value.clone());
+        }
+        request
+    }
+}
+
+/// Reads one line up to `limit` bytes, tolerating both CRLF and bare LF.
+/// `Ok(None)` is a clean EOF **before any byte**; EOF mid-line is
+/// [`WireError::Truncated`]. A read timeout checks `stop` and otherwise
+/// retries, so an idle keep-alive connection can notice a draining
+/// listener without losing parse state.
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(WireError::ShuttingDown);
+                }
+                continue;
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        };
+        if available.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(WireError::Truncated)
+            };
+        }
+        if let Some(newline) = available.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&available[..newline]);
+            reader.consume(newline + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > limit {
+                return Err(WireError::LineTooLong);
+            }
+            return Ok(Some(line));
+        }
+        // No newline in this chunk: take it all and keep reading — but
+        // never buffer past the limit.
+        if line.len() + available.len() > limit {
+            return Err(WireError::LineTooLong);
+        }
+        let taken = available.len();
+        line.extend_from_slice(available);
+        reader.consume(taken);
+    }
+}
+
+/// Reads exactly `len` body bytes; EOF short of `len` is
+/// [`WireError::Truncated`]. Timeouts mid-body check `stop` like
+/// [`read_line`].
+fn read_body(
+    reader: &mut impl BufRead,
+    len: usize,
+    stop: &AtomicBool,
+) -> Result<Vec<u8>, WireError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(WireError::ShuttingDown);
+                }
+                continue;
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(body)
+}
+
+/// Splits a header line into `(name, value)`. Names must be non-empty HTTP
+/// tokens (no whitespace — folding and smuggling-shaped names are
+/// rejected); values are trimmed.
+fn parse_header(line: &[u8]) -> Result<(String, String), WireError> {
+    let text = String::from_utf8_lossy(line);
+    let Some((name, value)) = text.split_once(':') else {
+        return Err(WireError::BadHeader(text.into_owned()));
+    };
+    let name = name.trim_end();
+    if name.is_empty()
+        || name
+            .chars()
+            .any(|c| c.is_ascii_whitespace() || c.is_ascii_control() || c == ':')
+        || name != name.trim()
+    {
+        return Err(WireError::BadHeader(text.into_owned()));
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Reads and validates one request with [`WireLimits::default`] and no
+/// shutdown flag — the plain entry point for tests and simple callers.
+pub fn read_request(reader: &mut impl BufRead) -> Result<WireRequest, WireError> {
+    read_request_with(reader, &WireLimits::default(), &AtomicBool::new(false))
+}
+
+/// Reads one request: request line, headers, `content-length`-framed body.
+///
+/// `stop` is consulted whenever the underlying reader reports a timeout
+/// (`WouldBlock`/`TimedOut`), so a listener can drain idle keep-alive
+/// connections: parse state is kept across retries, a half-read request is
+/// never silently restarted.
+pub fn read_request_with(
+    reader: &mut impl BufRead,
+    limits: &WireLimits,
+    stop: &AtomicBool,
+) -> Result<WireRequest, WireError> {
+    // Request line. Tolerate (bounded) leading blank lines per RFC 9112.
+    let mut request_line;
+    let mut blanks = 0;
+    loop {
+        request_line = match read_line(reader, limits.max_request_line, stop)? {
+            None => return Err(WireError::Closed),
+            Some(line) => line,
+        };
+        if !request_line.is_empty() {
+            break;
+        }
+        blanks += 1;
+        if blanks > 4 {
+            return Err(WireError::BadRequestLine(String::new()));
+        }
+    }
+    let text = String::from_utf8_lossy(&request_line).into_owned();
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(WireError::BadRequestLine(text.clone())),
+    };
+    if method.chars().any(|c| !c.is_ascii_alphanumeric()) {
+        return Err(WireError::BadRequestLine(text.clone()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(WireError::BadVersion(version.to_string())),
+    };
+    if !target.starts_with('/') && target != "*" {
+        return Err(WireError::BadRequestLine(text.clone()));
+    }
+    // The site has no query semantics; strip `?…` so `/a.xml?x=1` still
+    // addresses `a.xml` (dropped, not misread as part of the key).
+    let target = target.split('?').next().unwrap_or(target).to_string();
+
+    // Headers.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<u64> = None;
+    loop {
+        let line = match read_line(reader, limits.max_header_line, stop)? {
+            None => return Err(WireError::Truncated),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(WireError::TooManyHeaders);
+        }
+        let (name, value) = parse_header(&line)?;
+        if name == "content-length" {
+            // Any repetition is rejected — conflicting lengths are the
+            // classic smuggling vector, and even agreeing duplicates buy
+            // nothing worth the ambiguity.
+            if content_length.is_some() {
+                return Err(WireError::BadContentLength(value));
+            }
+            match value.parse::<u64>() {
+                Ok(len) => content_length = Some(len),
+                Err(_) => return Err(WireError::BadContentLength(value)),
+            }
+        }
+        if name == "transfer-encoding" {
+            return Err(WireError::UnsupportedTransferEncoding);
+        }
+        headers.push((name, value));
+    }
+
+    // Body framing.
+    let body = match content_length {
+        Some(len) if len > limits.max_body as u64 => return Err(WireError::BodyTooLarge(len)),
+        Some(len) => read_body(reader, len as usize, stop)?,
+        None => Vec::new(),
+    };
+
+    Ok(WireRequest {
+        method: Method::parse(method),
+        target,
+        http11,
+        headers,
+        body,
+    })
+}
+
+/// Serializes `response` as HTTP/1.1 bytes: status line, the response's
+/// headers in insertion order, then the framing pair (`content-length`
+/// from [`Response::content_length`], `connection`). `head` suppresses the
+/// body bytes — the advertised length is unchanged, which is exactly the
+/// HEAD contract.
+pub fn serialize_response(response: &Response, head: bool, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + response.body().len());
+    out.extend_from_slice(format!("HTTP/1.1 {}\r\n", response.status()).as_bytes());
+    for (name, value) in response.headers() {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("content-length: {}\r\n", response.content_length()).as_bytes());
+    out.extend_from_slice(
+        format!(
+            "connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+        .as_bytes(),
+    );
+    if !head {
+        out.extend_from_slice(response.body());
+    }
+    out
+}
+
+/// Writes [`serialize_response`]'s bytes to `out` in one call.
+pub fn write_response(
+    out: &mut impl Write,
+    response: &Response,
+    head: bool,
+    keep_alive: bool,
+) -> io::Result<()> {
+    out.write_all(&serialize_response(response, head, keep_alive))?;
+    out.flush()
+}
+
+/// Serializes a [`Request`] as HTTP/1.1 bytes — the client side of the
+/// wire, used by the traffic fleet and the equivalence suites. Requests
+/// carry no body (the site is read-only), so no `content-length` is
+/// emitted.
+pub fn serialize_request(request: &Request) -> Vec<u8> {
+    let path = request.path();
+    let target = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("/{path}")
+    };
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(format!("{} {target} HTTP/1.1\r\n", request.method()).as_bytes());
+    for (name, value) in request.headers() {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// A response parsed back off the wire — the client-side complement of
+/// [`serialize_response`], used by tests and the traffic fleet to check
+/// what actually crossed the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The numeric status code.
+    pub status: u16,
+    /// Headers in transmission order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty for HEAD).
+    pub body: Vec<u8>,
+}
+
+impl WireResponse {
+    /// First value of header `name` (case-insensitive).
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response off the wire. `head` says whether the request was a
+/// HEAD (no body follows regardless of `content-length`).
+pub fn read_response(reader: &mut impl BufRead, head: bool) -> Result<WireResponse, WireError> {
+    let never = AtomicBool::new(false);
+    let limits = WireLimits::default();
+    let status_line = match read_line(reader, limits.max_request_line, &never)? {
+        None => return Err(WireError::Closed),
+        Some(line) => line,
+    };
+    let text = String::from_utf8_lossy(&status_line).into_owned();
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| WireError::BadRequestLine(text.clone()))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0u64;
+    loop {
+        let line = match read_line(reader, limits.max_header_line, &never)? {
+            None => return Err(WireError::Truncated),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = parse_header(&line)?;
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| WireError::BadContentLength(value.clone()))?;
+        }
+        headers.push((name, value));
+    }
+    let body = if head {
+        Vec::new()
+    } else {
+        read_body(reader, content_length as usize, &never)?
+    };
+    Ok(WireResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(input: &[u8]) -> Result<WireRequest, WireError> {
+        read_request(&mut Cursor::new(input.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let r = parse(b"GET /a.xml HTTP/1.1\r\nhost: museum\r\n\r\n").unwrap();
+        assert_eq!(r.method(), Method::Get);
+        assert_eq!(r.target(), "/a.xml");
+        assert!(r.is_http11());
+        assert!(r.wants_keep_alive());
+        assert_eq!(r.header_value("Host"), Some("museum"));
+        assert!(r.body().is_empty());
+        let request = r.to_request();
+        assert_eq!(request.path(), "/a.xml");
+        assert_eq!(request.header_value("host"), Some("museum"));
+    }
+
+    #[test]
+    fn parses_navsep_headers_and_body_framing() {
+        let r = parse(
+            b"POST /a.xml HTTP/1.1\r\nx-navsep-at-generation: 3\r\ncontent-length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(r.method(), Method::Post);
+        assert_eq!(r.header_value("x-navsep-at-generation"), Some("3"));
+        assert_eq!(r.body(), b"hello");
+    }
+
+    #[test]
+    fn unknown_methods_are_represented_not_rejected() {
+        let r = parse(b"BREW /a.xml HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method(), Method::Other);
+        assert_eq!(r.to_request().method(), Method::Other);
+    }
+
+    #[test]
+    fn tolerates_bare_lf_and_leading_blank_lines() {
+        let r = parse(b"\r\n\nGET /a.xml HTTP/1.0\nconnection: keep-alive\n\n").unwrap();
+        assert!(!r.is_http11());
+        assert!(r.wants_keep_alive(), "explicit keep-alive on 1.0");
+        let plain10 = parse(b"GET /a.xml HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!plain10.wants_keep_alive(), "1.0 defaults to close");
+        let close11 = parse(b"GET /a.xml HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+        assert!(!close11.wants_keep_alive());
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let r = parse(b"GET /a.xml?version=2&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.target(), "/a.xml");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for garbage in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /a.xml\r\n\r\n",
+            b"GET /a.xml HTTP/1.1 extra\r\n\r\n",
+            b"GET /a.xml HTTP/2\r\n\r\n",
+            b"GET a.xml HTTP/1.1\r\n\r\n",
+            b"G@T /a.xml HTTP/1.1\r\n\r\n",
+            b" GET /a.xml HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(garbage).unwrap_err();
+            let response = err.response().expect("malformed input gets an answer");
+            assert_eq!(response.status().code(), 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err(),
+            WireError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\nbad name: x\r\n\r\n").unwrap_err(),
+            WireError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\n: empty\r\n\r\n").unwrap_err(),
+            WireError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err(),
+            WireError::UnsupportedTransferEncoding
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_bad_content_length_rejected() {
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nxx")
+                .unwrap_err(),
+            WireError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\ncontent-length: nope\r\n\r\n").unwrap_err(),
+            WireError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\ncontent-length: -1\r\n\r\n").unwrap_err(),
+            WireError::BadContentLength(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_inputs_are_clean_errors() {
+        assert_eq!(parse(b"").unwrap_err(), WireError::Closed);
+        assert_eq!(parse(b"GET /a.xml HT").unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            parse(b"GET /a HTTP/1.1\r\nhost: x\r\n").unwrap_err(),
+            WireError::Truncated,
+            "EOF before the blank line"
+        );
+        assert_eq!(
+            parse(b"GET /a HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").unwrap_err(),
+            WireError::Truncated,
+            "body shorter than its content-length"
+        );
+        assert!(WireError::Closed.response().is_none());
+        assert_eq!(
+            WireError::Truncated.response().unwrap().status().code(),
+            400
+        );
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+        assert_eq!(
+            parse(long_target.as_bytes()).unwrap_err(),
+            WireError::LineTooLong
+        );
+        let mut many = String::from("GET /a HTTP/1.1\r\n");
+        for i in 0..100 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(
+            parse(many.as_bytes()).unwrap_err(),
+            WireError::TooManyHeaders
+        );
+        assert!(matches!(
+            parse(b"GET /a HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n").unwrap_err(),
+            WireError::BodyTooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn response_serialization_frames_get_and_head() {
+        let response = Response::ok("text/plain", bytes::Bytes::from("hello"))
+            .with_header("x-navsep-generation", "7");
+        let get = serialize_response(&response, false, true);
+        let text = String::from_utf8(get.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: text/plain\r\n"));
+        assert!(text.contains("x-navsep-generation: 7\r\n"));
+        assert!(text.contains("content-length: 5\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+
+        // HEAD: same framing headers (length included!), no body bytes.
+        let head = serialize_response(&response.clone().without_body(), true, false);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.contains("content-length: 5\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body after the blank line");
+    }
+
+    #[test]
+    fn request_serialization_round_trips() {
+        let request = Request::head("a.xml").header("x-navsep-if-generation", "2");
+        let bytes = serialize_request(&request);
+        let parsed = read_request(&mut Cursor::new(bytes)).unwrap();
+        assert_eq!(parsed.method(), Method::Head);
+        assert_eq!(parsed.target(), "/a.xml", "bare paths gain the wire slash");
+        assert_eq!(parsed.header_value("x-navsep-if-generation"), Some("2"));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let response = Response::not_found("ghost.xml").with_header("x-navsep-generation", "4");
+        let bytes = serialize_response(&response, false, false);
+        let parsed = read_response(&mut Cursor::new(bytes), false).unwrap();
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.header_value("x-navsep-generation"), Some("4"));
+        assert_eq!(parsed.body, response.body().as_ref());
+    }
+}

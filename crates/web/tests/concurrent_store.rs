@@ -8,8 +8,9 @@
 
 use navsep_web::{Handler, Request, ShardedSiteHandler, ShardedSiteStore, Site, GENERATION_HEADER};
 use navsep_xml::Document;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const PAGES: usize = 24;
 
@@ -189,13 +190,21 @@ fn sessions_never_record_torn_history_entries_across_live_commits() {
         .insert(publisher.commit().unwrap().generation);
 
     let stop = Arc::new(AtomicBool::new(false));
+    // On a starved box the writer can burn through every commit before a
+    // single session finishes a tour; make it wait for one tour per
+    // session so the run always overlaps reads with reweaves.
+    let toured = Arc::new(AtomicUsize::new(0));
     let recorded: Vec<Vec<HistoryEntry>> = std::thread::scope(|scope| {
         // Writer: reweave with a fresh stylesheet per commit, recording
         // every generation the store actually published.
         {
             let published = Arc::clone(&published);
             let stop = Arc::clone(&stop);
+            let toured = Arc::clone(&toured);
             scope.spawn(move || {
+                while toured.load(Ordering::Acquire) < 4 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 for i in 0..COMMITS {
                     publisher.stage(SourceEdit::put_raw(
                         "museum.css",
@@ -214,12 +223,14 @@ fn sessions_never_record_torn_history_entries_across_live_commits() {
             .map(|_| {
                 let store = Arc::clone(&store);
                 let stop = Arc::clone(&stop);
+                let toured = Arc::clone(&toured);
                 scope.spawn(move || {
                     let mut entries = Vec::new();
                     // One clock across this thread's successive tours, so
                     // harvested entries share a single creation order.
                     let clock = HistoryClock::new();
-                    while !stop.load(Ordering::Acquire) {
+                    let mut first_tour = true;
+                    while first_tour || !stop.load(Ordering::Acquire) {
                         let mut session = NavigationSession::with_clock(
                             ShardedSiteHandler::new(Arc::clone(&store)),
                             clock.clone(),
@@ -229,6 +240,10 @@ fn sessions_never_record_torn_history_entries_across_live_commits() {
                         while session.follow_rel("next").is_ok() {}
                         while session.back().is_ok() {}
                         entries.extend(session.history().entries().into_iter().cloned());
+                        if first_tour {
+                            first_tour = false;
+                            toured.fetch_add(1, Ordering::Release);
+                        }
                     }
                     entries
                 })
@@ -312,12 +327,19 @@ fn pinned_session_never_observes_a_newer_body_through_back() {
         })
         .collect();
 
+    // As in the torn-history test above: the churn must not finish before
+    // every session has replayed the pinned entry at least once.
+    let replayed = Arc::new(AtomicUsize::new(0));
     std::thread::scope(|scope| {
         // Writer: rewrite guitar's data document on every commit, so its
         // page genuinely changes generation after generation.
         {
             let stop = Arc::clone(&stop);
+            let replayed = Arc::clone(&replayed);
             scope.spawn(move || {
+                while replayed.load(Ordering::Acquire) < 3 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 for i in 0..COMMITS {
                     publisher.stage(SourceEdit::put_document(
                         "guitar.xml",
@@ -337,9 +359,10 @@ fn pinned_session_never_observes_a_newer_body_through_back() {
         for mut session in sessions {
             let stop = Arc::clone(&stop);
             let baseline = baseline.clone();
+            let replayed = Arc::clone(&replayed);
             scope.spawn(move || {
                 let mut replays = 0u64;
-                while !stop.load(Ordering::Acquire) {
+                while replays == 0 || !stop.load(Ordering::Acquire) {
                     session.back().expect("history has the index");
                     let (degraded, body) = {
                         let page = session.forward().expect("forward to guitar");
@@ -357,6 +380,9 @@ fn pinned_session_never_observes_a_newer_body_through_back() {
                         "a newer body leaked through a generation-1 traversal"
                     );
                     replays += 1;
+                    if replays == 1 {
+                        replayed.fetch_add(1, Ordering::Release);
+                    }
                 }
                 assert!(replays > 0, "sessions made no progress");
             });
