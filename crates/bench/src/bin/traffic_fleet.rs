@@ -13,6 +13,14 @@
 //! | `flash_crowd` | thousands of sessions hammer one page (one shard) at once |
 //! | `publish_storm` | publishes land mid-traffic; sessions observe generation churn |
 //! | `wire` | the zipf mix over real TCP keep-alive connections through `HttpListener` |
+//! | `c10k` | ≥10 000 concurrent sockets (mostly idle keep-alive, a zipf-hot active subset) against one event-loop listener, on a bounded thread count |
+//!
+//! The `c10k` scenario spreads its sockets across client **subprocesses**
+//! (re-exec of this binary with `--c10k-client`) so each process stays
+//! inside its own fd limit; the parent process is the server and asserts
+//! the concurrent-socket floor and the OS-thread bound while the fleet is
+//! connected. Linux-only (epoll + `/proc/self/status`); elsewhere it is
+//! skipped with a note.
 //!
 //! Per-scenario requests, shed rate, and served p50/p99 land in
 //! `BENCH_traffic.json` (merge-writer format, one section per scenario
@@ -33,11 +41,12 @@ use navsep_web::{
 use navsep_xml::Document;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pages in the served corpus (plus `index.html` and `style.css`).
 const PAGES: usize = 400;
@@ -48,6 +57,20 @@ const WARM_GENERATIONS: u64 = 6;
 const RETENTION: usize = 4;
 /// Client threads per scenario (logical sessions are multiplexed on top).
 const CLIENT_THREADS: usize = 4;
+
+/// c10k: client subprocesses (each holds its own fd budget).
+const C10K_CLIENTS: usize = 2;
+/// c10k: keep-alive sockets per client subprocess.
+const C10K_SOCKETS_PER_CLIENT: usize = 5_100;
+/// c10k: sockets per client that actively send traffic (the rest idle in
+/// keep-alive, exercising the timer wheel and the fd ceiling).
+const C10K_ACTIVE_PER_CLIENT: usize = 192;
+/// c10k: pipelined requests per burst (== the listener's default
+/// `max_pipeline`, so pause/resume backpressure is exercised too).
+const C10K_BURST: usize = 32;
+/// c10k: event loops and pool workers for the dedicated listener.
+const C10K_LOOPS: usize = 2;
+const C10K_WORKERS: usize = 4;
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
@@ -429,7 +452,263 @@ fn wire_scenario(
     .finish()
 }
 
+/// OS threads of the current process, from `/proc/self/status` (Linux).
+fn os_thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// The `--c10k-client` subprocess: opens `sockets` keep-alive connections
+/// to `addr`, reports `READY`, then (on `GO`) drives zipf-hot pipelined
+/// bursts over the first `active` sockets while the rest idle. Prints one
+/// `RESULT` line (shed count + per-request latencies) and holds every
+/// socket open until `EXIT`, so the parent can verify the concurrent
+/// floor at leisure.
+fn c10k_client_main(args: &[String]) {
+    let addr = &args[0];
+    let sockets: usize = args[1].parse().expect("socket count");
+    let active: usize = args[2].parse().expect("active count");
+    let rounds: usize = args[3].parse().expect("round count");
+    let seed: u64 = args[4].parse().expect("seed");
+
+    let mut conns = Vec::with_capacity(sockets);
+    for _ in 0..sockets {
+        loop {
+            match TcpStream::connect(addr.as_str()) {
+                Ok(stream) => {
+                    conns.push(stream);
+                    break;
+                }
+                // Backlog pressure: retry until the listener catches up.
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+    let mut readers: Vec<BufReader<TcpStream>> = conns[..active]
+        .iter()
+        .map(|stream| {
+            let _ = stream.set_nodelay(true);
+            BufReader::new(stream.try_clone().expect("clone active socket"))
+        })
+        .collect();
+    println!("READY {}", conns.len());
+    std::io::stdout().flush().expect("flush READY");
+
+    let mut lines = BufReader::new(std::io::stdin()).lines();
+    let go = lines.next().expect("GO line").expect("readable stdin");
+    assert_eq!(go.trim(), "GO", "unexpected parent command");
+
+    let cdf = zipf_cdf();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies: Vec<u64> = Vec::with_capacity(rounds * active * C10K_BURST);
+    let mut shed = 0usize;
+    for _ in 0..rounds {
+        for a in 0..active {
+            let mut segment = Vec::with_capacity(C10K_BURST * 64);
+            let mut heads = [false; C10K_BURST];
+            for (b, head) in heads.iter_mut().enumerate() {
+                *head = b % 9 == 0;
+                let path = page_path(sample_zipf(&cdf, &mut rng));
+                let request = if *head {
+                    Request::head(path)
+                } else {
+                    Request::get(path)
+                };
+                segment.extend_from_slice(&serialize_request(&request));
+            }
+            // True pipelining: the whole burst goes out before any
+            // response is read; latency for request i is measured at the
+            // moment response i comes back.
+            let start = Instant::now();
+            conns[a].write_all(&segment).expect("write burst");
+            conns[a].flush().expect("flush burst");
+            for head in heads {
+                let response =
+                    read_response(&mut readers[a], head).expect("listener always answers");
+                if (200..300).contains(&response.status) {
+                    latencies.push(start.elapsed().as_micros() as u64);
+                } else {
+                    shed += 1;
+                }
+            }
+        }
+    }
+
+    let list = latencies
+        .iter()
+        .map(|us| us.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("RESULT shed={shed} lat={list}");
+    std::io::stdout().flush().expect("flush RESULT");
+
+    let exit = lines.next().expect("EXIT line").expect("readable stdin");
+    assert_eq!(exit.trim(), "EXIT", "unexpected parent command");
+    drop(conns);
+}
+
+/// Reads child stdout lines until one starting with `prefix` appears.
+fn await_line(reader: &mut impl BufRead, prefix: &str) -> String {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("child stdout readable");
+        assert!(n > 0, "child exited before printing {prefix}");
+        if line.starts_with(prefix) {
+            return line.trim_end().to_string();
+        }
+    }
+}
+
+/// The c10k scenario: ≥10 000 concurrent keep-alive sockets against a
+/// dedicated event-loop listener, client fds spread across subprocesses.
+/// Asserts the concurrent-socket floor and the OS-thread bound while the
+/// fleet is connected; returns `None` (with a note) off Linux.
+fn c10k_scenario(handler: &Arc<ShardedSiteHandler>, smoke: bool) -> Option<ScenarioResult> {
+    if !cfg!(target_os = "linux") {
+        println!("c10k: skipped (requires Linux epoll + /proc/self/status)");
+        return None;
+    }
+    let total_sockets = C10K_CLIENTS * C10K_SOCKETS_PER_CLIENT;
+    let rounds = if smoke { 4 } else { 24 };
+    let baseline_threads = os_thread_count().expect("read /proc/self/status");
+    let listener = HttpListener::bind(
+        "127.0.0.1:0",
+        Arc::clone(handler),
+        ListenerConfig::new(C10K_WORKERS)
+            .loops(C10K_LOOPS)
+            .max_connections(total_sockets + 1_800)
+            .keep_alive_timeout(Duration::from_secs(60)),
+    )
+    .expect("bind c10k listener");
+    let addr = listener.local_addr().to_string();
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = (0..C10K_CLIENTS)
+        .map(|c| {
+            let mut child = Command::new(&exe)
+                .arg("--c10k-client")
+                .arg(&addr)
+                .arg(C10K_SOCKETS_PER_CLIENT.to_string())
+                .arg(C10K_ACTIVE_PER_CLIENT.to_string())
+                .arg(rounds.to_string())
+                .arg((0xC10C ^ ((c as u64) << 32)).to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn c10k client");
+            let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+            (child, stdout)
+        })
+        .collect();
+
+    // Phase 1: every client connects its full socket fleet.
+    let mut connected = 0usize;
+    for (_, stdout) in &mut children {
+        let ready = await_line(stdout, "READY ");
+        connected += ready["READY ".len()..]
+            .parse::<usize>()
+            .expect("READY count");
+    }
+    assert_eq!(connected, total_sockets, "every client socket connected");
+    // Accepts lag connects (the backlog is server-side); wait for the
+    // listener to adopt the whole fleet.
+    let adopt_deadline = Instant::now() + Duration::from_secs(60);
+    while listener.stats().open_now < total_sockets as u64 && Instant::now() < adopt_deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = listener.stats();
+    let os_threads = os_thread_count().expect("read /proc/self/status");
+    let concurrent = stats.open_now;
+    println!(
+        "c10k: {concurrent} sockets open concurrently, {os_threads} OS threads \
+         (baseline {baseline_threads}, {C10K_LOOPS} loops + {C10K_WORKERS} workers)"
+    );
+    assert!(
+        concurrent >= 10_000,
+        "c10k floor: need >=10000 concurrent sockets, listener holds {concurrent}"
+    );
+    // The whole point: the thread count must not scale with sockets. The
+    // listener adds loops + workers (+ small constant for pool plumbing);
+    // nothing per-connection.
+    assert!(
+        os_threads <= baseline_threads + (C10K_LOOPS + C10K_WORKERS) as u64 + 4,
+        "thread count must be loops + workers + O(1), not O(connections): \
+         {os_threads} threads over a baseline of {baseline_threads}"
+    );
+
+    // Phase 2: traffic over the zipf-hot active subset; the other ~96% of
+    // sockets stay idle in keep-alive the whole time.
+    let started = Instant::now();
+    for (child, _) in &mut children {
+        let stdin = child.stdin.as_mut().expect("child stdin");
+        stdin.write_all(b"GO\n").expect("send GO");
+        stdin.flush().expect("flush GO");
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut shed = 0usize;
+    for (_, stdout) in &mut children {
+        let result = await_line(stdout, "RESULT ");
+        let rest = &result["RESULT ".len()..];
+        let (shed_part, lat_part) = rest.split_once(" lat=").expect("RESULT format");
+        shed += shed_part
+            .strip_prefix("shed=")
+            .expect("RESULT format")
+            .parse::<usize>()
+            .expect("shed count");
+        latencies.extend(
+            lat_part
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<u64>().expect("latency sample")),
+        );
+    }
+    let elapsed = started.elapsed();
+    // Sockets are still held open; snapshot the peak before release.
+    let peak = listener.stats().peak_open;
+    for (child, _) in &mut children {
+        let stdin = child.stdin.as_mut().expect("child stdin");
+        stdin.write_all(b"EXIT\n").expect("send EXIT");
+        stdin.flush().expect("flush EXIT");
+    }
+    for (mut child, _) in children {
+        let status = child.wait().expect("child exit");
+        assert!(status.success(), "c10k client failed: {status}");
+    }
+    let requests = latencies.len() + shed;
+    println!(
+        "c10k: {requests} requests over the active subset in {elapsed:.2?}, \
+         {shed} shed, peak {peak} sockets"
+    );
+    listener.shutdown();
+    Some(
+        ScenarioResult {
+            name: "c10k",
+            sessions: total_sockets,
+            requests,
+            shed,
+            notes: vec![
+                ("concurrent_sockets", concurrent),
+                ("peak_sockets", peak),
+                ("os_threads", os_threads),
+                ("baseline_threads", baseline_threads),
+                ("loops", C10K_LOOPS as u64),
+                ("pool_workers", C10K_WORKERS as u64),
+            ],
+            latencies_us: latencies,
+        }
+        .finish(),
+    )
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--c10k-client") {
+        c10k_client_main(&args[pos + 1..]);
+        return;
+    }
     let smoke = smoke_mode();
     let scale = if smoke { 1 } else { 4 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -553,6 +832,15 @@ fn main() {
     // wire: the same mix over real TCP through the HttpListener.
     results.push(wire_scenario(&listener, &cdf, 680, 80 * scale));
 
+    // c10k: ten thousand concurrent sockets on a bounded thread count.
+    let c10k_ran = match c10k_scenario(&handler, smoke) {
+        Some(result) => {
+            results.push(result);
+            true
+        }
+        None => false,
+    };
+
     let elapsed = started.elapsed();
 
     // Report.
@@ -621,6 +909,25 @@ fn main() {
         wire.shed == 0 || wire.shed < wire.requests,
         "the wire path must answer"
     );
+    if c10k_ran {
+        // The floor and the thread bound were asserted live, while the
+        // fleet was connected; here we only re-check the recorded note.
+        let c10k = results.iter().find(|r| r.name == "c10k").expect("c10k ran");
+        let sockets = c10k
+            .notes
+            .iter()
+            .find(|(k, _)| *k == "concurrent_sockets")
+            .map_or(0, |(_, v)| *v);
+        assert!(
+            sockets >= 10_000,
+            "c10k must record its >=10k concurrent-socket floor (got {sockets})"
+        );
+    } else {
+        assert!(
+            !cfg!(target_os = "linux"),
+            "c10k must run on Linux; it only skips elsewhere"
+        );
+    }
     let back = results
         .iter()
         .find(|r| r.name == "back_button")

@@ -8,10 +8,11 @@
 //!   [`navsep_xlink::DocumentProvider`]);
 //! * [`Request`]/[`Response`] — HTTP-shaped messages shared by in-process
 //!   callers and the wire;
-//! * [`wire`]/[`HttpListener`] — the network front end: an HTTP/1.1
-//!   parser/serializer and a `TcpListener` accept loop with keep-alive and
-//!   graceful drain, equivalence-tested byte-for-byte against the
-//!   in-process handlers;
+//! * [`wire`]/[`HttpListener`] — the network front end: a resumable
+//!   HTTP/1.1 parser/serializer and a readiness-driven (epoll/poll)
+//!   event-loop listener with keep-alive, pipelining, accept-time
+//!   connection-cap shedding, idle reaping, and graceful drain,
+//!   equivalence-tested byte-for-byte against the in-process handlers;
 //! * [`SiteHandler`]/[`ServerPool`] — a concurrent worker-pool server with
 //!   atomic re-publish (for re-weaving under load);
 //! * [`ShardedSiteStore`]/[`ShardedSiteHandler`] — the scale path: pages
@@ -51,6 +52,8 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+mod conn;
+mod event_loop;
 pub mod fault;
 pub mod history;
 pub mod http;
@@ -71,7 +74,7 @@ pub use history::{
     RouteViolation, SessionHistory,
 };
 pub use http::{Method, Request, Response, Status};
-pub use listener::{HttpListener, ListenerConfig};
+pub use listener::{HttpListener, ListenerConfig, ListenerStats};
 pub use server::{Handler, PoolConfig, ServerPool, SiteHandler, RETRY_AFTER_HEADER, SHED_HEADER};
 pub use session::{NavigationSession, SessionError, Visit};
 pub use site::{MediaType, Resource, Site};

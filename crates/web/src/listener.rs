@@ -1,35 +1,50 @@
-//! The TCP front end: accept loop, per-connection threads, keep-alive,
-//! and graceful drain — bridging sockets into the [`ServerPool`] contract.
+//! The TCP front end: a readiness-driven, multiplexing HTTP/1.1 server —
+//! a small fixed set of event-loop threads instead of a thread per
+//! connection.
 //!
-//! [`HttpListener::bind`] owns a [`ServerPool`] over any [`Handler`] and a
-//! `TcpListener` accept loop. Each accepted connection gets a thread that
-//! reads requests with [`wire::read_request_with`](crate::wire), submits
-//! them through the pool's **non-blocking** [`ServerPool::request`] — so
-//! queue-full/deadline sheds surface on the wire as the same 503 +
-//! `x-navsep-retry-after` an in-process client sees — and serializes the
-//! answer back with [`wire::write_response`](crate::wire). Connections are
-//! reused per HTTP/1.1 keep-alive semantics ([`WireRequest::wants_keep_alive`]).
+//! [`HttpListener::bind`] owns a [`ServerPool`] over any [`Handler`] and
+//! [`ListenerConfig::loops`] event loops (the crate-private `event_loop`
+//! module). Loop 0 owns the nonblocking accept
+//! socket; admitted connections are round-robin assigned across loops,
+//! each held as a per-connection state machine: the resumable
+//! [`wire::RequestParser`](crate::wire::RequestParser) accumulates bytes
+//! across readiness events, complete requests are submitted through the
+//! pool's **non-blocking** [`ServerPool::submit`] — so queue-full/deadline
+//! sheds surface on the wire as the same 503 + `x-navsep-retry-after` an
+//! in-process client sees — and completions wake the owning loop to write
+//! the serialized answer back, in request order (HTTP/1.1 pipelining),
+//! vectored and partial-write aware. No thread ever blocks on a socket or
+//! a reply: thread count is `loops + pool workers`, independent of how
+//! many connections are open.
+//!
+//! ## Admission contract
+//!
+//! The listener bounds its footprint at accept time: past
+//! [`ListenerConfig::max_connections`] open sockets, new arrivals are
+//! *shed* — best-effort 503 (`x-navsep-shed: connections-full`), then
+//! close — never queued. Established connections idle longer than
+//! [`ListenerConfig::keep_alive_timeout`] are reaped by each loop's timer
+//! wheel; connections with requests in flight are never idle-reaped.
+//! [`HttpListener::stats`] exposes the resulting counters.
 //!
 //! ## Drain contract
 //!
 //! [`HttpListener::shutdown`] is graceful and mirrors the pool's own
-//! contract: the accept loop stops (woken by a self-connect), connection
-//! threads finish the request they are mid-way through — socket reads use
-//! a short timeout ([`ListenerConfig::poll_interval`]) so idle keep-alive
-//! connections notice the stop flag without losing parse state — and the
-//! pool drains last, so every request accepted off the wire is answered
-//! before `shutdown` returns.
+//! contract: the accept socket closes, idle keep-alive connections drop
+//! immediately, busy connections finish their in-flight pipeline (under a
+//! grace deadline for stalled peers), and the pool drains last — every
+//! request accepted off the wire is answered before the listener is gone.
 //!
 //! Malformed bytes never kill the process: parse failures answer 400 (when
 //! there is anything to answer) and close that one connection.
 
-use crate::http::Method;
+use crate::event_loop::{EventLoop, Mailbox};
 use crate::server::{Handler, PoolConfig, ServerPool};
-use crate::wire::{self, WireError, WireLimits, WireRequest};
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::wire::WireLimits;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -40,53 +55,116 @@ pub struct ListenerConfig {
     pub pool: PoolConfig,
     /// Parser bounds applied to every connection.
     pub limits: WireLimits,
-    /// Socket read timeout: how often a blocked read re-checks the stop
-    /// flag. Smaller drains faster; larger polls less.
-    pub poll_interval: Duration,
+    /// Event-loop threads multiplexing the connections.
+    pub loops: usize,
+    /// Hard cap on open connections; arrivals past it are shed at accept
+    /// time (503 + close), never queued.
+    pub max_connections: usize,
+    /// Idle keep-alive connections are closed after this long without
+    /// activity. Connections with requests in flight are never reaped.
+    pub keep_alive_timeout: Duration,
+    /// Most pipelined requests admitted per connection before reading
+    /// pauses (resumes as responses flush) — bounds per-connection memory.
+    pub max_pipeline: usize,
 }
 
 impl ListenerConfig {
-    /// A config serving with `workers` pool workers and default bounds.
+    /// A config serving with `workers` pool workers and default bounds:
+    /// 2 event loops, 10 240 connections, 5 s keep-alive idle timeout,
+    /// 32-deep pipelining.
     pub fn new(workers: usize) -> Self {
         ListenerConfig {
             pool: PoolConfig::new(workers),
             limits: WireLimits::default(),
-            poll_interval: Duration::from_millis(25),
+            loops: 2,
+            max_connections: 10_240,
+            keep_alive_timeout: Duration::from_secs(5),
+            max_pipeline: 32,
         }
+    }
+
+    /// Sets the number of event-loop threads (at least 1).
+    pub fn loops(mut self, loops: usize) -> Self {
+        self.loops = loops.max(1);
+        self
+    }
+
+    /// Sets the hard open-connection cap.
+    pub fn max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
+    /// Sets the idle keep-alive timeout.
+    pub fn keep_alive_timeout(mut self, keep_alive_timeout: Duration) -> Self {
+        self.keep_alive_timeout = keep_alive_timeout;
+        self
+    }
+
+    /// Sets the per-connection pipelining depth.
+    pub fn max_pipeline(mut self, max_pipeline: usize) -> Self {
+        self.max_pipeline = max_pipeline.max(1);
+        self
     }
 }
 
-/// Counters and flags shared by the acceptor and connection threads.
-struct ListenerShared {
-    pool: ServerPool,
-    stop: AtomicBool,
-    limits: WireLimits,
-    poll_interval: Duration,
-    connections_accepted: AtomicU64,
-    requests_served: AtomicU64,
-    bad_requests: AtomicU64,
+/// A point-in-time snapshot of the listener's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListenerStats {
+    /// Connections admitted since bind (excludes sheds).
+    pub accepted: u64,
+    /// Connections turned away at accept time by the
+    /// [`max_connections`](ListenerConfig::max_connections) cap.
+    pub shed_at_accept: u64,
+    /// Connections open right now.
+    pub open_now: u64,
+    /// High-water mark of simultaneously open connections.
+    pub peak_open: u64,
+    /// Requests answered over the wire (including 400s and sheds).
+    pub requests_served: u64,
+    /// Malformed requests answered with a 400 (or dropped mid-line).
+    pub bad_requests: u64,
+}
+
+/// Counters and config shared by every event loop.
+pub(crate) struct ListenerShared {
+    pub(crate) pool: ServerPool,
+    pub(crate) stop: AtomicBool,
+    pub(crate) limits: WireLimits,
+    pub(crate) keep_alive_timeout: Duration,
+    pub(crate) max_pipeline: usize,
+    pub(crate) max_connections: usize,
+    pub(crate) next_conn_id: AtomicU64,
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) shed_at_accept: AtomicU64,
+    pub(crate) open_now: AtomicU64,
+    pub(crate) peak_open: AtomicU64,
+    pub(crate) requests_served: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
 }
 
 /// A running HTTP front end bound to a local TCP address.
 pub struct HttpListener {
     addr: SocketAddr,
     shared: Arc<ListenerShared>,
-    acceptor: Option<JoinHandle<()>>,
+    mailboxes: Vec<Arc<Mailbox>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for HttpListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpListener")
             .field("addr", &self.addr)
-            .field("connections_accepted", &self.connections_accepted())
-            .field("requests_served", &self.requests_served())
+            .field("loops", &self.mailboxes.len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl HttpListener {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// serving `handler` behind a freshly started [`ServerPool`].
+    /// serving `handler` behind a freshly started [`ServerPool`] and
+    /// [`ListenerConfig::loops`] event-loop threads.
     pub fn bind<H: Handler + 'static>(
         addr: &str,
         handler: Arc<H>,
@@ -98,22 +176,44 @@ impl HttpListener {
             pool: ServerPool::start_with(handler, config.pool),
             stop: AtomicBool::new(false),
             limits: config.limits,
-            poll_interval: config.poll_interval,
+            keep_alive_timeout: config.keep_alive_timeout,
+            max_pipeline: config.max_pipeline.max(1),
+            max_connections: config.max_connections.max(1),
+            next_conn_id: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
+            shed_at_accept: AtomicU64::new(0),
+            open_now: AtomicU64::new(0),
+            peak_open: AtomicU64::new(0),
             requests_served: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("navsep-acceptor".to_string())
-                .spawn(move || accept_loop(listener, shared))
-                .expect("spawn acceptor thread")
-        };
+        let loop_count = config.loops.max(1);
+        let mut mailboxes = Vec::with_capacity(loop_count);
+        for _ in 0..loop_count {
+            mailboxes.push(Arc::new(Mailbox::new()?));
+        }
+        let mut loops = Vec::with_capacity(loop_count);
+        let mut accept_socket = Some(listener);
+        for index in 0..loop_count {
+            let event_loop = EventLoop::new(
+                index,
+                accept_socket.take(),
+                Arc::clone(&mailboxes[index]),
+                mailboxes.clone(),
+                Arc::clone(&shared),
+            )?;
+            loops.push(
+                thread::Builder::new()
+                    .name(format!("navsep-loop-{index}"))
+                    .spawn(move || event_loop.run())
+                    .expect("spawn event-loop thread"),
+            );
+        }
         Ok(HttpListener {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            mailboxes,
+            loops,
         })
     }
 
@@ -122,7 +222,19 @@ impl HttpListener {
         self.addr
     }
 
-    /// Connections accepted since bind.
+    /// A snapshot of the listener's counters.
+    pub fn stats(&self) -> ListenerStats {
+        ListenerStats {
+            accepted: self.shared.connections_accepted.load(Ordering::SeqCst),
+            shed_at_accept: self.shared.shed_at_accept.load(Ordering::SeqCst),
+            open_now: self.shared.open_now.load(Ordering::SeqCst),
+            peak_open: self.shared.peak_open.load(Ordering::SeqCst),
+            requests_served: self.shared.requests_served.load(Ordering::SeqCst),
+            bad_requests: self.shared.bad_requests.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Connections admitted since bind.
     pub fn connections_accepted(&self) -> u64 {
         self.shared.connections_accepted.load(Ordering::SeqCst)
     }
@@ -143,7 +255,7 @@ impl HttpListener {
     }
 
     /// Gracefully stops: no new connections, in-flight requests answered,
-    /// all threads joined.
+    /// all loop threads joined.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -152,11 +264,11 @@ impl HttpListener {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The acceptor sits in a blocking accept(); a throwaway
-        // self-connection wakes it so it can observe the stop flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for mailbox in &self.mailboxes {
+            let _ = mailbox.poller.notify();
+        }
+        for handle in self.loops.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -167,102 +279,6 @@ impl Drop for HttpListener {
     }
 }
 
-/// Accepts connections until the stop flag is set, spawning one thread per
-/// connection and joining them all (acceptor exit = full drain).
-fn accept_loop(listener: TcpListener, shared: Arc<ListenerShared>) {
-    let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => continue,
-        };
-        shared.connections_accepted.fetch_add(1, Ordering::SeqCst);
-        let handle = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("navsep-conn".to_string())
-                .spawn(move || serve_connection(stream, shared))
-        };
-        let mut connections = connections.lock().expect("connection registry");
-        if let Ok(handle) = handle {
-            connections.push(handle);
-        }
-        // Reap finished threads so a long-lived listener's registry stays
-        // proportional to *live* connections, not total ever accepted.
-        let mut live = Vec::with_capacity(connections.len());
-        for handle in connections.drain(..) {
-            if handle.is_finished() {
-                let _ = handle.join();
-            } else {
-                live.push(handle);
-            }
-        }
-        *connections = live;
-    }
-    for handle in connections
-        .into_inner()
-        .expect("connection registry")
-        .drain(..)
-    {
-        let _ = handle.join();
-    }
-}
-
-/// Serves one connection: read → pool → write, looping while keep-alive
-/// holds and the listener is not draining.
-fn serve_connection(stream: TcpStream, shared: Arc<ListenerShared>) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(shared.poll_interval)).is_err() {
-        return;
-    }
-    let reader_stream = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        match wire::read_request_with(&mut reader, &shared.limits, &shared.stop) {
-            Ok(request) => {
-                let head = request.method() == Method::Head;
-                let keep_alive = request.wants_keep_alive() && !shared.stop.load(Ordering::SeqCst);
-                let response = answer(&request, &shared);
-                shared.requests_served.fetch_add(1, Ordering::SeqCst);
-                if wire::write_response(&mut writer, &response, head, keep_alive).is_err() {
-                    return;
-                }
-                if !keep_alive {
-                    return;
-                }
-            }
-            Err(error) => {
-                if let Some(response) = error.response() {
-                    shared.bad_requests.fetch_add(1, Ordering::SeqCst);
-                    shared.requests_served.fetch_add(1, Ordering::SeqCst);
-                    let _ = wire::write_response(&mut writer, &response, false, false);
-                } else if matches!(error, WireError::Io(_)) {
-                    shared.bad_requests.fetch_add(1, Ordering::SeqCst);
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// Bridges one parsed request into the pool. Non-blocking submit, so
-/// overload sheds exactly as it does in-process; a reply channel dropped
-/// without an answer degrades to a 503 rather than killing the connection
-/// thread.
-fn answer(request: &WireRequest, shared: &ListenerShared) -> crate::http::Response {
-    let reply = shared.pool.request(request.to_request());
-    reply
-        .recv()
-        .unwrap_or_else(|_| crate::http::Response::unavailable("reply-dropped"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,7 +287,9 @@ mod tests {
     use crate::site::Site;
     use crate::wire::read_response;
     use navsep_xml::Document;
-    use std::io::Write;
+    use std::io::{BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn site() -> Site {
         let mut s = Site::new();
@@ -295,6 +313,18 @@ mod tests {
         stream.flush().unwrap();
         let mut reader = BufReader::new(stream);
         read_response(&mut reader, head).unwrap()
+    }
+
+    /// Spin-waits (bounded) until `probe` returns true.
+    fn wait_until(probe: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if probe() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        probe()
     }
 
     #[test]
@@ -404,5 +434,116 @@ mod tests {
         assert_eq!(served.status, 200);
         listener.shutdown();
         drop(idle);
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order_on_one_connection() {
+        let listener = listener();
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        // One TCP segment, three requests: responses must come back in
+        // request order on the same connection.
+        stream
+            .write_all(
+                b"GET /a.xml HTTP/1.1\r\n\r\n\
+                  GET /ghost.xml HTTP/1.1\r\n\r\n\
+                  GET /style.css HTTP/1.1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let first = read_response(&mut reader, false).unwrap();
+        assert_eq!(first.status, 200);
+        assert!(String::from_utf8_lossy(&first.body).contains("<a>hello</a>"));
+        let second = read_response(&mut reader, false).unwrap();
+        assert_eq!(second.status, 404);
+        let third = read_response(&mut reader, false).unwrap();
+        assert_eq!(third.status, 200);
+        assert_eq!(third.header_value("connection"), Some("close"));
+        assert_eq!(listener.connections_accepted(), 1);
+        assert_eq!(listener.requests_served(), 3);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_reaped_but_busy_ones_are_not() {
+        let listener = HttpListener::bind(
+            "127.0.0.1:0",
+            Arc::new(SiteHandler::new(site())),
+            ListenerConfig::new(2).keep_alive_timeout(Duration::from_millis(150)),
+        )
+        .unwrap();
+        // Busy-enough: a connection that keeps making requests outlives
+        // many idle timeouts.
+        let mut busy = TcpStream::connect(listener.local_addr()).unwrap();
+        let mut busy_reader = BufReader::new(busy.try_clone().unwrap());
+        // Idle: connects, sends one request, then goes quiet.
+        let mut idle = TcpStream::connect(listener.local_addr()).unwrap();
+        idle.write_all(b"GET /a.xml HTTP/1.1\r\n\r\n").unwrap();
+        let mut idle_reader = BufReader::new(idle.try_clone().unwrap());
+        assert_eq!(read_response(&mut idle_reader, false).unwrap().status, 200);
+        let reap_deadline = Instant::now() + Duration::from_secs(3);
+        let mut reaped = false;
+        while Instant::now() < reap_deadline {
+            // The busy connection stays active across the idle window.
+            busy.write_all(b"GET /a.xml HTTP/1.1\r\n\r\n").unwrap();
+            assert_eq!(
+                read_response(&mut busy_reader, false).unwrap().status,
+                200,
+                "busy connection must survive the idle reaper"
+            );
+            // A reaped idle socket reads EOF.
+            idle.set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            let mut probe = [0u8; 1];
+            match idle_reader.get_mut().read(&mut probe) {
+                Ok(0) => {
+                    reaped = true;
+                    break;
+                }
+                Ok(_) => panic!("idle connection received unsolicited bytes"),
+                Err(_) => {}
+            }
+        }
+        assert!(reaped, "idle keep-alive connection was never closed");
+        // And the busy connection still works after the idle one died.
+        busy.write_all(b"GET /a.xml HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(read_response(&mut busy_reader, false).unwrap().status, 200);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn accept_cap_sheds_instead_of_queueing() {
+        let listener = HttpListener::bind(
+            "127.0.0.1:0",
+            Arc::new(SiteHandler::new(site())),
+            ListenerConfig::new(2).max_connections(2),
+        )
+        .unwrap();
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            // Prove the connection is admitted, not just in the backlog.
+            stream.write_all(b"GET /a.xml HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            assert_eq!(read_response(&mut reader, false).unwrap().status, 200);
+            held.push((stream, reader));
+        }
+        assert!(wait_until(|| listener.stats().open_now == 2));
+        // The third connection is over the cap: shed with a 503, never
+        // queued behind the held sockets.
+        let over = TcpStream::connect(listener.local_addr()).unwrap();
+        let mut over_reader = BufReader::new(over);
+        let shed = read_response(&mut over_reader, false).unwrap();
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.header_value("x-navsep-shed"), Some("connections-full"));
+        let stats = listener.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.shed_at_accept, 1);
+        assert_eq!(stats.peak_open, 2);
+        // Releasing a held connection frees capacity for a newcomer.
+        drop(held.pop());
+        assert!(wait_until(|| listener.stats().open_now < 2));
+        let replacement = roundtrip(&listener, b"GET /a.xml HTTP/1.1\r\n\r\n", false);
+        assert_eq!(replacement.status, 200);
+        listener.shutdown();
     }
 }

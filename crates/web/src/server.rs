@@ -158,10 +158,32 @@ impl PoolConfig {
     }
 }
 
+/// Where a job's response goes: a bounded channel (the blocking callers)
+/// or a boxed callback (the event-loop listener, whose connections must
+/// complete asynchronously — no thread may park on a `recv`).
+enum ReplyTo {
+    Channel(Sender<Response>),
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl ReplyTo {
+    /// Delivers the response. Channel sends to a gone receiver are
+    /// silently dropped (the client stopped waiting); callbacks always
+    /// run — they are how the listener learns a connection can progress.
+    fn deliver(self, response: Response) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplyTo::Callback(callback) => callback(response),
+        }
+    }
+}
+
 struct Job {
     request: Request,
     enqueued: Instant,
-    reply: Sender<Response>,
+    reply: ReplyTo,
 }
 
 enum Event {
@@ -199,13 +221,13 @@ fn spawn_worker(id: u64, shared: Arc<PoolShared>, jobs: Receiver<Job>) -> JoinHa
             while let Ok(job) = jobs.recv() {
                 if shared.draining.load(Ordering::SeqCst) {
                     shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                    let _ = job.reply.send(shared.shed_response("draining"));
+                    job.reply.deliver(shared.shed_response("draining"));
                     continue;
                 }
                 if let Some(deadline) = shared.deadline {
                     if job.enqueued.elapsed() > deadline {
                         shared.requests_timed_out.fetch_add(1, Ordering::SeqCst);
-                        let _ = job.reply.send(shared.shed_response("deadline"));
+                        job.reply.deliver(shared.shed_response("deadline"));
                         continue;
                     }
                 }
@@ -213,7 +235,7 @@ fn spawn_worker(id: u64, shared: Arc<PoolShared>, jobs: Receiver<Job>) -> JoinHa
                     catch_unwind(AssertUnwindSafe(|| shared.handler.handle(&job.request)));
                 match outcome {
                     Ok(response) => {
-                        let _ = job.reply.send(response);
+                        job.reply.deliver(response);
                     }
                     Err(_) => {
                         // The request that took the worker down still gets an
@@ -221,7 +243,7 @@ fn spawn_worker(id: u64, shared: Arc<PoolShared>, jobs: Receiver<Job>) -> JoinHa
                         // supervisor replaces it (a fresh thread is the only
                         // state we can vouch for after a panic).
                         shared.panics_absorbed.fetch_add(1, Ordering::SeqCst);
-                        let _ = job.reply.send(
+                        job.reply.deliver(
                             Response::server_error("request handler panicked")
                                 .with_header(RETRY_AFTER_HEADER, shared.retry_after_ms.to_string()),
                         );
@@ -341,7 +363,7 @@ impl ServerPool {
                     // jobs may remain; answer them so no client ever hangs.
                     while let Ok(job) = jobs_rx.try_recv() {
                         shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                        let _ = job.reply.send(shared.shed_response("draining"));
+                        job.reply.deliver(shared.shed_response("draining"));
                     }
                 })
                 .expect("failed to spawn pool supervisor")
@@ -363,28 +385,51 @@ impl ServerPool {
     /// response.
     pub fn request(&self, request: Request) -> Receiver<Response> {
         let (tx, rx) = channel::bounded(1);
-        let job = Job {
+        self.enqueue(Job {
             request,
             enqueued: Instant::now(),
-            reply: tx,
-        };
+            reply: ReplyTo::Channel(tx),
+        });
+        rx
+    }
+
+    /// Submits a request whose answer arrives via `on_reply` — the
+    /// **asynchronous** twin of [`request`](ServerPool::request), for
+    /// callers that must not park a thread (the event-loop listener).
+    ///
+    /// Same non-blocking shed contract: a full queue or a draining pool
+    /// invokes `on_reply` immediately (on the calling thread) with the
+    /// 503 + [`RETRY_AFTER_HEADER`] shed response; otherwise `on_reply`
+    /// runs later on a worker thread. Exactly one invocation either way —
+    /// the callback is how a connection learns it can progress, so it is
+    /// never dropped unrun.
+    pub fn submit(&self, request: Request, on_reply: impl FnOnce(Response) + Send + 'static) {
+        self.enqueue(Job {
+            request,
+            enqueued: Instant::now(),
+            reply: ReplyTo::Callback(Box::new(on_reply)),
+        });
+    }
+
+    /// Non-blocking enqueue with the shared shed behavior: queue-full and
+    /// draining both answer immediately through the job's own reply path.
+    fn enqueue(&self, job: Job) {
         let Some(jobs) = &self.jobs else {
             self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-            let _ = job.reply.send(self.shared.shed_response("draining"));
-            return rx;
+            job.reply.deliver(self.shared.shed_response("draining"));
+            return;
         };
         match jobs.try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
                 self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                let _ = job.reply.send(self.shared.shed_response("queue-full"));
+                job.reply.deliver(self.shared.shed_response("queue-full"));
             }
             Err(TrySendError::Disconnected(job)) => {
                 self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                let _ = job.reply.send(self.shared.shed_response("draining"));
+                job.reply.deliver(self.shared.shed_response("draining"));
             }
         }
-        rx
     }
 
     /// Submits a request, **blocking** while the queue is full (condvar
@@ -395,19 +440,19 @@ impl ServerPool {
         let job = Job {
             request,
             enqueued: Instant::now(),
-            reply: tx,
+            reply: ReplyTo::Channel(tx),
         };
         match &self.jobs {
             Some(jobs) => {
                 if let Err(send_error) = jobs.send(job) {
                     let job = send_error.0;
                     self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                    let _ = job.reply.send(self.shared.shed_response("draining"));
+                    job.reply.deliver(self.shared.shed_response("draining"));
                 }
             }
             None => {
                 self.shared.requests_shed.fetch_add(1, Ordering::SeqCst);
-                let _ = job.reply.send(self.shared.shed_response("draining"));
+                job.reply.deliver(self.shared.shed_response("draining"));
             }
         }
         rx
@@ -560,6 +605,32 @@ mod tests {
         assert_eq!(response.status().code(), 503);
         assert_eq!(response.header_value(SHED_HEADER), Some("reply-dropped"));
         assert!(response.header_value(RETRY_AFTER_HEADER).is_some());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_delivers_through_the_callback() {
+        let pool = ServerPool::start(Arc::new(SiteHandler::new(site())), 2);
+        let (tx, rx) = channel::bounded(1);
+        pool.submit(Request::get("a.xml"), move |response| {
+            tx.send(response).unwrap();
+        });
+        let response = rx.recv().unwrap();
+        assert!(response.status().is_success());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_while_draining_sheds_through_the_callback() {
+        let pool = ServerPool::start(Arc::new(SiteHandler::new(site())), 1);
+        pool.shared.draining.store(true, Ordering::SeqCst);
+        let (tx, rx) = channel::bounded(1);
+        pool.submit(Request::get("a.xml"), move |response| {
+            tx.send(response).unwrap();
+        });
+        let response = rx.recv().expect("callback always runs");
+        assert_eq!(response.status().code(), 503);
+        assert_eq!(response.header_value(SHED_HEADER), Some("draining"));
         pool.shutdown();
     }
 

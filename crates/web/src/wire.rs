@@ -191,6 +191,294 @@ impl WireRequest {
     }
 }
 
+/// A resumable, push-based HTTP/1.1 request parser — the single grammar
+/// behind both the blocking [`read_request_with`] path and the event-loop
+/// listener's readiness-driven connections.
+///
+/// Feed bytes in with [`push`](RequestParser::push) as they arrive (any
+/// split: whole segments, single bytes, mid-header fragments) and drain
+/// completed requests with [`next_request`](RequestParser::next_request),
+/// which returns `Ok(None)` when it needs more input. Parse state is
+/// carried across calls, so a request split across readiness events
+/// resumes exactly where it left off — and several requests pushed in one
+/// segment (HTTP/1.1 pipelining) come back one by one, in order.
+///
+/// Errors are terminal: after an `Err` the parser refuses further work
+/// (the connection is dead; the error's [`WireError::response`] says what
+/// to write before closing).
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: WireLimits,
+    buf: Vec<u8>,
+    pos: usize,
+    state: ParseState,
+    blanks: u32,
+}
+
+#[derive(Debug)]
+enum ParseState {
+    /// Waiting for (or mid-) the request line.
+    Line,
+    /// Request line parsed; reading header lines.
+    Headers {
+        method: Method,
+        target: String,
+        http11: bool,
+        headers: Vec<(String, String)>,
+        content_length: Option<u64>,
+    },
+    /// Headers done; waiting for `len` body bytes.
+    Body {
+        method: Method,
+        target: String,
+        http11: bool,
+        headers: Vec<(String, String)>,
+        len: usize,
+    },
+    /// A previous call returned `Err`; the stream is unrecoverable.
+    Failed,
+}
+
+/// What a line extraction attempt yielded.
+enum LineStep {
+    /// A complete line (CR stripped).
+    Line(Vec<u8>),
+    /// No newline buffered yet (and the partial line is within bounds).
+    NeedMore,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        RequestParser::new(WireLimits::default())
+    }
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: WireLimits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            pos: 0,
+            state: ParseState::Line,
+            blanks: 0,
+        }
+    }
+
+    /// Appends newly received bytes to the parse buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact the consumed prefix before growing, so a long-lived
+        // keep-alive connection's buffer stays proportional to the
+        // *unparsed* tail, not to total traffic.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` when the parser sits at a request boundary with nothing
+    /// buffered — the state in which a peer close is a clean EOF rather
+    /// than a truncation, and an idle connection is safe to reap.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::Line) && self.pos >= self.buf.len()
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete request, if the buffer holds one.
+    ///
+    /// `Ok(Some(_))` — a full request was parsed and consumed;
+    /// `Ok(None)` — more input is needed (push more bytes, call again);
+    /// `Err(_)` — the stream is malformed; terminal.
+    pub fn next_request(&mut self) -> Result<Option<WireRequest>, WireError> {
+        match self.drive() {
+            Err(error) => {
+                self.state = ParseState::Failed;
+                Err(error)
+            }
+            ok => ok,
+        }
+    }
+
+    fn take_line(&mut self, limit: usize) -> Result<LineStep, WireError> {
+        let pending = &self.buf[self.pos..];
+        match pending.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                let mut line = pending[..newline].to_vec();
+                self.pos += newline + 1;
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if line.len() > limit {
+                    return Err(WireError::LineTooLong);
+                }
+                Ok(LineStep::Line(line))
+            }
+            None => {
+                if pending.len() > limit {
+                    return Err(WireError::LineTooLong);
+                }
+                Ok(LineStep::NeedMore)
+            }
+        }
+    }
+
+    fn drive(&mut self) -> Result<Option<WireRequest>, WireError> {
+        loop {
+            match &mut self.state {
+                ParseState::Failed => {
+                    return Err(WireError::Closed);
+                }
+                ParseState::Line => {
+                    let line = match self.take_line(self.limits.max_request_line)? {
+                        LineStep::Line(line) => line,
+                        LineStep::NeedMore => return Ok(None),
+                    };
+                    if line.is_empty() {
+                        // Bounded tolerance for blank lines between
+                        // requests, per RFC 9112.
+                        self.blanks += 1;
+                        if self.blanks > 4 {
+                            return Err(WireError::BadRequestLine(String::new()));
+                        }
+                        continue;
+                    }
+                    self.blanks = 0;
+                    let (method, target, http11) = parse_request_line(&line)?;
+                    self.state = ParseState::Headers {
+                        method,
+                        target,
+                        http11,
+                        headers: Vec::new(),
+                        content_length: None,
+                    };
+                }
+                ParseState::Headers { .. } => {
+                    let line = match self.take_line(self.limits.max_header_line)? {
+                        LineStep::Line(line) => line,
+                        LineStep::NeedMore => return Ok(None),
+                    };
+                    let ParseState::Headers {
+                        method,
+                        target,
+                        http11,
+                        headers,
+                        content_length,
+                    } = &mut self.state
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    if line.is_empty() {
+                        // End of headers: frame the body.
+                        let request = WireRequest {
+                            method: *method,
+                            target: std::mem::take(target),
+                            http11: *http11,
+                            headers: std::mem::take(headers),
+                            body: Vec::new(),
+                        };
+                        match *content_length {
+                            Some(len) if len > self.limits.max_body as u64 => {
+                                return Err(WireError::BodyTooLarge(len));
+                            }
+                            Some(len) if len > 0 => {
+                                self.state = ParseState::Body {
+                                    method: request.method,
+                                    target: request.target,
+                                    http11: request.http11,
+                                    headers: request.headers,
+                                    len: len as usize,
+                                };
+                            }
+                            _ => {
+                                self.state = ParseState::Line;
+                                return Ok(Some(request));
+                            }
+                        }
+                        continue;
+                    }
+                    if headers.len() >= self.limits.max_headers {
+                        return Err(WireError::TooManyHeaders);
+                    }
+                    let (name, value) = parse_header(&line)?;
+                    if name == "content-length" {
+                        // Any repetition is rejected — conflicting lengths
+                        // are the classic smuggling vector, and even
+                        // agreeing duplicates buy nothing worth the
+                        // ambiguity.
+                        if content_length.is_some() {
+                            return Err(WireError::BadContentLength(value));
+                        }
+                        match value.parse::<u64>() {
+                            Ok(len) => *content_length = Some(len),
+                            Err(_) => return Err(WireError::BadContentLength(value)),
+                        }
+                    }
+                    if name == "transfer-encoding" {
+                        return Err(WireError::UnsupportedTransferEncoding);
+                    }
+                    headers.push((name, value));
+                }
+                ParseState::Body { len, .. } => {
+                    let len = *len;
+                    if self.buf.len() - self.pos < len {
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.pos..self.pos + len].to_vec();
+                    self.pos += len;
+                    let ParseState::Body {
+                        method,
+                        target,
+                        http11,
+                        headers,
+                        ..
+                    } = std::mem::replace(&mut self.state, ParseState::Line)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    return Ok(Some(WireRequest {
+                        method,
+                        target,
+                        http11,
+                        headers,
+                        body,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Splits and validates `METHOD SP TARGET SP HTTP/1.x`, stripping any
+/// query string from the target.
+fn parse_request_line(line: &[u8]) -> Result<(Method, String, bool), WireError> {
+    let text = String::from_utf8_lossy(line).into_owned();
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(WireError::BadRequestLine(text.clone())),
+    };
+    if method.chars().any(|c| !c.is_ascii_alphanumeric()) {
+        return Err(WireError::BadRequestLine(text.clone()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(WireError::BadVersion(version.to_string())),
+    };
+    if !target.starts_with('/') && target != "*" {
+        return Err(WireError::BadRequestLine(text.clone()));
+    }
+    // The site has no query semantics; strip `?…` so `/a.xml?x=1` still
+    // addresses `a.xml` (dropped, not misread as part of the key).
+    let target = target.split('?').next().unwrap_or(target).to_string();
+    Ok((Method::parse(method), target, http11))
+}
+
 /// Reads one line up to `limit` bytes, tolerating both CRLF and bare LF.
 /// `Ok(None)` is a clean EOF **before any byte**; EOF mid-line is
 /// [`WireError::Truncated`]. A read timeout checks `stop` and otherwise
@@ -302,99 +590,50 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<WireRequest, WireError>
 
 /// Reads one request: request line, headers, `content-length`-framed body.
 ///
+/// A thin blocking wrapper over [`RequestParser`] — both the blocking and
+/// the event-loop paths parse with the same resumable grammar, so their
+/// acceptance and error behavior are identical by construction.
+///
 /// `stop` is consulted whenever the underlying reader reports a timeout
-/// (`WouldBlock`/`TimedOut`), so a listener can drain idle keep-alive
-/// connections: parse state is kept across retries, a half-read request is
+/// (`WouldBlock`/`TimedOut`), so a caller can abandon an idle read during
+/// shutdown: parse state is kept across retries, a half-read request is
 /// never silently restarted.
 pub fn read_request_with(
     reader: &mut impl BufRead,
     limits: &WireLimits,
     stop: &AtomicBool,
 ) -> Result<WireRequest, WireError> {
-    // Request line. Tolerate (bounded) leading blank lines per RFC 9112.
-    let mut request_line;
-    let mut blanks = 0;
+    let mut parser = RequestParser::new(*limits);
     loop {
-        request_line = match read_line(reader, limits.max_request_line, stop)? {
-            None => return Err(WireError::Closed),
-            Some(line) => line,
-        };
-        if !request_line.is_empty() {
-            break;
+        if let Some(request) = parser.next_request()? {
+            return Ok(request);
         }
-        blanks += 1;
-        if blanks > 4 {
-            return Err(WireError::BadRequestLine(String::new()));
-        }
-    }
-    let text = String::from_utf8_lossy(&request_line).into_owned();
-    let mut parts = text.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => return Err(WireError::BadRequestLine(text.clone())),
-    };
-    if method.chars().any(|c| !c.is_ascii_alphanumeric()) {
-        return Err(WireError::BadRequestLine(text.clone()));
-    }
-    let http11 = match version {
-        "HTTP/1.1" => true,
-        "HTTP/1.0" => false,
-        _ => return Err(WireError::BadVersion(version.to_string())),
-    };
-    if !target.starts_with('/') && target != "*" {
-        return Err(WireError::BadRequestLine(text.clone()));
-    }
-    // The site has no query semantics; strip `?…` so `/a.xml?x=1` still
-    // addresses `a.xml` (dropped, not misread as part of the key).
-    let target = target.split('?').next().unwrap_or(target).to_string();
-
-    // Headers.
-    let mut headers: Vec<(String, String)> = Vec::new();
-    let mut content_length: Option<u64> = None;
-    loop {
-        let line = match read_line(reader, limits.max_header_line, stop)? {
-            None => return Err(WireError::Truncated),
-            Some(line) => line,
-        };
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= limits.max_headers {
-            return Err(WireError::TooManyHeaders);
-        }
-        let (name, value) = parse_header(&line)?;
-        if name == "content-length" {
-            // Any repetition is rejected — conflicting lengths are the
-            // classic smuggling vector, and even agreeing duplicates buy
-            // nothing worth the ambiguity.
-            if content_length.is_some() {
-                return Err(WireError::BadContentLength(value));
+        let chunk_len = match reader.fill_buf() {
+            Ok(chunk) if chunk.is_empty() => {
+                // EOF: clean at a request boundary, truncation mid-request.
+                return Err(if parser.is_idle() {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
             }
-            match value.parse::<u64>() {
-                Ok(len) => content_length = Some(len),
-                Err(_) => return Err(WireError::BadContentLength(value)),
+            Ok(chunk) => {
+                parser.push(chunk);
+                chunk.len()
             }
-        }
-        if name == "transfer-encoding" {
-            return Err(WireError::UnsupportedTransferEncoding);
-        }
-        headers.push((name, value));
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(WireError::ShuttingDown);
+                }
+                continue;
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        };
+        reader.consume(chunk_len);
     }
-
-    // Body framing.
-    let body = match content_length {
-        Some(len) if len > limits.max_body as u64 => return Err(WireError::BodyTooLarge(len)),
-        Some(len) => read_body(reader, len as usize, stop)?,
-        None => Vec::new(),
-    };
-
-    Ok(WireRequest {
-        method: Method::parse(method),
-        target,
-        http11,
-        headers,
-        body,
-    })
 }
 
 /// Serializes `response` as HTTP/1.1 bytes: status line, the response's

@@ -152,6 +152,51 @@ fn keep_alive_serves_n_byte_identical_responses_on_one_connection() {
 }
 
 #[test]
+fn pipelined_requests_in_one_segment_answer_in_order_byte_identically() {
+    let (handler, listener) = fixture();
+    let shapes: Vec<Request> = vec![
+        Request::get("/a.xml"),
+        Request::head("/index.html"),
+        Request::get("/ghost.xml"),
+        Request::get("/style.css").header(AT_GENERATION_HEADER, "4"),
+        Request::new(Method::Post, "/a.xml"),
+        Request::get("/index.html").header(IF_GENERATION_HEADER, "1"),
+        Request::get("/a.xml").header(AT_GENERATION_HEADER, "banana"),
+    ];
+    // True HTTP/1.1 pipelining: every request goes out in ONE write —
+    // one TCP segment's worth of back-to-back requests — before any
+    // response is read. The last request closes the connection.
+    let mut segment = Vec::new();
+    let mut expected = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let last = i + 1 == shapes.len();
+        let shape = if last {
+            shape.clone().header("connection", "close")
+        } else {
+            shape.clone()
+        };
+        let head = shape.method() == Method::Head;
+        segment.extend_from_slice(&serialize_request(&shape));
+        expected.extend_from_slice(&serialize_response(&handler.handle(&shape), head, !last));
+    }
+    let mut stream = TcpStream::connect(listener.local_addr()).expect("connect");
+    stream.write_all(&segment).unwrap();
+    stream.flush().unwrap();
+    let mut got = Vec::new();
+    stream.read_to_end(&mut got).unwrap();
+    assert_eq!(
+        got,
+        expected,
+        "pipelined responses must arrive in request order, byte-identical\n wire: {}\n proc: {}",
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(&expected),
+    );
+    assert_eq!(listener.connections_accepted(), 1);
+    assert_eq!(listener.requests_served(), shapes.len() as u64);
+    listener.shutdown();
+}
+
+#[test]
 fn slashed_and_bare_paths_are_equivalent_end_to_end() {
     let (handler, listener) = fixture();
     let addr = listener.local_addr();

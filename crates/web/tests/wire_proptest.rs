@@ -1,15 +1,60 @@
 //! Property tests for the wire parser's robustness contract: malformed
 //! request lines, oversized and duplicate headers, and truncated bodies
 //! all produce a clean typed error (a 400 answer or a silent close) —
-//! never a panic, never a misframed request.
+//! never a panic, never a misframed request. The resumable-parser laws
+//! additionally pin the event-loop path to the blocking one: feeding a
+//! buffer one byte at a time must produce exactly the same requests and
+//! the same terminal error as parsing it whole.
 
-use navsep_web::wire::{read_request, serialize_request, WireError};
-use navsep_web::{Method, Request};
+use navsep_web::wire::{read_request, serialize_request, RequestParser, WireError, WireLimits};
+use navsep_web::{Method, Request, WireRequest};
 use proptest::prelude::*;
 use std::io::Cursor;
 
 fn parse(input: &[u8]) -> Result<navsep_web::WireRequest, WireError> {
     read_request(&mut Cursor::new(input.to_vec()))
+}
+
+/// Drains every complete request the parser currently holds, stopping at
+/// NeedMore (`Ok(None)`) or the first terminal error.
+fn drain_parser(parser: &mut RequestParser) -> (Vec<WireRequest>, Option<WireError>) {
+    let mut requests = Vec::new();
+    loop {
+        match parser.next_request() {
+            Ok(Some(request)) => requests.push(request),
+            Ok(None) => return (requests, None),
+            Err(error) => return (requests, Some(error)),
+        }
+    }
+}
+
+/// Parses `input` two ways: pushed whole, and pushed one byte at a time
+/// (draining between bytes, like readiness events delivering single-byte
+/// segments). Returns both outcomes for comparison.
+#[allow(clippy::type_complexity)]
+fn parse_both_ways(
+    input: &[u8],
+) -> (
+    (Vec<WireRequest>, Option<WireError>),
+    (Vec<WireRequest>, Option<WireError>),
+) {
+    let mut whole = RequestParser::new(WireLimits::default());
+    whole.push(input);
+    let whole_outcome = drain_parser(&mut whole);
+
+    let mut resumable = RequestParser::new(WireLimits::default());
+    let mut requests = Vec::new();
+    let mut error = None;
+    for byte in input {
+        resumable.push(&[*byte]);
+        let (mut got, err) = drain_parser(&mut resumable);
+        requests.append(&mut got);
+        if err.is_some() {
+            error = err;
+            break;
+        }
+    }
+    (whole_outcome, (requests, error))
 }
 
 /// Arbitrary bytes, biased toward wire-ish content so the parser gets past
@@ -170,5 +215,48 @@ proptest! {
             prop_assert_eq!(parsed.header_value(name), Some(value.as_str()));
         }
         prop_assert!(parsed.wants_keep_alive());
+    }
+
+    /// The resumable parser is segmentation-independent on arbitrary
+    /// bytes: feeding one byte at a time never panics and yields exactly
+    /// the requests and terminal error of a whole-buffer parse.
+    #[test]
+    fn byte_by_byte_parsing_matches_whole_buffer_on_arbitrary_bytes(
+        input in arbitrary_bytes()
+    ) {
+        let ((whole_requests, whole_error), (byte_requests, byte_error)) =
+            parse_both_ways(&input);
+        prop_assert_eq!(whole_requests, byte_requests);
+        prop_assert_eq!(whole_error, byte_error);
+    }
+
+    /// The same law on well-formed pipelined traffic: a run of valid
+    /// requests (optionally ending in a partial tail) parses to the same
+    /// request sequence whether it arrives whole or one byte per event.
+    #[test]
+    fn byte_by_byte_parsing_matches_whole_buffer_on_pipelined_requests(
+        paths in proptest::collection::vec("[a-z]{1,8}\\.(xml|html|css)", 1..6),
+        cut_tail in proptest::option::of(1usize..20),
+    ) {
+        let mut segment = Vec::new();
+        for (i, path) in paths.iter().enumerate() {
+            let mut request = Request::get(path.clone());
+            if i % 2 == 1 {
+                request = request.header("x-navsep-at-generation", i.to_string());
+            }
+            segment.extend_from_slice(&serialize_request(&request));
+        }
+        if let Some(cut) = cut_tail {
+            // A trailing partial request: both parsers must hold it as
+            // NeedMore without inventing or dropping anything.
+            let tail = serialize_request(&Request::get("tail.xml"));
+            segment.extend_from_slice(&tail[..cut.min(tail.len() - 1)]);
+        }
+        let ((whole_requests, whole_error), (byte_requests, byte_error)) =
+            parse_both_ways(&segment);
+        prop_assert_eq!(whole_requests.len(), paths.len());
+        prop_assert_eq!(whole_error, None);
+        prop_assert_eq!(whole_requests, byte_requests);
+        prop_assert_eq!(byte_error, None);
     }
 }

@@ -1,0 +1,760 @@
+//! Offline stand-in for the `polling` crate: readiness notification over
+//! raw file descriptors.
+//!
+//! The build environment has no registry access, so this is a minimal
+//! syscall shim in the spirit of `vendor/`'s other stand-ins: the one
+//! [`Poller`] type exposes **level-triggered** readiness — register a
+//! descriptor with a `usize` key and an [`Interest`], then [`Poller::wait`]
+//! blocks until something is readable/writable (or a timeout, or a
+//! [`Poller::notify`] from another thread).
+//!
+//! Two backends:
+//!
+//! * **epoll** (`Backend::Epoll`) — the Linux default. `epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait`, with an `eventfd` carrying cross-thread
+//!   notifications. Wait cost is O(ready), so ten thousand idle sockets
+//!   cost nothing per wakeup.
+//! * **poll** (`Backend::Poll`) — the portable fallback (and the
+//!   non-Linux default): a registration table replayed through `poll(2)`
+//!   each wait, with a self-pipe for notifications. O(registered) per
+//!   wakeup, but it works on any POSIX system.
+//!
+//! `NAVSEP_FORCE_POLL=1` forces the poll backend on Linux, which is how CI
+//! keeps the fallback from bit-rotting. All `unsafe` in the workspace's
+//! network stack lives here, behind safe wrappers; `navsep-web` itself
+//! stays `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Readiness interest for a registered descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or peer-closed).
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Writable-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Neither direction (the descriptor stays registered but silent).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the descriptor was registered under.
+    pub key: usize,
+    /// Readable (includes peer hang-up and errors, which read() surfaces).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// Which syscall family backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) waits.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) waits.
+    Poll,
+}
+
+/// The key [`Poller`] reserves for its internal notification descriptor.
+/// User registrations must not use it; notify wakeups are swallowed (the
+/// wait returns, possibly with zero events) rather than surfaced.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Raw syscall bindings. std already links libc on every unix target, so a
+// plain extern "C" block is all the FFI this needs.
+// ---------------------------------------------------------------------------
+
+#[allow(non_camel_case_types)]
+type nfds_t = std::ffi::c_ulong;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: nfds_t, timeout: i32) -> i32;
+    fn pipe(fds: *mut RawFd) -> i32;
+    fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+    fn close(fd: RawFd) -> i32;
+    fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+}
+
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use super::RawFd;
+
+    // On x86-64 the kernel ABI packs epoll_event; other architectures use
+    // natural alignment. This mirrors libc's definition.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> RawFd;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> RawFd;
+    }
+}
+
+/// `F_SETFL` / `F_GETFL` and the nonblocking bit for the self-pipe. The
+/// values are the Linux ones; they also hold on most BSDs for the fcntl
+/// commands (O_NONBLOCK differs on macOS, handled below).
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+#[cfg(target_os = "macos")]
+const O_NONBLOCK: i32 = 0x0004;
+#[cfg(not(target_os = "macos"))]
+const O_NONBLOCK: i32 = 0o4000;
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // Safety-free zone: these fcntl calls only toggle flags on an fd this
+    // crate owns.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(last_os_error());
+    }
+    Ok(())
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            // Round up so a 0<t<1ms timeout still sleeps instead of
+            // spinning, and clamp to i32.
+            let ms = t.as_millis();
+            let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll backend (Linux).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+struct EpollPoller {
+    epfd: RawFd,
+    event_fd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> io::Result<Self> {
+        use epoll_sys::*;
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_os_error());
+        }
+        let event_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if event_fd < 0 {
+            let err = last_os_error();
+            unsafe { close(epfd) };
+            return Err(err);
+        }
+        let poller = EpollPoller { epfd, event_fd };
+        poller.ctl(EPOLL_CTL_ADD, event_fd, NOTIFY_KEY, Interest::READABLE)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        use epoll_sys::*;
+        let mut events = EPOLLRDHUP;
+        if interest.readable {
+            events |= EPOLLIN;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        let mut event = EpollEvent {
+            events,
+            data: key as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+        if rc < 0 {
+            Err(last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        use epoll_sys::*;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+        let n = loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n >= 0 {
+                break n as usize;
+            }
+            let err = last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR with a timeout: give the caller its wakeup rather than
+            // re-arming with a stale timeout.
+            if timeout.is_some() {
+                break 0;
+            }
+        };
+        let mut delivered = 0;
+        for raw in &buf[..n] {
+            let (bits, key) = { (raw.events, raw.data as usize) };
+            if key == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            events.push(Event {
+                key,
+                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+            });
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = [0u8; 8];
+        // Nonblocking eventfd: one read clears the counter.
+        unsafe { read(self.event_fd, buf.as_mut_ptr(), buf.len()) };
+    }
+
+    fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe { write(self.event_fd, (&one as *const u64).cast(), 8) };
+        // EAGAIN means the counter is already nonzero — a wakeup is pending,
+        // which is all notify promises.
+        if rc < 0 {
+            let err = last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.event_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poll backend (portable fallback).
+// ---------------------------------------------------------------------------
+
+struct PollPoller {
+    registry: Mutex<HashMap<RawFd, (usize, Interest)>>,
+    pipe_read: RawFd,
+    pipe_write: RawFd,
+}
+
+impl PollPoller {
+    fn new() -> io::Result<Self> {
+        let mut fds: [RawFd; 2] = [0; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(last_os_error());
+        }
+        for fd in fds {
+            if let Err(err) = set_nonblocking(fd) {
+                unsafe {
+                    close(fds[0]);
+                    close(fds[1]);
+                }
+                return Err(err);
+            }
+        }
+        Ok(PollPoller {
+            registry: Mutex::new(HashMap::new()),
+            pipe_read: fds[0],
+            pipe_write: fds[1],
+        })
+    }
+
+    fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poll registry");
+        if registry.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        registry.insert(fd, (key, interest));
+        Ok(())
+    }
+
+    fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poll registry");
+        match registry.get_mut(&fd) {
+            Some(entry) => {
+                *entry = (key, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poll registry");
+        match registry.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut keys: Vec<usize> = Vec::new();
+        fds.push(PollFd {
+            fd: self.pipe_read,
+            events: POLLIN,
+            revents: 0,
+        });
+        keys.push(NOTIFY_KEY);
+        {
+            let registry = self.registry.lock().expect("poll registry");
+            for (&fd, &(key, interest)) in registry.iter() {
+                let mut bits = 0i16;
+                if interest.readable {
+                    bits |= POLLIN;
+                }
+                if interest.writable {
+                    bits |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: bits,
+                    revents: 0,
+                });
+                keys.push(key);
+            }
+        }
+        let n = loop {
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms(timeout)) };
+            if n >= 0 {
+                break n;
+            }
+            let err = last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            if timeout.is_some() {
+                break 0;
+            }
+        };
+        let mut delivered = 0;
+        if n > 0 {
+            for (pfd, &key) in fds.iter().zip(keys.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if key == NOTIFY_KEY {
+                    self.drain_notify();
+                    continue;
+                }
+                events.push(Event {
+                    key,
+                    readable: pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: pfd.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.pipe_read, buf.as_mut_ptr(), buf.len()) };
+            if n < buf.len() as isize {
+                break;
+            }
+        }
+    }
+
+    fn notify(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let rc = unsafe { write(self.pipe_write, &byte, 1) };
+        if rc < 0 {
+            let err = last_os_error();
+            // A full pipe means a wakeup is already pending.
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.pipe_read);
+            close(self.pipe_write);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public Poller.
+// ---------------------------------------------------------------------------
+
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    Poll(PollPoller),
+}
+
+/// A readiness queue over raw descriptors: register with a key, wait for
+/// events, wake from other threads with [`notify`](Poller::notify).
+///
+/// Level-triggered on both backends: a descriptor stays ready (and keeps
+/// waking the poller) until the condition is consumed, so missed events are
+/// impossible and the connection state machine never needs speculative
+/// retries.
+pub struct Poller {
+    inner: Inner,
+    notified: AtomicBool,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+impl Poller {
+    /// A poller on the platform default backend: epoll on Linux (unless
+    /// `NAVSEP_FORCE_POLL=1`), poll elsewhere.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if std::env::var("NAVSEP_FORCE_POLL").is_ok_and(|v| v == "1") {
+                Poller::with_backend(Backend::Poll)
+            } else {
+                Poller::with_backend(Backend::Epoll)
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// A poller on an explicit backend. `Backend::Epoll` fails with
+    /// `Unsupported` off Linux.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let inner = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Inner::Epoll(EpollPoller::new()?),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll is Linux-only",
+                ))
+            }
+            Backend::Poll => Inner::Poll(PollPoller::new()?),
+        };
+        Ok(Poller {
+            inner,
+            notified: AtomicBool::new(false),
+        })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(_) => Backend::Epoll,
+            Inner::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` under `key` with `interest`. The caller keeps
+    /// ownership of the descriptor and must [`delete`](Poller::delete) it
+    /// before closing. `key` must not be [`NOTIFY_KEY`].
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        assert!(key != NOTIFY_KEY, "NOTIFY_KEY is reserved");
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(p) => p.add(fd, key, interest),
+            Inner::Poll(p) => p.add(fd, key, interest),
+        }
+    }
+
+    /// Replaces the key/interest of a registered descriptor.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        assert!(key != NOTIFY_KEY, "NOTIFY_KEY is reserved");
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(p) => p.modify(fd, key, interest),
+            Inner::Poll(p) => p.modify(fd, key, interest),
+        }
+    }
+
+    /// Deregisters a descriptor.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(p) => p.delete(fd),
+            Inner::Poll(p) => p.delete(fd),
+        }
+    }
+
+    /// Blocks until at least one registered descriptor is ready, `timeout`
+    /// elapses (`None` = forever), or another thread calls
+    /// [`notify`](Poller::notify). Ready events are appended to `events`;
+    /// the return value is how many were appended (0 for a timeout or bare
+    /// notification).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        // A notify that raced in before this wait must not be lost: take
+        // the flag and turn it into an immediate, zero-timeout sweep.
+        let timeout = if self.notified.swap(false, Ordering::SeqCst) {
+            Some(Duration::ZERO)
+        } else {
+            timeout
+        };
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(p) => p.wait(events, timeout),
+            Inner::Poll(p) => p.wait(events, timeout),
+        }
+    }
+
+    /// Wakes a concurrent (or the next) [`wait`](Poller::wait). Safe to
+    /// call from any thread; coalesces — N notifies before a wait produce
+    /// one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        self.notified.store(true, Ordering::SeqCst);
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(p) => p.notify(),
+            Inner::Poll(p) => p.notify(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_on_every_backend() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = std::sync::Arc::clone(&poller);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let started = std::time::Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: notify carries no events");
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "{backend:?}: the notify, not the timeout, must end the wait"
+            );
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pre_wait_notify_is_not_lost() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            poller.notify().unwrap();
+            let mut events = Vec::new();
+            let started = std::time::Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "{backend:?}: a notify before wait must make it return promptly"
+            );
+        }
+    }
+
+    #[test]
+    fn socket_readability_is_reported_with_the_registered_key() {
+        for backend in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let poller = Poller::with_backend(backend).unwrap();
+            poller
+                .add(listener.as_raw_fd(), 7, Interest::READABLE)
+                .unwrap();
+
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: nothing ready before a connect");
+
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(b"x").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend:?}: the pending connect is readable");
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].readable);
+
+            poller.delete(listener.as_raw_fd()).unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: deleted fds stay silent");
+        }
+    }
+
+    #[test]
+    fn writable_interest_fires_for_a_connected_socket() {
+        for backend in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (_server, _) = listener.accept().unwrap();
+            let poller = Poller::with_backend(backend).unwrap();
+            poller.add(client.as_raw_fd(), 3, Interest::BOTH).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.key == 3 && e.writable),
+                "{backend:?}: an idle connected socket is writable"
+            );
+            // Narrow to readable-only: the writable event must stop.
+            poller
+                .modify(client.as_raw_fd(), 3, Interest::READABLE)
+                .unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: no readable data, no events");
+        }
+    }
+}
